@@ -1,0 +1,34 @@
+"""Fig. 11b: impact of batch size on NTT throughput (normalised curves)."""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.perf import batch_throughput_curve, optimal_batch
+
+BATCHES = [1, 2, 4, 8, 16, 32, 64, 128]
+
+
+@pytest.mark.parametrize("set_name", ["A", "B", "C", "D"])
+def test_fig11b_curve(benchmark, tpu_v6e, set_name):
+    """Normalised NTT throughput versus batch size for one parameter set."""
+    compiler = CrossCompiler(PARAMETER_SETS[set_name], CompilerOptions.cross_default())
+
+    points = benchmark(batch_throughput_curve, compiler, tpu_v6e, BATCHES)
+
+    best = optimal_batch(points)
+    print_report(
+        f"Fig. 11b Set {set_name}",
+        format_table(
+            ["batch", "normalized throughput", "VMEM resident"],
+            [[p.batch, p.normalized, p.vmem_resident] for p in points],
+        )
+        + f"\noptimal batch = {best.batch}, gain = {best.normalized:.2f}x "
+        "(paper: Set A 7.7x@32, Set B 2.9x@16, Set C 1.5x@16, Set D 1.4x@8)",
+    )
+    # Batching must never hurt at batch 2 and small sets must gain the most.
+    assert points[1].normalized >= 0.9
+    if set_name == "A":
+        assert best.normalized > 1.5

@@ -1,0 +1,30 @@
+"""Fig. 12: latency breakdown of HE-Mult and Rotate on TPUv6e (Set D)."""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_breakdown
+from repro.core.kernel_ir import Category
+from repro.perf import FIG12_BREAKDOWN
+
+
+@pytest.mark.parametrize("operator", ["he_mult", "rotate"])
+def test_fig12_breakdown(benchmark, cross_set_d, tpu_v6e, operator):
+    """Category-level latency shares for one HE operator."""
+    graph = cross_set_d.operator(operator)
+
+    trace = benchmark(tpu_v6e.run, graph)
+
+    fractions = {c.value: share for c, share in trace.category_fractions().items()}
+    print_report(
+        f"Fig. 12 {operator} breakdown (simulated)",
+        format_breakdown(fractions)
+        + "\n"
+        + format_breakdown(FIG12_BREAKDOWN[operator], title="paper"),
+    )
+    matmul_share = sum(
+        fractions.get(c.value, 0.0)
+        for c in (Category.NTT_MATMUL, Category.INTT_MATMUL, Category.BCONV_MATMUL)
+    )
+    # The paper's takeaway: the operator is VPU-bound, not MXU-bound.
+    assert fractions[Category.VEC_MOD_OPS.value] > matmul_share

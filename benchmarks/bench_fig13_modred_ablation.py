@@ -1,0 +1,77 @@
+"""Fig. 13a/b: modular-reduction ablation for VecModMul and NTT (Set D).
+
+Compares Barrett, Montgomery, Shoup and the BAT-lazy MXU mapping across batch
+sizes, for the element-wise kernel (Fig. 13a) and the full NTT (Fig. 13b).
+The paper's findings to reproduce: Montgomery wins on the TPU, Shoup loses
+because of its wide multiplies, and BAT-lazy is unprofitable because its
+reduction dimension (K = 4) cannot fill the MXU.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+
+SET_D = PARAMETER_SETS["D"]
+ALGORITHMS = ["barrett", "montgomery", "shoup", "bat_lazy"]
+BATCHES = [1, 4, 16, 64]
+
+
+def compiler_with(modred: str) -> CrossCompiler:
+    return CrossCompiler(SET_D, CompilerOptions.cross_default().with_modred(modred))
+
+
+@pytest.mark.parametrize("modred", ALGORITHMS)
+def test_fig13a_vecmodmul(benchmark, tpu_v6e, modred):
+    """Fig. 13a: ciphertext VecModMul latency under one reduction algorithm."""
+    compiler = compiler_with(modred)
+
+    def run():
+        return {
+            batch: tpu_v6e.latency(compiler.vec_mod_mul(batch=batch)) * 1e6
+            for batch in BATCHES
+        }
+
+    latencies = benchmark(run)
+    print_report(
+        f"Fig. 13a VecModMul ({modred})",
+        format_table(["batch", "latency (us)"], [[b, latencies[b]] for b in BATCHES]),
+    )
+    assert all(latency > 0 for latency in latencies.values())
+
+
+def test_fig13a_montgomery_is_best(tpu_v6e):
+    """Paper finding: Montgomery beats Barrett and Shoup for VecModMul."""
+    latencies = {
+        modred: tpu_v6e.latency(compiler_with(modred).vec_mod_mul(batch=16))
+        for modred in ("montgomery", "barrett", "shoup")
+    }
+    assert latencies["montgomery"] <= latencies["barrett"] <= latencies["shoup"]
+
+
+@pytest.mark.parametrize("modred", ALGORITHMS)
+def test_fig13b_ntt(benchmark, tpu_v6e, modred):
+    """Fig. 13b: batched NTT latency under one reduction algorithm."""
+    compiler = compiler_with(modred)
+
+    def run():
+        return {
+            batch: tpu_v6e.latency(compiler.ntt(limbs=1, batch=batch)) * 1e6
+            for batch in BATCHES
+        }
+
+    latencies = benchmark(run)
+    print_report(
+        f"Fig. 13b NTT ({modred})",
+        format_table(["batch", "latency (us)"], [[b, latencies[b]] for b in BATCHES]),
+    )
+    assert all(latency > 0 for latency in latencies.values())
+
+
+def test_fig13b_montgomery_beats_shoup_for_ntt(tpu_v6e):
+    """The BAT-optimised NTT magnifies the Montgomery/Shoup gap (paper takeaway)."""
+    montgomery = tpu_v6e.latency(compiler_with("montgomery").ntt(limbs=1, batch=64))
+    shoup = tpu_v6e.latency(compiler_with("shoup").ntt(limbs=1, batch=64))
+    assert montgomery < shoup

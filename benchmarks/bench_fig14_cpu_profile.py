@@ -1,0 +1,38 @@
+"""Fig. 14 (appendix): OpenFHE-style HE-operator kernel profiling.
+
+The appendix profiles the SoTA CPU/FPGA/ASIC algorithm (radix-2 CT NTT, 32-bit
+vector arithmetic) and finds NTT/INTT, BConv and the vectorized modular
+kernels to be the dominant costs.  We reproduce the profile by costing the
+same kernel schedule (the radix-2 / VPU-only compiler configuration) and
+aggregating by category.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_breakdown
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.core.kernel_ir import Category
+
+SET_C = PARAMETER_SETS["C"]
+
+
+@pytest.mark.parametrize("operator", ["he_mult", "rescale", "rotate"])
+def test_fig14_operator_profile(benchmark, tpu_v4, operator):
+    """Kernel-category shares of one operator under the legacy algorithm."""
+    compiler = CrossCompiler(SET_C, CompilerOptions.vpu_only_baseline())
+    graph = compiler.operator(operator)
+
+    trace = benchmark(tpu_v4.run, graph)
+
+    fractions = {c.value: share for c, share in trace.category_fractions().items()}
+    print_report(f"Fig. 14 {operator} (legacy radix-2 flow)", format_breakdown(fractions))
+    # The paper's observation: (I)NTT + vector modular kernels dominate.
+    ntt_and_vec = (
+        fractions.get(Category.NTT_MATMUL.value, 0)
+        + fractions.get(Category.INTT_MATMUL.value, 0)
+        + fractions.get(Category.VEC_MOD_OPS.value, 0)
+        + fractions.get(Category.PERMUTATION.value, 0)
+    )
+    assert ntt_and_vec > 0.5

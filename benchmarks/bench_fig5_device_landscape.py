@@ -1,0 +1,35 @@
+"""Fig. 5: energy-efficiency landscape of GPUs, FPGAs and AI ASICs."""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.tpu import COMPARISON_DEVICES
+
+
+def test_fig5_landscape(benchmark):
+    """Regenerate the TOPs-vs-watts scatter and check the AI-ASIC frontier claim."""
+
+    def build():
+        rows = []
+        for device in COMPARISON_DEVICES.values():
+            if device.int8_tops <= 0:
+                continue
+            rows.append(
+                [device.name, device.category, device.int8_tops, device.tdp_watts,
+                 device.int8_tops / device.tdp_watts]
+            )
+        return sorted(rows, key=lambda row: -row[4])
+
+    rows = benchmark(build)
+    print_report("Fig. 5 (INT8 TOPs vs TDP)", format_table(
+        ["device", "class", "INT8 TOPs", "TDP (W)", "TOPs/W"], rows
+    ))
+
+    efficiency = {row[0]: row[4] for row in rows}
+    # Paper claim: same-node AI ASICs sit above GPUs, which sit above the FPGA.
+    assert efficiency["TPUv4"] > efficiency["NVIDIA A100"] > efficiency["AMD Alveo U280"]
+    assert efficiency["TPUv6e"] > efficiency["NVIDIA RTX 4090"]
+    best_ai = max(e for name, e in efficiency.items() if COMPARISON_DEVICES[name].category == "AI ASIC")
+    best_gpu = max(e for name, e in efficiency.items() if COMPARISON_DEVICES[name].category == "GPU")
+    assert best_ai > 0.5 * best_gpu

@@ -1,0 +1,62 @@
+"""Functional-kernel micro-benchmarks (host NumPy execution, not simulation).
+
+These measure the library's own exact kernels -- BAT matmul, the layout
+invariant 3-step NTT, Montgomery reduction -- so regressions in the functional
+substrate are visible alongside the simulated device numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bat import bat_modmatmul_left_known, compile_left_operand
+from repro.core.ntt3step import ThreeStepNttPlan
+from repro.numtheory.montgomery import MontgomeryContext, montgomery_reduce_vector
+from repro.numtheory.primes import generate_ntt_prime
+from repro.poly.ring import PolyRing
+
+DEGREE = 256
+PRIME = generate_ntt_prime(28, DEGREE)
+
+
+@pytest.fixture(scope="module")
+def ring():
+    return PolyRing(degree=DEGREE, modulus=PRIME)
+
+
+def test_bench_reference_ntt(benchmark, ring):
+    """Radix-2 reference NTT of one degree-256 polynomial."""
+    rng = np.random.default_rng(0)
+    coeffs = ring.random_uniform(rng)
+    result = benchmark(ring.ntt, coeffs)
+    assert result.shape == (DEGREE,)
+
+
+def test_bench_three_step_bat_ntt(benchmark, ring):
+    """Layout-invariant 3-step NTT with BAT int8 matmuls."""
+    rng = np.random.default_rng(0)
+    plan = ThreeStepNttPlan(
+        degree=DEGREE, modulus=PRIME, psi=ring.psi, rows=16, cols=16,
+        use_bat=True, reduction="montgomery",
+    )
+    coeffs = ring.random_uniform(rng)
+    result = benchmark(plan.forward, coeffs)
+    assert np.array_equal(plan.to_reference_order(result), ring.ntt(coeffs))
+
+
+def test_bench_bat_matmul(benchmark):
+    """Dense BAT modular matmul with a pre-compiled 64x64 left operand."""
+    rng = np.random.default_rng(1)
+    left = rng.integers(0, PRIME, size=(64, 64), dtype=np.uint64)
+    right = rng.integers(0, PRIME, size=(64, 64), dtype=np.uint64)
+    plan = compile_left_operand(left, PRIME, reduction="barrett")
+    result = benchmark(bat_modmatmul_left_known, plan, right)
+    assert result.shape == (64, 64)
+
+
+def test_bench_montgomery_vector(benchmark):
+    """Vectorized Montgomery reduction of one million 64-bit products."""
+    rng = np.random.default_rng(2)
+    context = MontgomeryContext.create(PRIME)
+    values = rng.integers(0, PRIME, size=1 << 20, dtype=np.uint64) * np.uint64(1 << 20)
+    result = benchmark(montgomery_reduce_vector, values, context)
+    assert int(result.max()) < PRIME

@@ -1,0 +1,62 @@
+"""Section V-D: encrypted MNIST inference and HELR logistic-regression iteration."""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import SecurityParams
+from repro.perf import ML_WORKLOAD_TARGETS
+from repro.workloads import estimate_helr_iteration, estimate_mnist_inference
+
+MNIST_PARAMS = SecurityParams(name="mnist", degree=2**13, log_q=28, limbs=18, dnum=3)
+
+
+@pytest.fixture(scope="module")
+def mnist_compiler():
+    return CrossCompiler(MNIST_PARAMS, CompilerOptions.cross_default())
+
+
+def test_mnist_inference_latency(benchmark, mnist_compiler, tpu_v6e):
+    """Amortised per-image latency of the encrypted CNN on v6e-8."""
+    estimate = benchmark(estimate_mnist_inference, mnist_compiler, tpu_v6e, None, 8)
+    print_report(
+        "MNIST encrypted inference",
+        format_table(
+            ["source", "latency (ms/image)"],
+            [["paper", ML_WORKLOAD_TARGETS["mnist_latency_ms"]], ["simulated", estimate.latency_ms]],
+        ),
+    )
+    assert 1 < estimate.latency_ms < 5000
+
+
+def test_mnist_cross_vs_baseline(benchmark, tpu_v6e):
+    """CROSS accelerates the CNN schedule over the GPU-flow baseline."""
+    cross = CrossCompiler(MNIST_PARAMS, CompilerOptions.cross_default())
+    baseline = CrossCompiler(MNIST_PARAMS, CompilerOptions.gpu_baseline())
+
+    def run():
+        return (
+            estimate_mnist_inference(cross, tpu_v6e, tensor_cores=8).latency_ms,
+            estimate_mnist_inference(baseline, tpu_v6e, tensor_cores=8).latency_ms,
+        )
+
+    cross_ms, baseline_ms = benchmark(run)
+    print_report(
+        "MNIST CROSS vs GPU-flow baseline",
+        format_table(["flow", "latency (ms)"], [["CROSS", cross_ms], ["baseline", baseline_ms]]),
+    )
+    assert baseline_ms > cross_ms
+
+
+def test_helr_iteration_latency(benchmark, mnist_compiler, tpu_v6e):
+    """One HELR logistic-regression training iteration on a single tensor core."""
+    estimate = benchmark(estimate_helr_iteration, mnist_compiler, tpu_v6e)
+    print_report(
+        "HELR iteration",
+        format_table(
+            ["source", "latency (ms/iteration)"],
+            [["paper", ML_WORKLOAD_TARGETS["helr_iteration_ms"]], ["simulated", estimate.latency_ms]],
+        ),
+    )
+    assert 5 < estimate.latency_ms < 20_000

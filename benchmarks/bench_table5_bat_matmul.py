@@ -1,0 +1,57 @@
+"""Table V: BAT vs sparse-baseline high-precision ModMatMul latency.
+
+Regenerates the paper's Table V rows: for each (H, V, W) the latency of the
+sparse-Toeplitz GPU flow and of the dense BAT flow on one TPUv6e tensor core,
+plus the speedup, compared against the published numbers.
+"""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.baselines.gpu_flow import bat_matmul_graph, sparse_matmul_graph
+from repro.perf import TABLE5_BAT_MATMUL
+
+
+@pytest.mark.parametrize("h,v,w,paper_baseline_us,paper_bat_us", TABLE5_BAT_MATMUL)
+def test_table5_row(benchmark, tpu_v6e, h, v, w, paper_baseline_us, paper_bat_us):
+    """One Table V row: simulate both flows and benchmark the BAT evaluation."""
+    bat_graph = bat_matmul_graph(h, v, w)
+    baseline_graph = sparse_matmul_graph(h, v, w)
+
+    bat_latency_us = benchmark(lambda: tpu_v6e.latency(bat_graph) * 1e6)
+    baseline_latency_us = tpu_v6e.latency(baseline_graph) * 1e6
+
+    speedup = baseline_latency_us / bat_latency_us
+    paper_speedup = paper_baseline_us / paper_bat_us
+    print_report(
+        f"Table V ({h}x{v}x{w})",
+        format_table(
+            ["flow", "paper (us)", "simulated (us)"],
+            [
+                ["sparse baseline", paper_baseline_us, baseline_latency_us],
+                ["BAT", paper_bat_us, bat_latency_us],
+                ["speedup", paper_speedup, speedup],
+            ],
+        ),
+    )
+    assert speedup > 1.0
+
+
+def test_table5_full_table(tpu_v6e):
+    """Print the whole Table V side by side with the paper values."""
+    rows = []
+    for h, v, w, paper_baseline_us, paper_bat_us in TABLE5_BAT_MATMUL:
+        baseline_us = tpu_v6e.latency(sparse_matmul_graph(h, v, w)) * 1e6
+        bat_us = tpu_v6e.latency(bat_matmul_graph(h, v, w)) * 1e6
+        rows.append(
+            [f"{h}x{v}x{w}", paper_baseline_us, paper_bat_us,
+             paper_baseline_us / paper_bat_us, baseline_us, bat_us, baseline_us / bat_us]
+        )
+    print_report(
+        "Table V (full)",
+        format_table(
+            ["HxVxW", "paper base", "paper BAT", "paper x", "sim base", "sim BAT", "sim x"],
+            rows,
+        ),
+    )

@@ -1,0 +1,38 @@
+"""Table VI: BConv latency with and without BAT (N = 65536)."""
+
+import pytest
+
+from benchmarks.conftest import print_report
+from repro.analysis import format_table
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.perf import TABLE6_BCONV
+
+SET_D = PARAMETER_SETS["D"]
+
+
+@pytest.mark.parametrize("limbs_in,limbs_out,paper_baseline_us,paper_bat_us", TABLE6_BCONV)
+def test_table6_row(benchmark, tpu_v6e, limbs_in, limbs_out, paper_baseline_us, paper_bat_us):
+    """One Table VI row: BConv with BAT (MXU) vs without (VPU 32-bit matmul)."""
+    bat_compiler = CrossCompiler(SET_D, CompilerOptions.cross_default())
+    vpu_compiler = CrossCompiler(
+        SET_D, CompilerOptions(use_bat=False, use_mat=True, sparse_fallback=False)
+    )
+    bat_graph = bat_compiler.bconv(limbs_in, limbs_out)
+    baseline_graph = vpu_compiler.bconv(limbs_in, limbs_out)
+
+    bat_us = benchmark(lambda: tpu_v6e.latency(bat_graph) * 1e6)
+    baseline_us = tpu_v6e.latency(baseline_graph) * 1e6
+
+    print_report(
+        f"Table VI (l={limbs_in}, l'={limbs_out})",
+        format_table(
+            ["flow", "paper (us)", "simulated (us)"],
+            [
+                ["baseline", paper_baseline_us, baseline_us],
+                ["BAT", paper_bat_us, bat_us],
+                ["speedup", paper_baseline_us / paper_bat_us, baseline_us / bat_us],
+            ],
+        ),
+    )
+    assert baseline_us / bat_us > 1.5

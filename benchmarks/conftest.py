@@ -1,0 +1,51 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation:
+it drives the CROSS compiler and the simulated TPU, reports the measured
+(simulated) numbers through pytest-benchmark, and prints a paper-vs-simulated
+comparison table so EXPERIMENTS.md can record the agreement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.tpu import TensorCoreDevice, TpuVirtualMachine
+
+
+@pytest.fixture(scope="session")
+def tpu_v6e() -> TensorCoreDevice:
+    """One simulated TPUv6e tensor core (the paper's default device)."""
+    return TensorCoreDevice.for_generation("TPUv6e")
+
+
+@pytest.fixture(scope="session")
+def tpu_v4() -> TensorCoreDevice:
+    """One simulated TPUv4 tensor core."""
+    return TensorCoreDevice.for_generation("TPUv4")
+
+
+@pytest.fixture(scope="session")
+def v6e_8() -> TpuVirtualMachine:
+    """The v6e-8 TPU-VM (8 tensor cores) used for most headline numbers."""
+    return TpuVirtualMachine("TPUv6e", 8)
+
+
+@pytest.fixture(scope="session")
+def cross_set_d() -> CrossCompiler:
+    """CROSS compiler at the paper's default Set D."""
+    return CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.cross_default())
+
+
+@pytest.fixture(scope="session")
+def baseline_set_d() -> CrossCompiler:
+    """The SoTA-GPU-algorithm-on-TPU baseline at Set D."""
+    return CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.gpu_baseline())
+
+
+def print_report(title: str, text: str) -> None:
+    """Emit a comparison table to the terminal (visible with pytest -s)."""
+    print(f"\n===== {title} =====")
+    print(text)

@@ -1,0 +1,79 @@
+"""Quickstart: encrypt a vector, compute on it homomorphically, decrypt it.
+
+Demonstrates the functional CKKS stack (encode -> encrypt -> add/multiply/
+rotate -> decrypt) at laptop-scale parameters, then shows the same HE-Mult
+being compiled by CROSS and costed on the simulated TPUv6e.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks import (
+    CkksEncoder,
+    CkksEvaluator,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.tpu import TpuVirtualMachine
+
+
+def functional_demo() -> None:
+    """Exact CKKS arithmetic on encrypted data (small parameters)."""
+    params = CkksParameters.create(degree=64, limbs=3, log_q=28, dnum=2, scale_bits=21)
+    keygen = KeyGenerator(params)
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    decryptor = Decryptor(params, keygen.secret_key)
+    evaluator = CkksEvaluator(
+        params,
+        relin_key=keygen.relinearization_key(),
+        galois_keys=keygen.galois_keys([5]),  # rotation by one slot
+    )
+
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-1, 1, params.slot_count)
+    y = rng.uniform(-1, 1, params.slot_count)
+
+    ct_x = encryptor.encrypt(encoder.encode_real(x))
+    ct_y = encryptor.encrypt(encoder.encode_real(y))
+
+    ct_sum = evaluator.add(ct_x, ct_y)
+    ct_prod = evaluator.rescale(evaluator.multiply(ct_x, ct_y))
+    ct_rot = evaluator.rotate(ct_x, 1)
+
+    decoded_sum = encoder.decode(decryptor.decrypt(ct_sum)).real
+    decoded_prod = encoder.decode(decryptor.decrypt(ct_prod)).real
+    decoded_rot = encoder.decode(decryptor.decrypt(ct_rot)).real
+
+    print("== functional CKKS demo (N=64, L=3) ==")
+    print(f"  add   max error: {np.abs(decoded_sum - (x + y)).max():.2e}")
+    print(f"  mult  max error: {np.abs(decoded_prod - (x * y)).max():.2e}")
+    print(f"  rotate max error: {np.abs(decoded_rot - np.roll(x, -1)).max():.2e}")
+
+
+def compiled_demo() -> None:
+    """The same HE operators lowered by CROSS and costed on a simulated TPUv6e-8."""
+    compiler = CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.cross_default())
+    baseline = CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.gpu_baseline())
+    vm = TpuVirtualMachine("TPUv6e", 8)
+
+    print("\n== CROSS compilation on simulated TPUv6e-8 (Set D) ==")
+    for operator in ("he_add", "he_mult", "rescale", "rotate"):
+        cross_us = vm.amortized_latency(compiler.operator(operator)) * 1e6
+        base_us = vm.amortized_latency(baseline.operator(operator)) * 1e6
+        print(
+            f"  {operator:8s}  CROSS {cross_us:9.1f} us   GPU-flow baseline {base_us:9.1f} us"
+            f"   speedup {base_us / cross_us:4.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    functional_demo()
+    compiled_demo()

@@ -1,0 +1,71 @@
+"""Reproduce the paper's headline result: Table VIII energy-efficiency comparison.
+
+Prints, for every publicly available baseline library/accelerator the paper
+compares against, the power-matched CROSS-on-TPUv6e latency and the
+throughput-per-watt gain, next to the paper's own reported improvement.
+
+Run:  python examples/reproduce_table8.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import SecurityParams
+from repro.perf import ENERGY_EFFICIENCY_HEADLINES, TABLE8_BASELINES, compare_efficiency
+
+
+def main() -> None:
+    rows = []
+    for name, record in TABLE8_BASELINES.items():
+        if not record.available:
+            continue
+        params = SecurityParams(
+            name=f"table8-{name}",
+            degree=2**16 if name != "HEAP" else 2**13,
+            log_q=28,
+            limbs=record.cross_limbs,
+            dnum=3,
+        )
+        compiler = CrossCompiler(params, CompilerOptions.cross_default())
+        gains = []
+        for operator, latency_us in (("he_mult", record.he_mult_us), ("rotate", record.rotate_us)):
+            if latency_us is None:
+                continue
+            result = compare_efficiency(
+                name,
+                latency_us,
+                record.platform_power_watts,
+                compiler.operator(operator),
+                tensor_cores=record.tpu_power_match_cores,
+            )
+            gains.append(result.efficiency_gain)
+        mean_gain = sum(gains) / len(gains)
+        rows.append(
+            [
+                name,
+                record.platform,
+                record.platform_power_watts,
+                record.tpu_power_match_cores,
+                ENERGY_EFFICIENCY_HEADLINES.get(name, float("nan")),
+                mean_gain,
+            ]
+        )
+    print(
+        format_table(
+            [
+                "baseline",
+                "platform",
+                "power (W)",
+                "v6e TCs",
+                "paper perf/W gain",
+                "simulated perf/W gain",
+            ],
+            rows,
+            title="Table VIII energy-efficiency comparison (HE-Mult / Rotate average)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Baseline algorithms the paper compares against.
+
+* :mod:`repro.baselines.sparse_toeplitz` -- the SoTA GPU high-precision
+  multiplication flow (paper Fig. 7 left): sparse Toeplitz chunk matrix,
+  seven partial sums, long carry-add chain.
+* :mod:`repro.baselines.gpu_flow` -- convenience constructors for the "port
+  the GPU algorithm to the TPU" compiler configurations used as the TPU
+  baseline throughout the evaluation.
+"""
+
+from repro.baselines.gpu_flow import (
+    gpu_baseline_compiler,
+    radix2_baseline_compiler,
+    sparse_matmul_graph,
+)
+from repro.baselines.sparse_toeplitz import (
+    SparseCompiledScalar,
+    sparse_matvec_modmul,
+    sparse_toeplitz_matrix,
+    toeplitz_zero_fraction,
+)
+
+__all__ = [
+    "SparseCompiledScalar",
+    "gpu_baseline_compiler",
+    "radix2_baseline_compiler",
+    "sparse_matmul_graph",
+    "sparse_matvec_modmul",
+    "sparse_toeplitz_matrix",
+    "toeplitz_zero_fraction",
+]

@@ -1,0 +1,120 @@
+"""Compiler configurations for the paper's TPU baselines.
+
+The paper's "baseline" for TPU experiments is the SoTA GPU decomposing and
+binding algorithm ported verbatim: the sparse Toeplitz int8 expansion of
+Fig. 7 plus the 4-step NTT with its explicit transpose and bit-reverse
+shuffle (section V-A, Baselines).  ``gpu_baseline_compiler`` builds exactly
+that configuration; ``radix2_baseline_compiler`` builds the pure-32-bit
+radix-2 Cooley-Tukey variant used in Table X.
+"""
+
+from __future__ import annotations
+
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import SecurityParams
+from repro.core.kernel_ir import Category, KernelGraph, MatMulOp, TypeConvertOp, VectorOp
+
+
+def gpu_baseline_compiler(params: SecurityParams) -> CrossCompiler:
+    """The SoTA-GPU-algorithm-on-TPU baseline (sparse int8 + 4-step NTT)."""
+    return CrossCompiler(params, CompilerOptions.gpu_baseline())
+
+
+def radix2_baseline_compiler(params: SecurityParams) -> CrossCompiler:
+    """The radix-2 Cooley-Tukey baseline (pure VPU, per-stage shuffles)."""
+    return CrossCompiler(
+        params,
+        CompilerOptions(
+            use_bat=False, use_mat=False, ntt_algorithm="radix2", sparse_fallback=False
+        ),
+    )
+
+
+def sparse_matmul_graph(
+    height: int, inner: int, width: int, chunk_count: int = 4, name: str = "sparse-modmatmul"
+) -> KernelGraph:
+    """Kernel graph of the sparse-Toeplitz high-precision ModMatMul (Table V baseline).
+
+    The left operand expands to ``(2K-1)H x KV`` (43% zeros are still
+    multiplied), the runtime operand needs an explicit type conversion, and
+    the carry chain has ``2K-1`` links.
+    """
+    k = chunk_count
+    graph = KernelGraph(name=name, metadata={"h": height, "v": inner, "w": width})
+    graph.add(
+        TypeConvertOp(
+            name=f"{name}/chunk-decompose",
+            category=Category.TYPE_CONVERSION,
+            elements=inner * width,
+            from_bits=32,
+            to_bits=8,
+        )
+    )
+    graph.add(
+        TypeConvertOp(
+            name=f"{name}/static-param-convert",
+            category=Category.TYPE_CONVERSION,
+            elements=height * inner,
+            from_bits=32,
+            to_bits=8,
+        )
+    )
+    graph.add(
+        MatMulOp(
+            name=f"{name}/sparse-matmul",
+            category=Category.OTHER,
+            m=(2 * k - 1) * height,
+            k=k * inner,
+            n=width,
+            operand_bits=8,
+        )
+    )
+    graph.add(
+        VectorOp(
+            name=f"{name}/carry-add-chain",
+            category=Category.VEC_MOD_OPS,
+            elements=height * width,
+            ops_per_element=(2 * k - 1) + 14.0,
+        )
+    )
+    return graph
+
+
+def bat_matmul_graph(
+    height: int, inner: int, width: int, chunk_count: int = 4, name: str = "bat-modmatmul"
+) -> KernelGraph:
+    """Kernel graph of the dense BAT ModMatMul (Table V CROSS row).
+
+    Dense ``KH x KV`` left operand (compiled offline, no runtime conversion of
+    the static parameter), carry chain of ``K`` links.
+    """
+    k = chunk_count
+    graph = KernelGraph(name=name, metadata={"h": height, "v": inner, "w": width})
+    graph.add(
+        TypeConvertOp(
+            name=f"{name}/chunk-decompose",
+            category=Category.TYPE_CONVERSION,
+            elements=inner * width,
+            from_bits=32,
+            to_bits=8,
+        )
+    )
+    graph.add(
+        MatMulOp(
+            name=f"{name}/dense-matmul",
+            category=Category.OTHER,
+            m=k * height,
+            k=k * inner,
+            n=width,
+            operand_bits=8,
+        )
+    )
+    graph.add(
+        VectorOp(
+            name=f"{name}/carry-add-chain",
+            category=Category.VEC_MOD_OPS,
+            elements=height * width,
+            ops_per_element=k + 14.0,
+        )
+    )
+    return graph

@@ -1,0 +1,53 @@
+"""CKKS-RNS scheme: the HE substrate the paper's operators come from.
+
+The functional layer (exact NumPy/Python arithmetic) provides encoding,
+encryption, the evaluator (HE-Add/Mult/Rescale/Rotate with hybrid key
+switching) and a packed-bootstrapping schedule model.  It serves two roles:
+
+* the correctness oracle for the CROSS-compiled kernels (BAT and MAT are
+  lossless, so evaluator results must match bit-for-bit at the RNS level), and
+* the workload generator whose kernel schedules the performance model prices.
+"""
+
+from repro.ckks.bootstrapping import (
+    BootstrappingEstimate,
+    BootstrappingSchedule,
+    estimate_bootstrapping,
+)
+from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import (
+    GaloisKey,
+    GaloisKeySet,
+    KeyGenerator,
+    KeySwitchKey,
+    PublicKey,
+    RelinearizationKey,
+    SecretKey,
+)
+from repro.ckks.keyswitch import mod_down, switch_key
+from repro.ckks.params import CkksParameters
+
+__all__ = [
+    "BootstrappingEstimate",
+    "BootstrappingSchedule",
+    "Ciphertext",
+    "CkksEncoder",
+    "CkksEvaluator",
+    "CkksParameters",
+    "Decryptor",
+    "Encryptor",
+    "GaloisKey",
+    "GaloisKeySet",
+    "KeyGenerator",
+    "KeySwitchKey",
+    "Plaintext",
+    "PublicKey",
+    "RelinearizationKey",
+    "SecretKey",
+    "estimate_bootstrapping",
+    "mod_down",
+    "switch_key",
+]

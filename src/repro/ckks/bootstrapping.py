@@ -1,0 +1,136 @@
+"""Packed CKKS bootstrapping: schedule model and latency estimation.
+
+The paper adopts the packed bootstrapping algorithm of MAD [3] and estimates
+its latency as (number of HE-kernel invocations) x (profiled per-kernel
+latency) -- the same worst-case methodology used for the ML workloads
+(paper section V-A).  We reproduce exactly that: ``BootstrappingSchedule``
+counts the rotations, multiplications, rescalings and additions of the four
+bootstrapping phases (ModRaise, CoeffToSlot, EvalMod, SlotToCoeff), and
+``estimate_bootstrapping`` prices that schedule with the CROSS compiler and
+the simulated device, yielding both the total latency and the per-kernel
+breakdown the paper reports in Table IX.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import ceil, log2, sqrt
+
+from repro.core.compiler import CrossCompiler
+from repro.core.config import SecurityParams
+from repro.core.kernel_ir import KernelGraph
+from repro.tpu.device import TensorCoreDevice
+from repro.tpu.trace import ExecutionTrace
+
+
+@dataclass(frozen=True)
+class BootstrappingSchedule:
+    """HE-operator counts for one packed bootstrapping invocation.
+
+    The defaults follow the standard structure: CoeffToSlot and SlotToCoeff
+    are each a product of ``depth`` sparse linear transforms realised with
+    baby-step/giant-step rotations (``~sqrt(N/2)`` rotations per level), and
+    EvalMod is a degree-~63 polynomial evaluated with ~2*sqrt(63) ciphertext
+    multiplications.
+    """
+
+    degree: int
+    c2s_levels: int = 3
+    s2c_levels: int = 3
+    evalmod_multiplications: int = 16
+    evalmod_additions: int = 32
+
+    @property
+    def slots(self) -> int:
+        """Number of packed slots being bootstrapped."""
+        return self.degree // 2
+
+    @property
+    def rotations_per_linear_level(self) -> int:
+        """Baby-step/giant-step rotation count per linear-transform level."""
+        return max(2, int(2 * ceil(sqrt(self.slots ** (1.0 / max(self.c2s_levels, 1))))))
+
+    @property
+    def rotation_count(self) -> int:
+        """Total HE-Rotate invocations."""
+        return (self.c2s_levels + self.s2c_levels) * self.rotations_per_linear_level
+
+    @property
+    def plain_multiplication_count(self) -> int:
+        """Plaintext (diagonal) multiplications inside the linear transforms."""
+        return self.rotation_count
+
+    @property
+    def multiplication_count(self) -> int:
+        """Ciphertext-ciphertext multiplications (EvalMod polynomial)."""
+        return self.evalmod_multiplications
+
+    @property
+    def rescale_count(self) -> int:
+        """Rescalings: one per consumed multiplicative level."""
+        return self.c2s_levels + self.s2c_levels + self.evalmod_multiplications
+
+    @property
+    def addition_count(self) -> int:
+        """Ciphertext additions across all phases."""
+        return self.rotation_count + self.evalmod_additions
+
+    def operator_counts(self) -> dict[str, int]:
+        """Mapping from HE-operator name to invocation count."""
+        return {
+            "rotate": self.rotation_count,
+            "he_mult": self.multiplication_count,
+            "rescale": self.rescale_count,
+            "he_add": self.addition_count,
+        }
+
+
+@dataclass
+class BootstrappingEstimate:
+    """Latency estimate plus per-category breakdown for one bootstrap."""
+
+    latency_s: float
+    operator_latencies: dict[str, float]
+    breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """Total latency in milliseconds."""
+        return self.latency_s * 1e3
+
+
+def estimate_bootstrapping(
+    compiler: CrossCompiler,
+    device: TensorCoreDevice,
+    schedule: BootstrappingSchedule | None = None,
+    tensor_cores: int = 1,
+) -> BootstrappingEstimate:
+    """Price a packed bootstrapping schedule on a simulated device.
+
+    The per-operator latency is profiled once (exactly as the paper profiles
+    each kernel and multiplies by invocation counts) and the breakdown is the
+    category-aggregated view of the composed trace.
+    """
+    schedule = schedule or BootstrappingSchedule(degree=compiler.degree)
+    counts = schedule.operator_counts()
+    operator_latencies: dict[str, float] = {}
+    traces: list[tuple[ExecutionTrace, int]] = []
+    for operator, count in counts.items():
+        graph: KernelGraph = compiler.operator(operator)
+        trace = device.run(graph)
+        operator_latencies[operator] = trace.total_latency
+        traces.append((trace, count))
+
+    total = sum(trace.total_latency * count for trace, count in traces)
+    breakdown: dict[str, float] = {}
+    for trace, count in traces:
+        for category, latency in trace.latency_by_category().items():
+            breakdown[category.value] = breakdown.get(category.value, 0.0) + latency * count
+    total_breakdown = sum(breakdown.values())
+    if total_breakdown > 0:
+        breakdown = {k: v / total_breakdown for k, v in breakdown.items()}
+    return BootstrappingEstimate(
+        latency_s=total / tensor_cores,
+        operator_latencies=operator_latencies,
+        breakdown=breakdown,
+    )

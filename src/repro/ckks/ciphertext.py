@@ -1,0 +1,61 @@
+"""Ciphertext and plaintext containers for the CKKS scheme."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.poly.rns_poly import RnsPolynomial
+
+
+@dataclass
+class Plaintext:
+    """An encoded (but unencrypted) message polynomial.
+
+    Attributes
+    ----------
+    poly:
+        The message polynomial in RNS form (coefficient domain by default).
+    scale:
+        The encoding scale Delta attached to this plaintext.
+    level:
+        Number of remaining limbs (how much modulus budget the value carries).
+    """
+
+    poly: RnsPolynomial
+    scale: float
+    level: int
+
+    def copy(self) -> "Plaintext":
+        """Deep copy."""
+        return Plaintext(poly=self.poly.copy(), scale=self.scale, level=self.level)
+
+
+@dataclass
+class Ciphertext:
+    """A CKKS ciphertext: a pair of RNS polynomials plus scale bookkeeping.
+
+    Decryption computes ``c0 + c1 * s``; the optional third polynomial ``c2``
+    appears transiently after a tensor product and is removed by
+    relinearisation.
+    """
+
+    c0: RnsPolynomial
+    c1: RnsPolynomial
+    scale: float
+    level: int
+    c2: RnsPolynomial | None = None
+
+    @property
+    def is_linear(self) -> bool:
+        """True when the ciphertext has only two components (post-relin)."""
+        return self.c2 is None
+
+    def copy(self) -> "Ciphertext":
+        """Deep copy."""
+        return Ciphertext(
+            c0=self.c0.copy(),
+            c1=self.c1.copy(),
+            scale=self.scale,
+            level=self.level,
+            c2=self.c2.copy() if self.c2 is not None else None,
+        )

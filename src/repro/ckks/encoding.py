@@ -1,0 +1,99 @@
+"""CKKS encoding: packing complex vectors into ring elements.
+
+CKKS packs ``N/2`` complex numbers into one polynomial through the canonical
+embedding: the polynomial evaluated at the primitive ``2N``-th roots of unity
+``zeta^(5^j)`` yields the slot values.  Encoding is the inverse map followed by
+scaling by Delta and rounding; because the evaluation points come in conjugate
+pairs, the resulting coefficients are real integers.
+
+The implementation builds the (unitary up to ``sqrt(N)``) Vandermonde matrix
+explicitly, which is exact and perfectly adequate for the library's functional
+parameter sizes (the performance path never encodes at runtime -- plaintext
+parameters are compiled offline, as the paper assumes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.ciphertext import Plaintext
+from repro.ckks.params import CkksParameters
+from repro.poly.rns_poly import RnsPolynomial
+
+
+@dataclass
+class CkksEncoder:
+    """Encoder/decoder between complex slot vectors and plaintext polynomials."""
+
+    params: CkksParameters
+    _embedding: np.ndarray = field(init=False, repr=False)
+    _slot_indices: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        degree = self.params.degree
+        slots = degree // 2
+        # Evaluation points: zeta^(5^j mod 2N) for the first N/2 slots and their
+        # conjugates for the remainder, matching the standard rotation group.
+        zeta = np.exp(1j * np.pi / degree)
+        exponents = np.empty(degree, dtype=np.int64)
+        power = 1
+        for j in range(slots):
+            exponents[j] = power
+            exponents[j + slots] = (2 * degree) - power  # conjugate point
+            power = (power * 5) % (2 * degree)
+        points = zeta ** exponents.astype(np.float64)
+        # Vandermonde matrix V[j, k] = point_j ** k; sigma(m)_j = sum_k m_k V[j,k].
+        self._embedding = np.vander(points, N=degree, increasing=True)
+        self._slot_indices = exponents[:slots]
+
+    # -------------------------------------------------------------- encoding
+    def encode(
+        self, values: np.ndarray | list[complex], scale: float | None = None, level: int | None = None
+    ) -> Plaintext:
+        """Encode up to ``N/2`` complex (or real) values into a plaintext.
+
+        Shorter vectors are zero-padded; the result carries ``scale`` (default
+        the parameter set's Delta) and lives at ``level`` limbs (default all).
+        """
+        scale = float(scale if scale is not None else self.params.scale)
+        level = self.params.limbs if level is None else level
+        slots = self.params.slot_count
+        vector = np.zeros(slots, dtype=np.complex128)
+        values = np.asarray(values, dtype=np.complex128).ravel()
+        if values.size > slots:
+            raise ValueError(f"cannot pack {values.size} values into {slots} slots")
+        vector[: values.size] = values
+
+        # Conjugate-extend so the inverse embedding produces real coefficients.
+        full = np.concatenate([vector, np.conj(vector)])
+        coeffs = np.conj(self._embedding.T) @ full / self.params.degree
+        scaled = np.round(np.real(coeffs) * scale).astype(object)
+        basis = self.params.basis_at_level(level)
+        poly = RnsPolynomial.from_int_coefficients(
+            [int(c) % basis.modulus_product for c in scaled], basis
+        )
+        return Plaintext(poly=poly, scale=scale, level=level)
+
+    def decode(self, plaintext: Plaintext, slots: int | None = None) -> np.ndarray:
+        """Decode a plaintext back into its complex slot vector."""
+        slots = self.params.slot_count if slots is None else slots
+        signed = plaintext.poly.to_coeff().to_signed_coefficients()
+        coeffs = np.array([float(c) for c in signed], dtype=np.float64)
+        evaluations = self._embedding[: self.params.slot_count] @ coeffs
+        return (evaluations / plaintext.scale)[:slots]
+
+    # ------------------------------------------------------------- utilities
+    def encode_real(self, values: np.ndarray, scale: float | None = None) -> Plaintext:
+        """Convenience wrapper for real-valued inputs."""
+        return self.encode(np.asarray(values, dtype=np.float64), scale=scale)
+
+    def slot_rotation_exponent(self, steps: int) -> int:
+        """Galois exponent ``5**steps mod 2N`` realising a rotation by ``steps``."""
+        return pow(5, steps, 2 * self.params.degree)
+
+    @property
+    def conjugation_exponent(self) -> int:
+        """Galois exponent realising complex conjugation of the slots."""
+        return 2 * self.params.degree - 1

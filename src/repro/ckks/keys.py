@@ -1,0 +1,206 @@
+"""Key material and key generation for the CKKS scheme.
+
+Key switching uses the hybrid (digit-decomposed) construction the paper's
+performance model assumes: the ciphertext modulus chain at each level is
+partitioned into ``dnum`` digits of ``alpha`` primes, and the switching key
+for digit ``j`` encrypts ``P * Q_tilde_j * s_source`` under the extended
+modulus ``Q_level * P`` (``P`` is the product of the special primes).  Keys
+are generated for every level so that evaluation at lower levels never needs
+the secret key again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.ckks.params import CkksParameters
+from repro.numtheory.crt import RnsBasis
+from repro.numtheory.modular import mod_inv
+from repro.poly.rns_poly import RnsPolynomial
+
+
+@dataclass
+class SecretKey:
+    """The ternary secret ``s`` stored as signed coefficients.
+
+    Storing the signed coefficients (rather than one RNS image) lets the key
+    be re-embedded into any basis (ciphertext chain, extended chain, special
+    primes) without loss.
+    """
+
+    params: CkksParameters
+    coefficients: np.ndarray
+
+    def polynomial(self, basis: RnsBasis) -> RnsPolynomial:
+        """The secret as an RNS polynomial over an arbitrary basis."""
+        return RnsPolynomial.from_signed_coefficients(self.coefficients, basis)
+
+
+@dataclass
+class PublicKey:
+    """An RLWE encryption of zero: ``b = -a*s + e`` over the top-level basis."""
+
+    b: RnsPolynomial
+    a: RnsPolynomial
+
+
+@dataclass
+class KeySwitchKey:
+    """A hybrid key-switching key from ``s_source`` to the canonical secret ``s``.
+
+    ``digits[level][j]`` is the pair ``(b_j, a_j)`` over the extended basis of
+    that level.
+    """
+
+    params: CkksParameters
+    digits: dict[int, list[tuple[RnsPolynomial, RnsPolynomial]]] = field(
+        default_factory=dict
+    )
+
+    def digits_at_level(self, level: int) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
+        """The digit keys usable for a ciphertext with ``level`` limbs."""
+        try:
+            return self.digits[level]
+        except KeyError as exc:
+            raise KeyError(f"no key material generated for level {level}") from exc
+
+
+@dataclass
+class RelinearizationKey(KeySwitchKey):
+    """Key switching from ``s**2`` back to ``s`` (used after HE-Mult)."""
+
+
+@dataclass
+class GaloisKey(KeySwitchKey):
+    """Key switching from ``automorphism(s, exponent)`` back to ``s``."""
+
+    exponent: int = 1
+
+
+@dataclass
+class GaloisKeySet:
+    """A collection of Galois keys indexed by automorphism exponent."""
+
+    keys: dict[int, GaloisKey] = field(default_factory=dict)
+
+    def key_for(self, exponent: int) -> GaloisKey:
+        """Look up the Galois key for an automorphism exponent."""
+        try:
+            return self.keys[exponent]
+        except KeyError as exc:
+            raise KeyError(
+                f"no Galois key generated for automorphism exponent {exponent}"
+            ) from exc
+
+
+def digit_partition(level: int, dnum: int) -> list[tuple[int, int]]:
+    """Partition limb indices ``0..level-1`` into at most ``dnum`` digit ranges."""
+    alpha = -(-level // dnum)
+    ranges = []
+    start = 0
+    while start < level:
+        stop = min(start + alpha, level)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+@dataclass
+class KeyGenerator:
+    """Samples the secret and derives public, relinearisation and Galois keys."""
+
+    params: CkksParameters
+    rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(2024))
+    secret_key: SecretKey = field(init=False)
+
+    def __post_init__(self) -> None:
+        coefficients = self.rng.integers(-1, 2, size=self.params.degree, dtype=np.int64)
+        self.secret_key = SecretKey(params=self.params, coefficients=coefficients)
+
+    # --------------------------------------------------------------- sampling
+    def _sample_error(self, basis: RnsBasis) -> RnsPolynomial:
+        signed = np.round(
+            self.rng.normal(0.0, self.params.error_stddev, size=self.params.degree)
+        ).astype(np.int64)
+        return RnsPolynomial.from_signed_coefficients(signed, basis)
+
+    def _sample_uniform(self, basis: RnsBasis) -> RnsPolynomial:
+        rows = [
+            self.rng.integers(0, q, size=self.params.degree, dtype=np.uint64)
+            for q in basis.moduli
+        ]
+        return RnsPolynomial(basis, np.stack(rows, axis=0), "coeff")
+
+    def sample_ternary(self, basis: RnsBasis) -> RnsPolynomial:
+        """A fresh ternary polynomial (encryption randomness ``u``)."""
+        signed = self.rng.integers(-1, 2, size=self.params.degree, dtype=np.int64)
+        return RnsPolynomial.from_signed_coefficients(signed, basis)
+
+    # ------------------------------------------------------------------- keys
+    def public_key(self) -> PublicKey:
+        """An encryption of zero under the top-level basis."""
+        basis = self.params.modulus_basis
+        secret = self.secret_key.polynomial(basis)
+        a = self._sample_uniform(basis)
+        e = self._sample_error(basis)
+        b = a.multiply(secret).to_coeff().negate().add(e)
+        return PublicKey(b=b, a=a)
+
+    def _switching_key(
+        self, source_signed_coeffs: np.ndarray
+    ) -> dict[int, list[tuple[RnsPolynomial, RnsPolynomial]]]:
+        """Hybrid switching-key material from a source secret to ``s``, per level."""
+        per_level: dict[int, list[tuple[RnsPolynomial, RnsPolynomial]]] = {}
+        special_product = self.params.special_product
+        for level in range(1, self.params.limbs + 1):
+            level_basis = self.params.basis_at_level(level)
+            extended = self.params.extended_basis(level)
+            q_level = level_basis.modulus_product
+            secret = self.secret_key.polynomial(extended)
+            source = RnsPolynomial.from_signed_coefficients(source_signed_coeffs, extended)
+            digit_keys = []
+            for start, stop in digit_partition(level, self.params.dnum):
+                digit_product = 1
+                for index in range(start, stop):
+                    digit_product *= level_basis.moduli[index]
+                complement = q_level // digit_product
+                q_tilde = (
+                    complement * mod_inv(complement % digit_product, digit_product)
+                ) % q_level
+                factor = (special_product * q_tilde) % extended.modulus_product
+                a_j = self._sample_uniform(extended)
+                e_j = self._sample_error(extended)
+                payload = source.scalar_mul(factor)
+                b_j = a_j.multiply(secret).to_coeff().negate().add(e_j).add(payload)
+                digit_keys.append((b_j, a_j))
+            per_level[level] = digit_keys
+        return per_level
+
+    def relinearization_key(self) -> RelinearizationKey:
+        """Key switching from ``s**2`` to ``s``."""
+        full_basis = self.params.extended_basis(self.params.limbs)
+        secret = self.secret_key.polynomial(full_basis)
+        secret_squared = secret.multiply(secret).to_coeff()
+        # Recover the signed coefficients of s^2 (they are small: ~N * 1).
+        signed = np.array(secret_squared.to_signed_coefficients(), dtype=np.int64)
+        key = RelinearizationKey(params=self.params)
+        key.digits = self._switching_key(signed)
+        return key
+
+    def galois_key(self, exponent: int) -> GaloisKey:
+        """Key switching from ``automorphism(s, exponent)`` to ``s``."""
+        basis = self.params.modulus_basis
+        rotated = (
+            self.secret_key.polynomial(basis).automorphism(exponent)
+        )
+        signed = np.array(rotated.to_signed_coefficients(), dtype=np.int64)
+        # Automorphism of a ternary secret is still ternary; re-centre exactly.
+        key = GaloisKey(params=self.params, exponent=exponent)
+        key.digits = self._switching_key(signed)
+        return key
+
+    def galois_keys(self, exponents: list[int]) -> GaloisKeySet:
+        """Generate a set of Galois keys for the given automorphism exponents."""
+        return GaloisKeySet(keys={e: self.galois_key(e) for e in exponents})

@@ -1,0 +1,102 @@
+"""Hybrid key switching (digit decomposition + special-prime ModDown).
+
+Given a polynomial ``d`` (with ``level`` limbs) that is currently multiplied
+by some source secret (``s**2`` after a tensor product, ``automorphism(s)``
+after a rotation), key switching produces a ciphertext pair ``(ks0, ks1)``
+under the canonical secret ``s`` such that ``ks0 + ks1 * s ~= d * s_source``.
+
+The schedule mirrors the kernel sequence the CROSS compiler costs (paper's
+Decomposing layer): digit decomposition, basis extension of each digit to the
+level+special basis (BConv), inner product with the key digits, and ModDown
+(divide by the special modulus ``P`` with rounding).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.keys import KeySwitchKey, digit_partition
+from repro.ckks.params import CkksParameters
+from repro.numtheory.crt import RnsBasis
+from repro.numtheory.modular import mod_inv
+from repro.poly.basis_conversion import BasisConversion
+from repro.poly.rns_poly import RnsPolynomial
+
+
+def _sub_basis(basis: RnsBasis, start: int, stop: int) -> RnsBasis:
+    return RnsBasis(moduli=basis.moduli[start:stop], degree=basis.degree)
+
+
+def switch_key(
+    poly: RnsPolynomial,
+    key: KeySwitchKey,
+    params: CkksParameters,
+    level: int,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Apply hybrid key switching to ``poly`` (coefficient or eval domain).
+
+    Returns ``(ks0, ks1)`` over the ``level``-limb ciphertext basis, in the
+    coefficient domain.
+    """
+    level_basis = params.basis_at_level(level)
+    extended = params.extended_basis(level)
+    poly = poly.to_coeff()
+    if poly.basis.moduli != level_basis.moduli:
+        raise ValueError("polynomial basis does not match the requested level")
+
+    digit_keys = key.digits_at_level(level)
+    partitions = digit_partition(level, params.dnum)
+    if len(digit_keys) != len(partitions):
+        raise ValueError("key material does not match the digit partition")
+
+    acc0: RnsPolynomial | None = None
+    acc1: RnsPolynomial | None = None
+    for (start, stop), (b_j, a_j) in zip(partitions, digit_keys):
+        digit_basis = _sub_basis(level_basis, start, stop)
+        digit_poly = RnsPolynomial(
+            digit_basis, poly.residues[start:stop].copy(), "coeff"
+        )
+        # Basis-extend the digit to the full level + special basis (BConv).
+        conversion = BasisConversion(source=digit_basis, target=extended)
+        extended_digit = conversion.convert(digit_poly)
+        term0 = extended_digit.multiply(b_j).to_coeff()
+        term1 = extended_digit.multiply(a_j).to_coeff()
+        acc0 = term0 if acc0 is None else acc0.add(term0)
+        acc1 = term1 if acc1 is None else acc1.add(term1)
+
+    ks0 = mod_down(acc0, params, level)
+    ks1 = mod_down(acc1, params, level)
+    return ks0, ks1
+
+
+def mod_down(
+    poly: RnsPolynomial, params: CkksParameters, level: int
+) -> RnsPolynomial:
+    """Divide a (level + special)-basis polynomial by ``P`` with rounding.
+
+    Standard RNS ModDown: take the special-prime residues, basis-convert them
+    to the ciphertext basis, subtract, and multiply by ``P^{-1}`` limb-wise.
+    """
+    level_basis = params.basis_at_level(level)
+    special = params.special_basis
+    expected = level_basis.moduli + special.moduli
+    if poly.basis.moduli != expected:
+        raise ValueError("ModDown input must live in the extended basis")
+    poly = poly.to_coeff()
+
+    special_part = RnsPolynomial(
+        special, poly.residues[level:].copy(), "coeff"
+    )
+    conversion = BasisConversion(source=special, target=level_basis)
+    correction = conversion.convert(special_part)
+
+    p_product = special.modulus_product
+    rows = []
+    for index, q_i in enumerate(level_basis.moduli):
+        inverse = np.uint64(mod_inv(p_product % q_i, q_i))
+        diff = (
+            poly.residues[index]
+            + (np.uint64(q_i) - correction.residues[index])
+        ) % np.uint64(q_i)
+        rows.append((diff * inverse) % np.uint64(q_i))
+    return RnsPolynomial(level_basis, np.stack(rows, axis=0), "coeff")

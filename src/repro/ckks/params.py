@@ -1,0 +1,126 @@
+"""CKKS-RNS parameter objects.
+
+``CkksParameters`` bundles everything the scheme needs: the polynomial degree,
+the RNS modulus chain (one NTT-friendly prime per level), the auxiliary
+("special") primes used by hybrid key switching, the encoding scale and the
+digit count ``dnum``.  The paper's Sets A-D (Table IV) are available through
+:func:`from_security_params`; the exact-arithmetic test-suite uses shrunken
+versions produced by ``SecurityParams.scaled``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SecurityParams
+from repro.numtheory.crt import RnsBasis
+from repro.numtheory.primes import generate_ntt_prime
+
+
+@dataclass
+class CkksParameters:
+    """All static parameters of one CKKS instantiation.
+
+    Attributes
+    ----------
+    degree:
+        Ring degree ``N`` (power of two); the scheme packs ``N/2`` slots.
+    modulus_basis:
+        The ciphertext modulus chain ``{q_0 .. q_{L-1}}`` as an ``RnsBasis``.
+    special_basis:
+        The auxiliary primes ``{p_0 .. p_{alpha-1}}`` for hybrid key switching.
+    scale:
+        Default encoding scale Delta.
+    dnum:
+        Number of key-switching digits.
+    error_stddev:
+        Standard deviation of the discrete-Gaussian-style error sampler.
+    """
+
+    degree: int
+    modulus_basis: RnsBasis
+    special_basis: RnsBasis
+    scale: float
+    dnum: int = 3
+    error_stddev: float = 3.2
+
+    # ----------------------------------------------------------- constructors
+    @classmethod
+    def create(
+        cls,
+        degree: int,
+        limbs: int,
+        log_q: int = 28,
+        dnum: int = 3,
+        scale_bits: int = 20,
+        special_limbs: int | None = None,
+    ) -> "CkksParameters":
+        """Generate a fresh parameter set with ``limbs`` ciphertext primes."""
+        if special_limbs is None:
+            special_limbs = max(1, -(-limbs // dnum))
+        modulus_basis = RnsBasis.generate(limbs, log_q, degree)
+        # The special primes must be distinct from the ciphertext primes; keep
+        # generating below the smallest ciphertext prime.
+        special_moduli: list[int] = []
+        below = min(modulus_basis.moduli)
+        for _ in range(special_limbs):
+            prime = generate_ntt_prime(log_q, degree, below=below)
+            special_moduli.append(prime)
+            below = prime
+        special_basis = RnsBasis(moduli=tuple(special_moduli), degree=degree)
+        return cls(
+            degree=degree,
+            modulus_basis=modulus_basis,
+            special_basis=special_basis,
+            scale=float(2**scale_bits),
+            dnum=dnum,
+        )
+
+    @classmethod
+    def from_security_params(
+        cls, params: SecurityParams, scale_bits: int = 20
+    ) -> "CkksParameters":
+        """Instantiate one of the paper's Table IV sets (A-D or a scaled set)."""
+        return cls.create(
+            degree=params.degree,
+            limbs=params.limbs,
+            log_q=params.log_q,
+            dnum=params.dnum,
+            scale_bits=scale_bits,
+        )
+
+    # -------------------------------------------------------------- accessors
+    @property
+    def slot_count(self) -> int:
+        """Number of complex slots packed per ciphertext (``N / 2``)."""
+        return self.degree // 2
+
+    @property
+    def limbs(self) -> int:
+        """Number of ciphertext primes ``L`` at the top level."""
+        return self.modulus_basis.size
+
+    @property
+    def special_limbs(self) -> int:
+        """Number of auxiliary key-switching primes ``alpha``."""
+        return self.special_basis.size
+
+    @property
+    def modulus_product(self) -> int:
+        """The full ciphertext modulus ``Q``."""
+        return self.modulus_basis.modulus_product
+
+    @property
+    def special_product(self) -> int:
+        """The auxiliary modulus ``P``."""
+        return self.special_basis.modulus_product
+
+    def basis_at_level(self, level: int) -> RnsBasis:
+        """The RNS basis after ``limbs - level`` rescalings (level counts limbs)."""
+        if not 1 <= level <= self.limbs:
+            raise ValueError(f"level must be in [1, {self.limbs}]")
+        return RnsBasis(moduli=self.modulus_basis.moduli[:level], degree=self.degree)
+
+    def extended_basis(self, level: int) -> RnsBasis:
+        """Basis ``{q_0..q_{level-1}} + {p_0..p_{alpha-1}}`` used inside keyswitch."""
+        return self.basis_at_level(level).extend(self.special_basis)

@@ -1,0 +1,156 @@
+"""High-precision scalar multiplication with BAT (paper Fig. 7 and Alg. 5).
+
+This module reproduces the *scalar* story the paper tells in Fig. 7: the SoTA
+GPU flow breaks a 32-bit modular multiplication into a sparse Toeplitz
+matrix-vector product with seven partial sums and a long carry-add chain; BAT
+folds the high-basis rows back into the low-basis block at compile time,
+producing a dense ``K x K`` matrix, half the compute/memory, and a carry chain
+of length ``K``.
+
+The matrix-level machinery lives in :mod:`repro.core.bat`; here we expose the
+scalar algorithms (including the explicit Toeplitz construction, BAT folding
+and carry propagation of Alg. 5) because the paper uses them to explain the
+transformation and because the sparse variant is the GPU baseline costed in
+the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunks import DEFAULT_CHUNK_BITS, chunk_count, chunk_decompose
+from repro.numtheory.barrett import BarrettContext, barrett_reduce
+
+
+def construct_toeplitz(
+    chunks: np.ndarray, chunk_bits: int = DEFAULT_CHUNK_BITS
+) -> np.ndarray:
+    """``CONSTRUCTTOEPLITZ`` (Alg. 5): the sparse (2K-1, K) chunk matrix.
+
+    Column ``j`` carries the chunks of the pre-known operand shifted down by
+    ``j`` rows; roughly 43% of the entries are structural zeros (paper Fig. 7,
+    step 1), which is exactly the redundancy BAT removes.
+    """
+    chunks = np.asarray(chunks, dtype=np.uint64)
+    k = chunks.shape[0]
+    matrix = np.zeros((2 * k - 1, k), dtype=np.uint64)
+    for j in range(k):
+        for i in range(k):
+            matrix[i + j, j] = chunks[i]
+    return matrix
+
+
+def carry_propagation(
+    matrix: np.ndarray, chunk_bits: int = DEFAULT_CHUNK_BITS
+) -> np.ndarray:
+    """``CARRYPROPAGATION`` (Alg. 5): push chunk overflow up the rows.
+
+    After BAT folding, some entries may exceed ``2**bp - 1``; this routine
+    ripples the carries upward column by column until every entry fits a
+    single chunk again.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint64).copy()
+    limit = np.uint64((1 << chunk_bits) - 1)
+    rows = matrix.shape[0]
+    for column in range(matrix.shape[1]):
+        for row in range(rows - 1):
+            if matrix[row, column] > limit:
+                carry = matrix[row, column] >> np.uint64(chunk_bits)
+                matrix[row, column] &= limit
+                matrix[row + 1, column] += carry
+    return matrix
+
+
+def bat_fold(
+    matrix: np.ndarray,
+    modulus: int,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+) -> np.ndarray:
+    """The BAT step of Alg. 5: fold high-basis rows into the low-basis block.
+
+    Every entry living in a row ``>= K`` contributes ``entry * 2**(row*bp)``
+    weighted by the runtime chunk of its column; BAT reduces that contribution
+    modulo ``q`` offline and adds the resulting chunks back into the top
+    block of the same column.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint64).copy()
+    k = matrix.shape[1]
+    for row in range(k, matrix.shape[0]):
+        for column in range(matrix.shape[1]):
+            value = int(matrix[row, column])
+            if value == 0:
+                continue
+            folded = (value << (row * chunk_bits)) % modulus
+            folded_chunks = chunk_decompose(folded, k, chunk_bits)
+            matrix[:k, column] = matrix[:k, column] + folded_chunks
+            matrix[row, column] = 0
+    return matrix
+
+
+def offline_compile_scalar(
+    value: int,
+    modulus: int,
+    chunk_bits: int = DEFAULT_CHUNK_BITS,
+    max_iterations: int = 16,
+) -> np.ndarray:
+    """``OFFLINECOMPILE`` (Alg. 5): produce the dense K x K compiled operand.
+
+    Alternates carry propagation and BAT folding until the bottom block is
+    empty and every entry fits one chunk, then returns the top ``K x K``
+    block.  The result matches :func:`repro.core.bat.direct_scalar_bat` up to
+    carry placement; both are valid compiled forms and both are tested to
+    reproduce the exact modular product.
+    """
+    k = chunk_count(modulus, chunk_bits)
+    chunks = chunk_decompose(int(value) % modulus, k, chunk_bits)
+    matrix = construct_toeplitz(chunks, chunk_bits)
+    limit = np.uint64((1 << chunk_bits) - 1)
+    for _ in range(max_iterations):
+        top_ok = bool(np.all(matrix[:k] <= limit))
+        bottom_zero = bool(np.all(matrix[k:] == 0))
+        if top_ok and bottom_zero:
+            return matrix[:k, :].copy()
+        matrix = carry_propagation(matrix, chunk_bits)
+        if not np.all(matrix[k:] == 0):
+            matrix = bat_fold(matrix, modulus, chunk_bits)
+    raise RuntimeError("BAT offline compilation did not converge")  # pragma: no cover
+
+
+@dataclass(frozen=True)
+class CompiledScalar:
+    """A pre-known scalar compiled by BAT for repeated runtime multiplication."""
+
+    modulus: int
+    num_chunks: int
+    chunk_bits: int
+    matrix: np.ndarray
+
+    @classmethod
+    def compile(
+        cls, value: int, modulus: int, chunk_bits: int = DEFAULT_CHUNK_BITS
+    ) -> "CompiledScalar":
+        matrix = offline_compile_scalar(value, modulus, chunk_bits)
+        return cls(
+            modulus=modulus,
+            num_chunks=matrix.shape[0],
+            chunk_bits=chunk_bits,
+            matrix=matrix,
+        )
+
+    def multiply(self, operand: int) -> int:
+        """``MAIN-HPSCALARMULT`` (Alg. 5): dense MatVec, carry-add, Barrett."""
+        operand_chunks = chunk_decompose(
+            int(operand) % self.modulus, self.num_chunks, self.chunk_bits
+        )
+        partial = self.matrix.astype(np.int64) @ operand_chunks.astype(np.int64)
+        merged = 0
+        for k in range(self.num_chunks):
+            merged += int(partial[k]) << (k * self.chunk_bits)
+        return barrett_reduce(merged, BarrettContext.create(self.modulus))
+
+
+def hp_scalar_mult_bat(a: int, b: int, modulus: int) -> int:
+    """BAT high-precision scalar multiplication: compile ``a``, multiply by ``b``."""
+    return CompiledScalar.compile(a, modulus).multiply(b)

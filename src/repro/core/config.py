@@ -1,0 +1,93 @@
+"""CROSS configuration: the paper's security parameter sets and defaults.
+
+Table IV of the paper defines four CKKS parameter sets (A-D) that every
+experiment references, plus the default evaluation configuration
+(``Set D`` on TPUv6e: ``N = 2**16``, ``log2 q = 28``, ``L = 51``,
+``dnum = 3``).  ``SecurityParams`` captures those numbers; ``scaled`` produces
+functionally equivalent shrunken rings so the exact-arithmetic test-suite can
+run the same code paths at laptop scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class SecurityParams:
+    """A CKKS-RNS parameter set (paper Table I / Table IV notation).
+
+    Attributes
+    ----------
+    name:
+        Set label ("A" .. "D" or a custom name).
+    degree:
+        Polynomial degree ``N`` (power of two).
+    log_q:
+        Bit width of each RNS prime (``log2 q_i``).
+    limbs:
+        Number of RNS limbs ``L`` (so ``log2 Q ~= limbs * log_q``).
+    dnum:
+        Number of digits in hybrid key switching.
+    aux_limbs:
+        Number of auxiliary moduli ``alpha = ceil(L / dnum)`` used for the
+        key-switching extension basis (``L' = L + aux_limbs``).
+    """
+
+    name: str
+    degree: int
+    log_q: int
+    limbs: int
+    dnum: int = 3
+
+    @property
+    def log_big_q(self) -> int:
+        """Total ciphertext modulus width ``log2 Q`` (paper Table IV column)."""
+        return self.log_q * self.limbs
+
+    @property
+    def aux_limbs(self) -> int:
+        """Auxiliary basis size ``alpha = ceil(L / dnum)`` for hybrid keyswitch."""
+        return -(-self.limbs // self.dnum)
+
+    @property
+    def extended_limbs(self) -> int:
+        """Total limbs after basis extension (``L' = L + alpha``)."""
+        return self.limbs + self.aux_limbs
+
+    @property
+    def coefficients_per_ciphertext(self) -> int:
+        """Residue words in one ciphertext (2 polynomials x L limbs x N)."""
+        return 2 * self.limbs * self.degree
+
+    def scaled(self, degree: int, limbs: int | None = None) -> "SecurityParams":
+        """A functionally equivalent shrunken set for exact-arithmetic tests."""
+        return replace(
+            self,
+            name=f"{self.name}-scaled",
+            degree=degree,
+            limbs=limbs if limbs is not None else min(self.limbs, 4),
+        )
+
+
+#: Paper Table IV, Sets A-D.  Set D is the default CROSS evaluation config.
+PARAMETER_SETS: dict[str, SecurityParams] = {
+    "A": SecurityParams(name="A", degree=2**12, log_q=28, limbs=4, dnum=3),
+    "B": SecurityParams(name="B", degree=2**13, log_q=28, limbs=8, dnum=3),
+    "C": SecurityParams(name="C", degree=2**14, log_q=28, limbs=15, dnum=3),
+    "D": SecurityParams(name="D", degree=2**16, log_q=28, limbs=51, dnum=3),
+}
+
+#: The configuration used by default throughout the paper's evaluation.
+DEFAULT_SET = PARAMETER_SETS["D"]
+
+#: Matrix-engine operand precision on the TPU (int8).
+MXU_PRECISION_BITS = 8
+
+#: Vector-engine register precision on the TPU (int32).
+VPU_PRECISION_BITS = 32
+
+
+def chunks_per_word(log_q: int, precision_bits: int = MXU_PRECISION_BITS) -> int:
+    """``K`` -- the number of matrix-engine chunks per residue word."""
+    return -(-log_q // precision_bits)

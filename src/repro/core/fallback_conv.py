@@ -1,0 +1,63 @@
+"""Fallback 1-D-convolution multiplication for *unknown* operands (Appendix H).
+
+BAT requires one operand to be known at compile time.  When both operands are
+runtime data (e.g. multiplying two freshly produced ciphertext polynomials in
+the coefficient domain), CROSS falls back to scheduling the chunk-wise
+products as a short 1-D convolution: each 32-bit operand is viewed as a
+vector of ``K`` bytes, the two byte vectors are convolved (``2K - 1`` partial
+sums of at most ``2*bp + log2(K)`` bits each), and the partial sums are
+shift-accumulated into a 64-bit value that a Barrett reduction finalises.
+
+This is functionally identical to the sparse Toeplitz matrix-vector product of
+the GPU flow (paper Fig. 16 notes the equivalence) and is exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.chunks import DEFAULT_CHUNK_BITS, chunk_count, chunk_decompose
+from repro.numtheory.barrett import BarrettContext, barrett_reduce_vector
+
+
+def chunkwise_convolution(
+    a_chunks: np.ndarray, b_chunks: np.ndarray
+) -> np.ndarray:
+    """Full 1-D convolution of two chunk vectors along their last axis.
+
+    Returns the ``2K - 1`` partial sums (paper Fig. 16, step 2); each partial
+    sum is at most ``K * (2**bp - 1)**2`` which comfortably fits 18 bits for
+    ``K = 4`` byte chunks.
+    """
+    a_chunks = np.asarray(a_chunks, dtype=np.uint64)
+    b_chunks = np.asarray(b_chunks, dtype=np.uint64)
+    k = a_chunks.shape[-1]
+    if b_chunks.shape[-1] != k:
+        raise ValueError("operands must have the same number of chunks")
+    partial = np.zeros(a_chunks.shape[:-1] + (2 * k - 1,), dtype=np.uint64)
+    for i in range(k):
+        for j in range(k):
+            partial[..., i + j] += a_chunks[..., i] * b_chunks[..., j]
+    return partial
+
+
+def convolution_modmul(
+    a: np.ndarray, b: np.ndarray, modulus: int, chunk_bits: int = DEFAULT_CHUNK_BITS
+) -> np.ndarray:
+    """Exact element-wise ``(a * b) mod q`` through the chunk-convolution path.
+
+    Both operands are runtime data below ``q``; the result matches the plain
+    modular product bit-for-bit (verified by tests) while only ever using
+    byte-wide multiplies, shift-adds and one Barrett reduction -- the exact
+    instruction mix the fallback kernel issues on the device.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    k = chunk_count(modulus, chunk_bits)
+    a_chunks = chunk_decompose(a % np.uint64(modulus), k, chunk_bits)
+    b_chunks = chunk_decompose(b % np.uint64(modulus), k, chunk_bits)
+    partial = chunkwise_convolution(a_chunks, b_chunks)
+    merged = np.zeros(a.shape, dtype=np.uint64)
+    for index in range(partial.shape[-1]):
+        merged = merged + (partial[..., index] << np.uint64(index * chunk_bits))
+    return barrett_reduce_vector(merged, BarrettContext.create(modulus))

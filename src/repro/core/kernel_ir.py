@@ -1,0 +1,238 @@
+"""Kernel intermediate representation: the device operations CROSS emits.
+
+The CROSS compiler lowers every HE kernel into a short sequence of
+device-level operations -- dense matrix multiplications for the MXU,
+element-wise 32-bit vector work for the VPU, explicit data reordering for the
+cross-lane unit, type conversions and data movement.  The simulated TPU
+(:mod:`repro.tpu.device`) costs each operation with a roofline model; the
+latency-breakdown analysis (paper Fig. 12) groups operations by their
+``category`` tag.
+
+The op taxonomy deliberately matches the categories the paper's trace-viewer
+breakdown uses: ``NTT-MatMul``, ``INTT-MatMul``, ``BConv-MatMul``,
+``VecModOps``, ``Permutation``, ``Copy+Reshape``, ``Type Conversion`` and
+``Other``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class Engine(str, Enum):
+    """Which execution unit an operation occupies."""
+
+    MXU = "mxu"
+    VPU = "vpu"
+    XLU = "xlu"
+    MEMORY = "memory"
+
+
+class Category(str, Enum):
+    """Breakdown buckets used by the paper's Fig. 12 / Table IX profiling."""
+
+    NTT_MATMUL = "NTT-MatMul"
+    INTT_MATMUL = "INTT-MatMul"
+    BCONV_MATMUL = "BConv-MatMul"
+    VEC_MOD_OPS = "VecModOps"
+    PERMUTATION = "Permutation"
+    COPY_RESHAPE = "Copy+Reshape"
+    TYPE_CONVERSION = "Type Conversion"
+    AUTOMORPHISM = "Automorphism"
+    OTHER = "Other"
+
+
+@dataclass(frozen=True)
+class KernelOp:
+    """Base class for every device-level operation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable identifier (shows up in traces).
+    category:
+        Breakdown bucket.
+    """
+
+    name: str
+    category: Category = Category.OTHER
+
+
+@dataclass(frozen=True)
+class MatMulOp(KernelOp):
+    """A dense matrix multiplication on the matrix engine.
+
+    ``(m, k, n)`` are the GEMM dimensions *after* any BAT expansion; operand
+    precision is ``operand_bits`` (8 for BAT output, 32 when the baseline is
+    forced onto the VPU) and accumulation happens in ``accumulator_bits``.
+    ``batch`` repeats the same GEMM (e.g. per limb).
+    """
+
+    m: int = 0
+    k: int = 0
+    n: int = 0
+    operand_bits: int = 8
+    accumulator_bits: int = 32
+    batch: int = 1
+
+    @property
+    def mac_count(self) -> int:
+        """Total multiply-accumulates."""
+        return self.m * self.k * self.n * self.batch
+
+    @property
+    def input_bytes(self) -> int:
+        """Bytes of the two operands (per batch the LHS may be shared, but we
+        charge it once per batch to stay conservative)."""
+        element = self.operand_bits // 8 or 1
+        return (self.m * self.k + self.k * self.n) * element * self.batch
+
+    @property
+    def output_bytes(self) -> int:
+        """Bytes of the accumulated output."""
+        return self.m * self.n * (self.accumulator_bits // 8) * self.batch
+
+
+@dataclass(frozen=True)
+class VectorOp(KernelOp):
+    """Element-wise work on the 32-bit vector unit.
+
+    ``ops_per_element`` captures the instruction count of the inner routine
+    (e.g. an optimized Montgomery multiply-reduce is ~10 VPU instructions, a
+    plain modular add is ~2).
+    """
+
+    elements: int = 0
+    ops_per_element: float = 1.0
+    operand_bits: int = 32
+    streams: int = 2
+
+    @property
+    def op_count(self) -> float:
+        """Total 32-bit ALU operations."""
+        return self.elements * self.ops_per_element
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes streamed through the VPU (inputs + output)."""
+        return self.elements * (self.operand_bits // 8) * (self.streams + 1)
+
+
+@dataclass(frozen=True)
+class PermuteOp(KernelOp):
+    """Explicit data reordering through the cross-lane unit.
+
+    ``pattern`` distinguishes the cheap structured cases (``transpose``,
+    ``broadcast``) from the expensive irregular ones (``gather``) whose tile
+    utilisation collapses on a coarse-grained register file.
+    """
+
+    elements: int = 0
+    operand_bits: int = 32
+    pattern: str = "transpose"
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes moved (read + write)."""
+        return 2 * self.elements * (self.operand_bits // 8)
+
+    @property
+    def efficiency(self) -> float:
+        """Fraction of XLU peak bandwidth the pattern sustains."""
+        return {"transpose": 0.5, "shuffle": 0.25, "gather": 0.08, "broadcast": 1.0}.get(
+            self.pattern, 0.25
+        )
+
+
+@dataclass(frozen=True)
+class TypeConvertOp(KernelOp):
+    """Precision change (e.g. unpacking 32-bit residues into int8 chunks)."""
+
+    elements: int = 0
+    from_bits: int = 32
+    to_bits: int = 8
+
+    @property
+    def data_bytes(self) -> int:
+        """Bytes read plus bytes written."""
+        return self.elements * ((self.from_bits + self.to_bits) // 8)
+
+
+@dataclass(frozen=True)
+class MemoryOp(KernelOp):
+    """Explicit HBM traffic (parameter loads, ciphertext spills)."""
+
+    bytes_moved: int = 0
+    direction: str = "read"
+
+
+@dataclass
+class KernelGraph:
+    """An ordered list of device operations implementing one HE kernel.
+
+    Attributes
+    ----------
+    name:
+        Kernel name (e.g. ``"ntt"``, ``"he_mult"``).
+    ops:
+        Device operations in issue order.
+    metadata:
+        Free-form annotations (parameter set, algorithm choices, ...).
+    """
+
+    name: str
+    ops: list[KernelOp] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def add(self, op: KernelOp) -> "KernelGraph":
+        """Append an operation (returns self for chaining)."""
+        self.ops.append(op)
+        return self
+
+    def extend(self, ops: list[KernelOp]) -> "KernelGraph":
+        """Append several operations."""
+        self.ops.extend(ops)
+        return self
+
+    def merge(self, other: "KernelGraph", prefix: str | None = None) -> "KernelGraph":
+        """Inline another graph's operations (optionally renaming them)."""
+        for op in other.ops:
+            if prefix:
+                op = _rename(op, f"{prefix}/{op.name}")
+            self.ops.append(op)
+        return self
+
+    def repeat(self, times: int) -> "KernelGraph":
+        """Return a new graph with this graph's op list repeated ``times`` times."""
+        graph = KernelGraph(name=f"{self.name}x{times}", metadata=dict(self.metadata))
+        for _ in range(times):
+            graph.ops.extend(self.ops)
+        return graph
+
+    # ------------------------------------------------------------- summaries
+    @property
+    def total_macs(self) -> int:
+        """Total matrix-engine MACs."""
+        return sum(op.mac_count for op in self.ops if isinstance(op, MatMulOp))
+
+    @property
+    def total_vector_ops(self) -> float:
+        """Total vector-engine ALU operations."""
+        return sum(op.op_count for op in self.ops if isinstance(op, VectorOp))
+
+    @property
+    def total_permute_bytes(self) -> int:
+        """Bytes moved by explicit permutation operations."""
+        return sum(op.data_bytes for op in self.ops if isinstance(op, PermuteOp))
+
+    def count(self, op_type: type) -> int:
+        """Number of operations of a given type."""
+        return sum(1 for op in self.ops if isinstance(op, op_type))
+
+
+def _rename(op: KernelOp, new_name: str) -> KernelOp:
+    """Return a copy of ``op`` with a different name (ops are frozen)."""
+    from dataclasses import replace
+
+    return replace(op, name=new_name)

@@ -1,0 +1,132 @@
+"""BAT lazy modular reduction (paper Appendix J) and lazy-reduction policy.
+
+After a 32-bit modular multiplication is lowered to byte arithmetic, the
+partial sum occupies up to 64 bits.  CROSS defers the *exact* reduction and
+only compresses the overflow above the 32-bit boundary, using the same BAT
+idea: the precomputed constants ``LC_j = 2**(8*(j+K)) mod q`` absorb the high
+bytes, so one small matrix product (or, equivalently, a handful of VPU
+multiply-adds) brings the value back into a 32-bit register, possibly still
+larger than ``q``.  The exact residue is recovered later with one Barrett
+reduction (paper Appendix G).
+
+The paper's Fig. 13 ablation maps the matrix form onto the MXU ("BAT lazy")
+and finds it unprofitable on the TPU because the reduction dimension is only
+``K = 4``; the functional behaviour is identical either way and both are
+implemented and tested here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.chunks import DEFAULT_CHUNK_BITS, chunk_count, chunk_decompose
+from repro.numtheory.barrett import BarrettContext, barrett_reduce_vector
+
+
+@dataclass(frozen=True)
+class LazyReductionPlan:
+    """Precomputed constants for BAT lazy reduction modulo ``q``.
+
+    Attributes
+    ----------
+    modulus:
+        The modulus ``q`` (< 2**32).
+    num_chunks:
+        ``K`` -- the number of bytes in a reduced word (4 for 32-bit words).
+    chunk_bits:
+        Chunk width ``bp``.
+    low_constants:
+        ``LC[j] = 2**((j + K) * bp) mod q`` for the high bytes ``j``.
+    low_constant_chunks:
+        The ``K x K`` byte matrix ``LC[j, k] = chunk_k(LC[j])`` used by the
+        MXU-mapped variant (Appendix J's final matrix form).
+    """
+
+    modulus: int
+    num_chunks: int
+    chunk_bits: int
+    low_constants: np.ndarray
+    low_constant_chunks: np.ndarray
+
+    @classmethod
+    def create(
+        cls, modulus: int, chunk_bits: int = DEFAULT_CHUNK_BITS
+    ) -> "LazyReductionPlan":
+        if not 1 < modulus < (1 << 32):
+            raise ValueError("lazy reduction requires 1 < q < 2**32")
+        k = max(chunk_count(modulus, chunk_bits), 4)
+        constants = np.array(
+            [pow(2, (j + k) * chunk_bits, modulus) for j in range(k)], dtype=np.uint64
+        )
+        constant_chunks = np.stack(
+            [chunk_decompose(int(c), k, chunk_bits) for c in constants], axis=0
+        )
+        return cls(
+            modulus=modulus,
+            num_chunks=k,
+            chunk_bits=chunk_bits,
+            low_constants=constants,
+            low_constant_chunks=constant_chunks,
+        )
+
+    @property
+    def output_bound(self) -> int:
+        """Upper bound on a single-pass output: ``2**32 + K*(2**bp-1)*(q-1)``."""
+        chunk_max = (1 << self.chunk_bits) - 1
+        return (1 << (self.num_chunks * self.chunk_bits)) + (
+            self.num_chunks * chunk_max * (self.modulus - 1)
+        )
+
+
+def lazy_reduce(
+    values: np.ndarray, plan: LazyReductionPlan, *, passes: int = 1, use_matrix: bool = True
+) -> np.ndarray:
+    """Compress 64-bit partial sums to (roughly) word-sized congruent values.
+
+    Each pass splits the input at the ``K * bp``-bit boundary, multiplies the
+    high bytes by the precompiled ``LC`` constants (as a small matrix product
+    when ``use_matrix`` is True -- the MXU-mapped form -- or directly against
+    ``2**(8j) mod q`` otherwise) and adds back the untouched low word.  The
+    result is congruent to the input modulo ``q`` and bounded by
+    ``plan.output_bound`` after one pass; extra passes shrink the overflow
+    further but can never dip below the untouched 32-bit low word, which is
+    why the *exact* residue still requires one final Barrett reduction.
+    """
+    values = np.asarray(values, dtype=np.uint64)
+    k = plan.num_chunks
+    bits = plan.chunk_bits
+    word_bits = k * bits
+    q = plan.modulus
+    low_mask = np.uint64((1 << word_bits) - 1)
+
+    current = values
+    for _ in range(passes):
+        low = current & low_mask
+        high = current >> np.uint64(word_bits)
+        high_chunks = chunk_decompose(high, k, bits)  # (..., K)
+        if use_matrix:
+            chunk_sums = high_chunks.astype(np.int64) @ plan.low_constant_chunks.astype(
+                np.int64
+            )  # (..., K) output-basis partial sums
+            folded = np.zeros(current.shape, dtype=np.uint64)
+            for i in range(k):
+                folded = folded + (
+                    chunk_sums[..., i].astype(np.uint64) << np.uint64(i * bits)
+                )
+        else:
+            folded = np.zeros(current.shape, dtype=np.uint64)
+            for j in range(k):
+                folded = folded + high_chunks[..., j] * plan.low_constants[j]
+        current = folded + low
+    # The compression is only useful if the result is congruent and bounded.
+    if int(current.max(initial=0)) >= (1 << 63):  # pragma: no cover - invariant guard
+        raise RuntimeError("lazy reduction overflowed its 64-bit carrier")
+    return current
+
+
+def lazy_reduce_exact(values: np.ndarray, plan: LazyReductionPlan) -> np.ndarray:
+    """Lazy reduction followed by the final Barrett reduction (exact residues)."""
+    compressed = lazy_reduce(values, plan, passes=1)
+    return barrett_reduce_vector(compressed, BarrettContext.create(plan.modulus))

@@ -1,0 +1,241 @@
+"""Layout-invariant 3-step negacyclic NTT (MAT + BAT), paper Fig. 10.
+
+The GPU-style 4-step NTT needs an explicit runtime transpose and a bit-reverse
+shuffle.  CROSS removes both with MAT: the transform is expressed as
+
+    step 1:  B   = W1 @ A          (R x R modular matmul, pre-known W1)
+    step 2:  B'  = B  .* TF        (element-wise twiddle multiply)
+    step 3:  OUT = B' @ W3         (C x C modular matmul, pre-known W3)
+
+where ``A`` is simply the coefficient vector viewed as an ``R x C`` tile in
+row-major order (no data movement), and where the negacyclic twist, the
+transpose and the optional bit-reverse are all *folded into the offline
+parameter matrices* ``W1``, ``TF`` and ``W3``.  The output stays in the same
+``R x C`` tile -- "layout invariant" -- holding the NTT values in a fixed,
+documented permutation of natural evaluation order (`evaluation_permutation`).
+
+With ``use_bat=True`` the two matrix multiplications run through the BAT
+int8 path (:mod:`repro.core.bat`), which is what the MXU executes on a real
+TPU; the element-wise stage stays on the VPU.  Every configuration is exact
+and is tested against :func:`repro.poly.ntt_reference.ntt_forward_negacyclic`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+import numpy as np
+
+from repro.core.bat import (
+    BatMatmulPlan,
+    bat_modmatmul_left_known,
+    bat_modmatmul_right_known,
+    compile_left_operand,
+    compile_right_operand,
+)
+from repro.core.mat import embed_permutation_into_cols, embed_permutation_into_rows
+from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
+from repro.numtheory.modular import mod_inv
+from repro.poly.modmat import modmatmul
+from repro.poly.ntt_fourstep import _modular_matrix_inverse
+
+OutputOrder = Literal["cross", "bitrev"]
+
+
+def default_tile_shape(degree: int, lane_count: int = 128) -> tuple[int, int]:
+    """The (R, C) factorisation CROSS picks for a standalone NTT.
+
+    The paper fixes ``R = 128`` (the TPU lane count) so that even small
+    transforms fill a whole vector register, and lets ``C = N / R``; for
+    degrees too small to support that, the squarest power-of-two split is
+    used instead.
+    """
+    if not is_power_of_two(degree):
+        raise ValueError("NTT degree must be a power of two")
+    if degree >= lane_count * 2 and degree % lane_count == 0:
+        return lane_count, degree // lane_count
+    rows = 1 << ((degree.bit_length() - 1) // 2)
+    return rows, degree // rows
+
+
+@dataclass
+class ThreeStepNttPlan:
+    """Offline-compiled parameters for the layout-invariant 3-step NTT.
+
+    Parameters
+    ----------
+    degree, modulus, psi:
+        Ring degree ``N``, NTT prime ``q`` and primitive ``2N``-th root.
+    rows, cols:
+        The ``(R, C)`` tile factorisation (``R * C = N``).
+    use_bat:
+        Route the two matmuls through the BAT int8 path (the MXU mapping).
+    reduction:
+        Word-level reduction used by the BAT path (``"barrett"``,
+        ``"montgomery"`` or ``"exact"``); ignored when ``use_bat`` is False.
+    output_order:
+        ``"cross"`` keeps the natural MAT layout; ``"bitrev"`` additionally
+        embeds row/column bit-reversal (the formulation in the paper's
+        closed-form expression).  Both are layout invariant.
+    """
+
+    degree: int
+    modulus: int
+    psi: int
+    rows: int
+    cols: int
+    use_bat: bool = False
+    reduction: str = "barrett"
+    output_order: OutputOrder = "cross"
+
+    step1_matrix: np.ndarray = field(init=False, repr=False)
+    step2_twiddle: np.ndarray = field(init=False, repr=False)
+    step3_matrix: np.ndarray = field(init=False, repr=False)
+    inv_step1_matrix: np.ndarray = field(init=False, repr=False)
+    inv_step2_twiddle: np.ndarray = field(init=False, repr=False)
+    inv_step3_matrix: np.ndarray = field(init=False, repr=False)
+    n_inverse: int = field(init=False)
+    _bat_step1: BatMatmulPlan | None = field(init=False, default=None, repr=False)
+    _bat_step3: BatMatmulPlan | None = field(init=False, default=None, repr=False)
+    _bat_inv_step1: BatMatmulPlan | None = field(init=False, default=None, repr=False)
+    _bat_inv_step3: BatMatmulPlan | None = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.rows * self.cols != self.degree:
+            raise ValueError("rows * cols must equal the NTT degree")
+        if self.output_order not in ("cross", "bitrev"):
+            raise ValueError(f"unknown output order {self.output_order!r}")
+        q = self.modulus
+        omega = pow(self.psi, 2, q)
+
+        # --- offline parameter construction (the MAT "compile time") --------
+        step1 = np.empty((self.rows, self.rows), dtype=np.uint64)
+        for k1 in range(self.rows):
+            for j1 in range(self.rows):
+                step1[k1, j1] = (
+                    pow(omega, self.cols * k1 * j1, q) * pow(self.psi, self.cols * j1, q)
+                ) % q
+        twiddle = np.empty((self.rows, self.cols), dtype=np.uint64)
+        for k1 in range(self.rows):
+            for j2 in range(self.cols):
+                twiddle[k1, j2] = (pow(omega, k1 * j2, q) * pow(self.psi, j2, q)) % q
+        step3 = np.empty((self.cols, self.cols), dtype=np.uint64)
+        for j2 in range(self.cols):
+            for k2 in range(self.cols):
+                step3[j2, k2] = pow(omega, self.rows * j2 * k2, q)
+
+        if self.output_order == "bitrev":
+            row_perm = bit_reverse_indices(self.rows)
+            col_perm = bit_reverse_indices(self.cols)
+            step1 = embed_permutation_into_rows(step1, row_perm)
+            twiddle = embed_permutation_into_rows(twiddle, row_perm)
+            step3 = embed_permutation_into_cols(step3, col_perm)
+
+        self.step1_matrix = step1
+        self.step2_twiddle = twiddle
+        self.step3_matrix = step3
+
+        # --- inverse-plan parameters (also offline) --------------------------
+        self.inv_step1_matrix = _modular_matrix_inverse(step1, q)
+        self.inv_step3_matrix = _modular_matrix_inverse(step3, q)
+        inv_twiddle = np.empty_like(twiddle)
+        for r in range(self.rows):
+            for c in range(self.cols):
+                inv_twiddle[r, c] = mod_inv(int(twiddle[r, c]), q)
+        self.inv_step2_twiddle = inv_twiddle
+        self.n_inverse = mod_inv(self.degree, q)
+
+        if self.use_bat:
+            self._bat_step1 = compile_left_operand(
+                step1, q, reduction=self.reduction
+            )
+            self._bat_step3 = compile_right_operand(
+                step3, q, reduction=self.reduction
+            )
+            self._bat_inv_step1 = compile_left_operand(
+                self.inv_step1_matrix, q, reduction=self.reduction
+            )
+            self._bat_inv_step3 = compile_right_operand(
+                self.inv_step3_matrix, q, reduction=self.reduction
+            )
+
+    # ----------------------------------------------------------------- layout
+    @property
+    def evaluation_permutation(self) -> np.ndarray:
+        """Indices such that ``forward(a) == reference_ntt(a)[perm]``.
+
+        Position ``p = k1 * C + k2`` of the layout-invariant output holds the
+        reference evaluation with index ``rowmap(k1) + R * colmap(k2)`` where
+        the row/column maps are the identity ("cross" order) or bit-reversal
+        ("bitrev" order).
+        """
+        positions = np.arange(self.degree, dtype=np.int64)
+        k1 = positions // self.cols
+        k2 = positions % self.cols
+        if self.output_order == "bitrev":
+            row_perm = bit_reverse_indices(self.rows)
+            col_perm = bit_reverse_indices(self.cols)
+            k1 = row_perm[k1]
+            k2 = col_perm[k2]
+        return k1 + self.rows * k2
+
+    # ------------------------------------------------------------------ steps
+    def _matmul_step1(self, data: np.ndarray, inverse: bool) -> np.ndarray:
+        matrix = self.inv_step1_matrix if inverse else self.step1_matrix
+        plan = self._bat_inv_step1 if inverse else self._bat_step1
+        if self.use_bat and plan is not None:
+            return bat_modmatmul_left_known(plan, data)
+        return modmatmul(matrix, data, self.modulus)
+
+    def _matmul_step3(self, data: np.ndarray, inverse: bool) -> np.ndarray:
+        matrix = self.inv_step3_matrix if inverse else self.step3_matrix
+        plan = self._bat_inv_step3 if inverse else self._bat_step3
+        if self.use_bat and plan is not None:
+            return bat_modmatmul_right_known(data, plan)
+        return modmatmul(data, matrix, self.modulus)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward NTT: natural coefficient order in, layout-invariant order out."""
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        if coeffs.shape[-1] != self.degree:
+            raise ValueError("input length does not match the plan degree")
+        tile = coeffs.reshape(self.rows, self.cols)
+        step1 = self._matmul_step1(tile, inverse=False)
+        step2 = (step1 * self.step2_twiddle) % np.uint64(self.modulus)
+        step3 = self._matmul_step3(step2, inverse=False)
+        return step3.reshape(-1)
+
+    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse NTT: layout-invariant order in, natural coefficient order out."""
+        evaluations = np.asarray(evaluations, dtype=np.uint64)
+        if evaluations.shape[-1] != self.degree:
+            raise ValueError("input length does not match the plan degree")
+        tile = evaluations.reshape(self.rows, self.cols)
+        step3 = self._matmul_step3(tile, inverse=True)
+        step2 = (step3 * self.inv_step2_twiddle) % np.uint64(self.modulus)
+        step1 = self._matmul_step1(step2, inverse=True)
+        return step1.reshape(-1)
+
+    def forward_batch(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward transform of a (batch, N) block, one row at a time."""
+        coeffs = np.atleast_2d(np.asarray(coeffs, dtype=np.uint64))
+        return np.stack([self.forward(row) for row in coeffs], axis=0)
+
+    def inverse_batch(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse transform of a (batch, N) block."""
+        evaluations = np.atleast_2d(np.asarray(evaluations, dtype=np.uint64))
+        return np.stack([self.inverse(row) for row in evaluations], axis=0)
+
+    # -------------------------------------------------------------- utilities
+    def to_reference_order(self, layout_values: np.ndarray) -> np.ndarray:
+        """Convert layout-invariant output to natural evaluation order (testing aid)."""
+        layout_values = np.asarray(layout_values)
+        natural = np.empty_like(layout_values)
+        natural[self.evaluation_permutation] = layout_values
+        return natural
+
+    def from_reference_order(self, natural_values: np.ndarray) -> np.ndarray:
+        """Convert natural evaluation order into this plan's layout order."""
+        natural_values = np.asarray(natural_values)
+        return natural_values[self.evaluation_permutation]

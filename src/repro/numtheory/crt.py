@@ -1,0 +1,150 @@
+"""Chinese-Remainder-Theorem / Residue-Number-System utilities.
+
+CKKS stores each big-integer polynomial coefficient as its residues modulo a
+chain of word-sized primes (the *limbs* of paper Table I).  This module
+implements the exact big-integer <-> residue conversions and the ``RnsBasis``
+container that the polynomial and CKKS layers build on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import reduce
+
+import numpy as np
+
+from repro.numtheory.modular import mod_inv
+from repro.numtheory.primes import generate_rns_primes
+
+
+def crt_decompose(value: int, moduli: list[int]) -> list[int]:
+    """Return the residues of ``value`` modulo each modulus in ``moduli``."""
+    return [value % q for q in moduli]
+
+
+def crt_compose(residues: list[int], moduli: list[int]) -> int:
+    """Reconstruct the unique value in ``[0, prod(moduli))`` from its residues."""
+    if len(residues) != len(moduli):
+        raise ValueError("residue and modulus lists must have equal length")
+    total_modulus = reduce(lambda a, b: a * b, moduli, 1)
+    value = 0
+    for residue, modulus in zip(residues, moduli):
+        partial = total_modulus // modulus
+        value += residue * partial * mod_inv(partial, modulus)
+    return value % total_modulus
+
+
+def garner_compose(residues: list[int], moduli: list[int]) -> int:
+    """CRT reconstruction via Garner's mixed-radix algorithm.
+
+    Numerically identical to ``crt_compose`` but works incrementally, which is
+    how basis-extension algorithms reason about the reconstruction; kept as an
+    independently tested second implementation.
+    """
+    if len(residues) != len(moduli):
+        raise ValueError("residue and modulus lists must have equal length")
+    value = 0
+    partial_product = 1
+    for residue, modulus in zip(residues, moduli):
+        correction = ((residue - value) * mod_inv(partial_product, modulus)) % modulus
+        value += correction * partial_product
+        partial_product *= modulus
+    return value
+
+
+@dataclass(frozen=True)
+class RnsBasis:
+    """An ordered set of pairwise-coprime NTT-friendly primes (paper's ``B``).
+
+    Attributes
+    ----------
+    moduli:
+        The primes ``q_0 ... q_{L-1}``.
+    degree:
+        Polynomial degree ``N`` the basis was generated for (each prime is
+        congruent to 1 modulo ``2N``).
+    """
+
+    moduli: tuple[int, ...]
+    degree: int
+    _hat_inverses: tuple[int, ...] = field(default=(), repr=False)
+
+    def __post_init__(self) -> None:
+        if len(set(self.moduli)) != len(self.moduli):
+            raise ValueError("RNS moduli must be distinct")
+        if not self.moduli:
+            raise ValueError("RNS basis needs at least one modulus")
+        object.__setattr__(self, "_hat_inverses", tuple(self._compute_hat_inverses()))
+
+    @classmethod
+    def generate(cls, count: int, bits: int, degree: int) -> "RnsBasis":
+        """Generate a fresh basis of ``count`` primes of ``bits`` bits each."""
+        return cls(moduli=tuple(generate_rns_primes(count, bits, degree)), degree=degree)
+
+    # ------------------------------------------------------------------ views
+    @property
+    def size(self) -> int:
+        """Number of limbs ``L``."""
+        return len(self.moduli)
+
+    @property
+    def modulus_product(self) -> int:
+        """The composite modulus ``Q = prod(q_i)``."""
+        return reduce(lambda a, b: a * b, self.moduli, 1)
+
+    @property
+    def moduli_array(self) -> np.ndarray:
+        """Moduli as a uint64 NumPy array (one per limb)."""
+        return np.array(self.moduli, dtype=np.uint64)
+
+    def _compute_hat_inverses(self) -> list[int]:
+        """Per-limb ``(Q / q_i)^{-1} mod q_i`` -- the BConv step-1 constants."""
+        big_q = reduce(lambda a, b: a * b, self.moduli, 1)
+        return [mod_inv((big_q // q) % q, q) for q in self.moduli]
+
+    # ------------------------------------------------------------- operations
+    def hat_inverse(self, index: int) -> int:
+        """Return ``(Q / q_index)^{-1} mod q_index`` (paper's ``\\hat q_i^{-1}``)."""
+        return self._hat_inverses[index]
+
+    def hat_modulo(self, index: int, target_modulus: int) -> int:
+        """Return ``(Q / q_index) mod target_modulus`` (paper's ``[q_i^*]_{p_j}``)."""
+        return (self.modulus_product // self.moduli[index]) % target_modulus
+
+    def decompose(self, value: int) -> list[int]:
+        """Residues of an integer against every limb modulus."""
+        return crt_decompose(value, list(self.moduli))
+
+    def compose(self, residues: list[int]) -> int:
+        """Reconstruct an integer in ``[0, Q)`` from per-limb residues."""
+        return crt_compose(residues, list(self.moduli))
+
+    def decompose_array(self, values: np.ndarray | list[int]) -> np.ndarray:
+        """Vector CRT decomposition: shape (L, len(values)) uint64 residues."""
+        rows = [
+            np.array([int(v) % q for v in values], dtype=np.uint64)
+            for q in self.moduli
+        ]
+        return np.stack(rows, axis=0)
+
+    def compose_array(self, residues: np.ndarray) -> list[int]:
+        """Reconstruct a list of integers from a (L, n) residue matrix."""
+        residues = np.asarray(residues)
+        if residues.shape[0] != self.size:
+            raise ValueError("residue matrix must have one row per limb")
+        return [
+            self.compose([int(residues[i, j]) for i in range(self.size)])
+            for j in range(residues.shape[1])
+        ]
+
+    def drop_last(self, count: int = 1) -> "RnsBasis":
+        """Return the basis with the last ``count`` moduli removed (rescaling)."""
+        if count >= self.size:
+            raise ValueError("cannot drop all moduli from an RNS basis")
+        return RnsBasis(moduli=self.moduli[: self.size - count], degree=self.degree)
+
+    def extend(self, extra: "RnsBasis") -> "RnsBasis":
+        """Concatenate another basis (e.g. the auxiliary basis in key switching)."""
+        if extra.degree != self.degree:
+            raise ValueError("cannot mix bases generated for different degrees")
+        return RnsBasis(moduli=self.moduli + extra.moduli, degree=self.degree)

@@ -1,0 +1,74 @@
+"""Shoup modular multiplication with a precomputed quotient constant.
+
+Shoup's trick targets multiplication by a *fixed* operand ``w`` (twiddle
+factors, key material): precompute ``w' = floor(w * 2**64 / q)`` once, then a
+runtime multiply needs only two word multiplications and one conditional
+subtraction.  The paper evaluates Shoup against Barrett and Montgomery in the
+Fig. 13 ablation and notes that its reliance on wide (64-bit) multiplication
+makes it slower than Montgomery on the TPU's 32-bit VPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numtheory.wordops import mul_hi_u64, mul_lo_u64
+
+
+@dataclass(frozen=True)
+class ShoupContext:
+    """Precomputed Shoup constant for a fixed multiplier ``w`` modulo ``q``.
+
+    Attributes
+    ----------
+    modulus:
+        The modulus ``q`` (must satisfy ``q < 2**32`` in this library).
+    multiplier:
+        The fixed operand ``w`` (already reduced modulo ``q``).
+    quotient:
+        ``floor(w * 2**64 / q)`` -- the precomputed approximate quotient.
+    """
+
+    modulus: int
+    multiplier: int
+    quotient: int
+
+    @classmethod
+    def create(cls, multiplier: int, modulus: int) -> "ShoupContext":
+        if not 1 < modulus < (1 << 32):
+            raise ValueError("Shoup context requires 1 < q < 2**32")
+        multiplier %= modulus
+        quotient = (multiplier << 64) // modulus
+        return cls(modulus=modulus, multiplier=multiplier, quotient=quotient)
+
+
+def mulmod_shoup(x: int, context: ShoupContext) -> int:
+    """Exact ``(x * w) mod q`` for ``x`` in ``[0, q)`` using Shoup's method."""
+    if not 0 <= x < context.modulus:
+        raise ValueError("Shoup multiplication expects a reduced operand")
+    approx_quotient = (x * context.quotient) >> 64
+    remainder = x * context.multiplier - approx_quotient * context.modulus
+    if remainder >= context.modulus:
+        remainder -= context.modulus
+    return remainder
+
+
+def mulmod_shoup_vector(x: np.ndarray, context: ShoupContext) -> np.ndarray:
+    """Vectorized Shoup multiplication of reduced uint64 operands by ``w``.
+
+    All arithmetic stays inside 64-bit words: the approximate quotient is the
+    high half of a 64x64-bit product and the remainder is computed modulo
+    ``2**64`` (the true remainder is below ``2q < 2**33`` so the wrap-around
+    arithmetic is exact).
+    """
+    x = np.asarray(x, dtype=np.uint64)
+    quotient_const = np.uint64(context.quotient)
+    multiplier = np.uint64(context.multiplier)
+    modulus = np.uint64(context.modulus)
+
+    approx_quotient = mul_hi_u64(x, quotient_const)
+    with np.errstate(over="ignore"):
+        remainder = mul_lo_u64(x, multiplier) - mul_lo_u64(approx_quotient, modulus)
+    return np.where(remainder >= modulus, remainder - modulus, remainder)

@@ -1,0 +1,95 @@
+"""Batch-size throughput model (paper Fig. 11b and section V-F1).
+
+Batching NTTs amortises the off-chip loads of shared parameters (twiddle
+factors, CRT constants, evaluation keys) across ciphertexts, shifting the
+kernel from memory-bound towards compute-bound -- until the batched working
+set no longer fits in VMEM and every batch element pays HBM traffic again.
+``batch_throughput_curve`` reproduces that rise-then-flatten/decline shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.compiler import CrossCompiler
+from repro.tpu.device import TensorCoreDevice
+from repro.tpu.specs import TensorCoreSpec
+
+
+@dataclass(frozen=True)
+class BatchPoint:
+    """Throughput at one batch size."""
+
+    batch: int
+    latency_s: float
+    throughput_per_s: float
+    normalized: float
+    vmem_resident: bool
+
+
+def ntt_working_set_bytes(degree: int, batch: int, chunk_count: int = 4) -> float:
+    """Bytes live in VMEM while a batch of NTTs executes.
+
+    Input + output tiles (int32) plus the int8 chunk expansion per batch
+    element, plus the shared twiddle matrices (independent of batch).
+    """
+    per_element = degree * 4 * 2 + degree * chunk_count
+    rows = 128 if degree >= 256 else int(degree**0.5)
+    cols = degree // rows
+    shared = (rows * rows + cols * cols) * chunk_count * chunk_count
+    return per_element * batch + shared
+
+
+def parameter_bytes(degree: int, chunk_count: int = 4) -> float:
+    """Bytes of shared pre-known parameters loaded from HBM once per batch."""
+    rows = 128 if degree >= 256 else int(degree**0.5)
+    cols = degree // rows
+    return (rows * rows + cols * cols) * chunk_count * chunk_count
+
+
+def batch_throughput_curve(
+    compiler: CrossCompiler,
+    device: TensorCoreDevice,
+    batches: list[int],
+    degree: int | None = None,
+) -> list[BatchPoint]:
+    """Throughput (NTTs/s) versus batch size for one tensor core.
+
+    Each point prices the batched NTT kernel graph, adds the HBM time of the
+    shared parameters (paid once per batch) and, when the batched working set
+    spills out of VMEM, re-prices the per-batch data at HBM bandwidth --
+    the contention effect that caps the useful batch size in the paper.
+    """
+    degree = degree or compiler.degree
+    spec: TensorCoreSpec = device.spec
+    points: list[BatchPoint] = []
+    base_throughput: float | None = None
+    for batch in batches:
+        graph = compiler.ntt(limbs=1, batch=batch, degree=degree)
+        latency = device.latency(graph)
+        # Shared parameters stream from HBM once per batched invocation.
+        latency += parameter_bytes(degree, compiler.chunk_count) / spec.hbm_bandwidth
+        working_set = ntt_working_set_bytes(degree, batch, compiler.chunk_count)
+        resident = device.memory.fits_in_vmem(working_set)
+        if not resident:
+            # Spilled batches pay HBM for every element's input and output.
+            spill_bytes = degree * 4 * 2 * batch
+            latency += spill_bytes / spec.hbm_bandwidth * 2.0
+        throughput = batch / latency
+        if base_throughput is None:
+            base_throughput = throughput
+        points.append(
+            BatchPoint(
+                batch=batch,
+                latency_s=latency,
+                throughput_per_s=throughput,
+                normalized=throughput / base_throughput,
+                vmem_resident=resident,
+            )
+        )
+    return points
+
+
+def optimal_batch(points: list[BatchPoint]) -> BatchPoint:
+    """The batch size with the highest throughput."""
+    return max(points, key=lambda point: point.throughput_per_s)

@@ -1,0 +1,47 @@
+"""Polynomial-ring substrate: negacyclic rings, NTT variants, RNS polynomials.
+
+The CKKS scheme computes in ``R_Q = Z_Q[x]/(x^N + 1)``.  This package provides
+
+* ``negacyclic`` -- schoolbook negacyclic arithmetic, the exactness oracle,
+* ``ntt_reference`` -- the radix-2 (Cooley-Tukey) negacyclic NTT/INTT with
+  natural-order semantics, used as the functional reference for every other
+  NTT formulation in the library,
+* ``ntt_fourstep`` -- the GPU-style 4-step NTT with its explicit transpose and
+  output reordering (the decomposing-layer baseline of paper section III-D),
+* ``ring`` -- a ``PolyRing`` bundling modulus, roots of unity and NTT plans,
+* ``rns_poly`` -- limb-parallel RNS polynomials over an ``RnsBasis``,
+* ``basis_conversion`` -- the fast basis conversion (BConv) kernel whose
+  step-2 modular matrix multiplication BAT accelerates (paper Table VI).
+"""
+
+from repro.poly.basis_conversion import BasisConversion
+from repro.poly.negacyclic import (
+    negacyclic_convolve,
+    poly_add,
+    poly_negate,
+    poly_scalar_mul,
+    poly_sub,
+)
+from repro.poly.ntt_fourstep import FourStepNttPlan
+from repro.poly.ntt_reference import (
+    negacyclic_evaluate_direct,
+    ntt_inverse_negacyclic,
+    ntt_forward_negacyclic,
+)
+from repro.poly.ring import PolyRing
+from repro.poly.rns_poly import RnsPolynomial
+
+__all__ = [
+    "BasisConversion",
+    "FourStepNttPlan",
+    "PolyRing",
+    "RnsPolynomial",
+    "negacyclic_convolve",
+    "negacyclic_evaluate_direct",
+    "ntt_forward_negacyclic",
+    "ntt_inverse_negacyclic",
+    "poly_add",
+    "poly_negate",
+    "poly_scalar_mul",
+    "poly_sub",
+]

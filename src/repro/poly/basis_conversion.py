@@ -1,0 +1,115 @@
+"""Fast RNS basis conversion (BConv), paper section F2 and Table VI.
+
+BConv maps the residues of a polynomial from a source basis
+``B1 = {q_0 .. q_{L-1}}`` to a target basis ``B2 = {p_0 .. p_{L'-1}}``:
+
+    Conv(a)_j = ( sum_i [a_i * qhat_i^{-1}]_{q_i} * [Q/q_i]_{p_j} ) mod p_j
+
+The computation splits into the two steps the paper profiles:
+
+* **Step 1** -- ``L`` independent length-``N`` vectorized modular
+  multiplications by the per-limb constants ``qhat_i^{-1}`` (VPU work), and
+* **Step 2** -- an ``(N, L, L')`` modular matrix multiplication against the
+  pre-known constant matrix ``[Q/q_i]_{p_j}`` (the kernel BAT converts into an
+  8-bit MXU matmul, giving the Table VI speedups).
+
+The result of fast basis conversion is *approximate* in the standard sense:
+it equals ``a + e * Q (mod p_j)`` for a small non-negative integer
+``e < L``.  ``convert_exact`` provides the exact (CRT-reconstructing) variant
+used by tests and by rescaling correctness checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numtheory.crt import RnsBasis
+from repro.poly.rns_poly import COEFF_DOMAIN, RnsPolynomial
+
+
+@dataclass
+class BasisConversion:
+    """Precompiled constants for converting from ``source`` to ``target``.
+
+    Attributes
+    ----------
+    source:
+        The source RNS basis (the ``L`` input limbs).
+    target:
+        The target RNS basis (the ``L'`` output limbs).
+    """
+
+    source: RnsBasis
+    target: RnsBasis
+    hat_inverses: np.ndarray = field(init=False, repr=False)
+    conversion_matrix: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.source.degree != self.target.degree:
+            raise ValueError("source and target bases must share the ring degree")
+        self.hat_inverses = np.array(
+            [self.source.hat_inverse(i) for i in range(self.source.size)],
+            dtype=np.uint64,
+        )
+        # conversion_matrix[j, i] = (Q / q_i) mod p_j  (pre-known, compiled offline)
+        matrix = np.empty((self.target.size, self.source.size), dtype=np.uint64)
+        for j, p_j in enumerate(self.target.moduli):
+            for i in range(self.source.size):
+                matrix[j, i] = self.source.hat_modulo(i, p_j)
+        self.conversion_matrix = matrix
+
+    # ----------------------------------------------------------------- step 1
+    def step1(self, residues: np.ndarray) -> np.ndarray:
+        """Per-limb scaling ``b_i = a_i * qhat_i^{-1} mod q_i`` (L x N)."""
+        residues = np.asarray(residues, dtype=np.uint64)
+        moduli = self.source.moduli_array[:, None]
+        return (residues * self.hat_inverses[:, None]) % moduli
+
+    # ----------------------------------------------------------------- step 2
+    def step2(self, scaled: np.ndarray) -> np.ndarray:
+        """Modular matrix multiplication against the conversion matrix.
+
+        ``scaled`` is the (L, N) output of step 1; the result is the (L', N)
+        residue matrix in the target basis.  Accumulation is chunked so the
+        uint64 partial sums never overflow (products are < 2**60 for 28-bit
+        sources and 32-bit targets).
+        """
+        scaled = np.asarray(scaled, dtype=np.uint64)
+        out = np.empty((self.target.size, scaled.shape[1]), dtype=np.uint64)
+        for j, p_j in enumerate(self.target.moduli):
+            row = self.conversion_matrix[j] % np.uint64(p_j)
+            product_bits = (int(p_j) - 1).bit_length() + max(
+                (int(q) - 1).bit_length() for q in self.source.moduli
+            )
+            chunk = max(1, 1 << max(0, 63 - product_bits))
+            accumulator = np.zeros(scaled.shape[1], dtype=np.uint64)
+            for start in range(0, self.source.size, chunk):
+                stop = min(start + chunk, self.source.size)
+                partial = (row[start:stop, None] * scaled[start:stop]).sum(axis=0)
+                accumulator = (accumulator + partial % np.uint64(p_j)) % np.uint64(p_j)
+            out[j] = accumulator
+        return out
+
+    # ------------------------------------------------------------------- API
+    def convert_residues(self, residues: np.ndarray) -> np.ndarray:
+        """Fast (approximate) conversion of an (L, N) residue matrix."""
+        return self.step2(self.step1(residues))
+
+    def convert(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Fast (approximate) conversion of a coefficient-domain polynomial."""
+        if polynomial.domain != COEFF_DOMAIN:
+            raise ValueError("BConv operates on coefficient-domain polynomials")
+        if polynomial.basis.moduli != self.source.moduli:
+            raise ValueError("polynomial basis does not match the conversion source")
+        converted = self.convert_residues(polynomial.residues)
+        return RnsPolynomial(self.target, converted, COEFF_DOMAIN)
+
+    def convert_exact(self, polynomial: RnsPolynomial) -> RnsPolynomial:
+        """Exact conversion through CRT reconstruction (test oracle)."""
+        if polynomial.domain != COEFF_DOMAIN:
+            raise ValueError("BConv operates on coefficient-domain polynomials")
+        integers = polynomial.to_int_coefficients()
+        residues = self.target.decompose_array(integers)
+        return RnsPolynomial(self.target, residues, COEFF_DOMAIN)

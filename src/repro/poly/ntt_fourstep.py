@@ -1,0 +1,165 @@
+"""4-step NTT with explicit runtime transpose (the GPU decomposing baseline).
+
+The 4-step factorisation reshapes a length-``N = R*C`` transform into
+
+1. ``R``-point NTTs down the columns of an ``R x C`` matrix (a matrix product
+   with an ``R x R`` twiddle matrix),
+2. an explicit transpose of the ``R x C`` intermediate,
+3. an element-wise multiplication by per-entry twiddle factors, and
+4. ``C``-point NTTs down the columns of the transposed matrix (a matrix
+   product with a ``C x C`` twiddle matrix),
+
+after which the result, flattened row-major, is the negacyclic NTT in natural
+evaluation order.  Step 2 is the runtime data reordering that CROSS's MAT
+removes (paper Fig. 10, rows 1 vs 2); this module keeps it explicit so the
+baseline's kernel schedule -- and its cost on the simulated TPU -- includes the
+transpose.
+
+The negacyclic twist ``psi^j`` is folded into the offline twiddle matrices for
+both the baseline and the MAT variant, so the two differ only in the runtime
+reordering, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numtheory.modular import mod_inv
+from repro.poly.modmat import modmatmul
+
+
+def _power_matrix(base: int, rows: int, cols: int, modulus: int, *, row_scale=None):
+    """Matrix M[i, j] = base^(i*j) * row_scale[j] mod q as uint64."""
+    matrix = np.empty((rows, cols), dtype=np.uint64)
+    for i in range(rows):
+        entry = 1
+        step = pow(base, i, modulus)
+        for j in range(cols):
+            value = entry
+            if row_scale is not None:
+                value = (value * int(row_scale[j])) % modulus
+            matrix[i, j] = value
+            entry = (entry * step) % modulus
+    return matrix
+
+
+@dataclass
+class FourStepNttPlan:
+    """Offline-compiled parameters for the explicit-transpose 4-step NTT.
+
+    Parameters
+    ----------
+    degree:
+        Transform length ``N`` (power of two).
+    modulus:
+        NTT-friendly prime ``q`` with ``q = 1 (mod 2N)``.
+    psi:
+        Primitive ``2N``-th root of unity modulo ``q``.
+    rows, cols:
+        The ``(R, C)`` factorisation with ``R * C = N``.
+    """
+
+    degree: int
+    modulus: int
+    psi: int
+    rows: int
+    cols: int
+    step1_matrix: np.ndarray = field(init=False, repr=False)
+    step3_twiddle: np.ndarray = field(init=False, repr=False)
+    step4_matrix: np.ndarray = field(init=False, repr=False)
+    inv_step1_matrix: np.ndarray = field(init=False, repr=False)
+    inv_step3_twiddle: np.ndarray = field(init=False, repr=False)
+    inv_step4_matrix: np.ndarray = field(init=False, repr=False)
+    n_inverse: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.rows * self.cols != self.degree:
+            raise ValueError("rows * cols must equal the transform length")
+        q = self.modulus
+        omega = pow(self.psi, 2, q)
+
+        # Step 1: column-wise R-point NTT.  The negacyclic twist contribution
+        # psi^(C*j1) depends only on the column index j1 of the R x R matrix,
+        # so it is folded into that matrix offline.
+        psi_col_scale = [pow(self.psi, self.cols * j1, q) for j1 in range(self.rows)]
+        self.step1_matrix = _power_matrix(
+            pow(omega, self.cols, q), self.rows, self.rows, q, row_scale=psi_col_scale
+        )
+        # Step 3 twiddles (applied after the transpose, so indexed [j2, k1]):
+        # omega^(k1*j2) * psi^(j2).
+        twiddle = np.empty((self.cols, self.rows), dtype=np.uint64)
+        for j2 in range(self.cols):
+            scale = pow(self.psi, j2, q)
+            for k1 in range(self.rows):
+                twiddle[j2, k1] = (pow(omega, k1 * j2, q) * scale) % q
+        self.step3_twiddle = twiddle
+        # Step 4: column-wise C-point NTT of the transposed matrix.
+        self.step4_matrix = _power_matrix(pow(omega, self.rows, q), self.cols, self.cols, q)
+
+        # Inverse-plan matrices (exact modular inverses of the forward ones).
+        self.inv_step1_matrix = _modular_matrix_inverse(self.step1_matrix, q)
+        self.inv_step4_matrix = _modular_matrix_inverse(self.step4_matrix, q)
+        inv_twiddle = np.empty_like(twiddle)
+        for j2 in range(self.cols):
+            for k1 in range(self.rows):
+                inv_twiddle[j2, k1] = mod_inv(int(twiddle[j2, k1]), q)
+        self.inv_step3_twiddle = inv_twiddle
+        self.n_inverse = mod_inv(self.degree, q)
+
+    # ------------------------------------------------------------------ steps
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT, natural order in and out (length N)."""
+        q = np.uint64(self.modulus)
+        matrix = np.asarray(coeffs, dtype=np.uint64).reshape(self.rows, self.cols)
+        step1 = _modmatmul(self.step1_matrix, matrix, self.modulus)
+        transposed = step1.T.copy()  # the explicit runtime transpose
+        step3 = (transposed * self.step3_twiddle) % q
+        step4 = _modmatmul(self.step4_matrix, step3, self.modulus)
+        return step4.reshape(-1)
+
+    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse transform, undoing :meth:`forward` exactly."""
+        q = np.uint64(self.modulus)
+        matrix = np.asarray(evaluations, dtype=np.uint64).reshape(self.cols, self.rows)
+        step4 = _modmatmul(self.inv_step4_matrix, matrix, self.modulus)
+        step3 = (step4 * self.inv_step3_twiddle) % q
+        transposed = step3.T.copy()  # the inverse explicit transpose
+        step1 = _modmatmul(self.inv_step1_matrix, transposed, self.modulus)
+        return step1.reshape(-1)
+
+
+def _modmatmul(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
+    """Exact modular matrix product (delegates to the shared chunked kernel)."""
+    return modmatmul(a, b, modulus)
+
+
+def _modular_matrix_inverse(matrix: np.ndarray, modulus: int) -> np.ndarray:
+    """Inverse of a square matrix over Z_q (Gauss-Jordan with modular inverses)."""
+    matrix = np.asarray(matrix, dtype=np.uint64)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError("matrix must be square")
+    work = matrix.astype(object) % modulus
+    inverse = np.eye(size, dtype=object)
+    for col in range(size):
+        pivot_row = next(
+            (r for r in range(col, size) if work[r, col] % modulus != 0), None
+        )
+        if pivot_row is None:
+            raise ValueError("matrix is singular modulo q")
+        if pivot_row != col:
+            work[[col, pivot_row]] = work[[pivot_row, col]]
+            inverse[[col, pivot_row]] = inverse[[pivot_row, col]]
+        pivot_inv = mod_inv(int(work[col, col]), modulus)
+        work[col] = (work[col] * pivot_inv) % modulus
+        inverse[col] = (inverse[col] * pivot_inv) % modulus
+        for row in range(size):
+            if row == col:
+                continue
+            factor = int(work[row, col]) % modulus
+            if factor:
+                work[row] = (work[row] - factor * work[col]) % modulus
+                inverse[row] = (inverse[row] - factor * inverse[col]) % modulus
+    return inverse.astype(np.uint64)

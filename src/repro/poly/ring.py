@@ -1,0 +1,153 @@
+"""Negacyclic polynomial ring ``Z_q[x]/(x^N + 1)`` with cached NTT machinery.
+
+``PolyRing`` is the single-limb workhorse used by the RNS polynomial layer and
+the CKKS scheme: it owns the modulus, the primitive roots of unity, and the
+reduction contexts, and exposes coefficient-domain and evaluation-domain
+arithmetic with exact semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.numtheory.barrett import BarrettContext
+from repro.numtheory.bitrev import is_power_of_two
+from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
+from repro.numtheory.montgomery import MontgomeryContext
+from repro.numtheory.primes import is_prime
+from repro.poly.negacyclic import poly_add, poly_negate, poly_sub
+from repro.poly.ntt_reference import (
+    ntt_forward_negacyclic,
+    ntt_inverse_negacyclic,
+    ntt_pointwise_multiply,
+)
+
+
+@dataclass
+class PolyRing:
+    """A single-modulus negacyclic ring with cached NTT roots.
+
+    Attributes
+    ----------
+    degree:
+        Polynomial degree ``N`` (power of two).
+    modulus:
+        NTT-friendly prime ``q = 1 (mod 2N)``.
+    """
+
+    degree: int
+    modulus: int
+    psi: int = field(init=False)
+    omega: int = field(init=False)
+    barrett: BarrettContext = field(init=False, repr=False)
+    montgomery: MontgomeryContext = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.degree):
+            raise ValueError("ring degree must be a power of two")
+        if not is_prime(self.modulus):
+            raise ValueError("ring modulus must be prime")
+        if (self.modulus - 1) % (2 * self.degree) != 0:
+            raise ValueError("modulus must be congruent to 1 modulo 2N")
+        self.psi = primitive_nth_root_of_unity(2 * self.degree, self.modulus)
+        self.omega = pow(self.psi, 2, self.modulus)
+        self.barrett = BarrettContext.create(self.modulus)
+        self.montgomery = MontgomeryContext.create(self.modulus)
+
+    # --------------------------------------------------------------- sampling
+    def random_uniform(self, rng: np.random.Generator) -> np.ndarray:
+        """Uniformly random ring element (used for public randomness ``a``)."""
+        return rng.integers(0, self.modulus, size=self.degree, dtype=np.uint64)
+
+    def random_ternary(self, rng: np.random.Generator) -> np.ndarray:
+        """Ternary element with coefficients in {-1, 0, 1} (secret keys)."""
+        signed = rng.integers(-1, 2, size=self.degree, dtype=np.int64)
+        return self.from_signed(signed)
+
+    def random_gaussian(self, rng: np.random.Generator, stddev: float = 3.2) -> np.ndarray:
+        """Discrete-Gaussian-ish error element (rounded normal, stddev 3.2)."""
+        signed = np.round(rng.normal(0.0, stddev, size=self.degree)).astype(np.int64)
+        return self.from_signed(signed)
+
+    # ------------------------------------------------------------ conversions
+    def from_signed(self, values: np.ndarray) -> np.ndarray:
+        """Map signed int64 coefficients to residues in ``[0, q)``."""
+        values = np.asarray(values, dtype=np.int64)
+        return np.mod(values, self.modulus).astype(np.uint64)
+
+    def to_signed(self, values: np.ndarray) -> np.ndarray:
+        """Map residues to the centered representatives in ``(-q/2, q/2]``."""
+        values = np.asarray(values, dtype=np.uint64).astype(np.int64)
+        half = self.modulus // 2
+        return np.where(values > half, values - self.modulus, values)
+
+    def zeros(self) -> np.ndarray:
+        """The zero element."""
+        return np.zeros(self.degree, dtype=np.uint64)
+
+    # ------------------------------------------------------------- arithmetic
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient- or evaluation-domain addition (domain-agnostic)."""
+        return poly_add(a, b, self.modulus)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Coefficient- or evaluation-domain subtraction."""
+        return poly_sub(a, b, self.modulus)
+
+    def negate(self, a: np.ndarray) -> np.ndarray:
+        """Additive inverse."""
+        return poly_negate(a, self.modulus)
+
+    def scalar_mul(self, a: np.ndarray, scalar: int) -> np.ndarray:
+        """Multiply every coefficient by ``scalar`` modulo ``q``."""
+        a = np.asarray(a, dtype=np.uint64)
+        return (a * np.uint64(int(scalar) % self.modulus)) % np.uint64(self.modulus)
+
+    def pointwise_mul(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Evaluation-domain (slot-wise) product."""
+        return ntt_pointwise_multiply(a_eval, b_eval, self.modulus)
+
+    def multiply(self, a_coeffs: np.ndarray, b_coeffs: np.ndarray) -> np.ndarray:
+        """Full negacyclic product of two coefficient-domain elements."""
+        a_eval = self.ntt(a_coeffs)
+        b_eval = self.ntt(b_coeffs)
+        return self.intt(self.pointwise_mul(a_eval, b_eval))
+
+    # --------------------------------------------------------------------- NTT
+    def ntt(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT (natural coefficient -> evaluation order)."""
+        return ntt_forward_negacyclic(coeffs, self.modulus, self.psi)
+
+    def intt(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT."""
+        return ntt_inverse_negacyclic(evaluations, self.modulus, self.psi)
+
+    # ------------------------------------------------------------- utilities
+    def automorphism(self, coeffs: np.ndarray, exponent: int) -> np.ndarray:
+        """Apply the Galois automorphism ``x -> x^exponent`` in coefficient form.
+
+        ``exponent`` must be odd (a unit modulo ``2N``); this is the primitive
+        underlying CKKS slot rotation and conjugation (paper's Automorphism
+        kernel, section III-D2).
+        """
+        if exponent % 2 == 0:
+            raise ValueError("automorphism exponent must be odd")
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        n = self.degree
+        result = np.zeros(n, dtype=np.uint64)
+        indices = (np.arange(n, dtype=np.int64) * exponent) % (2 * n)
+        wrap = indices >= n
+        target = np.where(wrap, indices - n, indices)
+        values = np.where(
+            wrap,
+            (np.uint64(self.modulus) - coeffs) % np.uint64(self.modulus),
+            coeffs,
+        )
+        result[target] = values
+        return result
+
+    def inverse_of(self, value: int) -> int:
+        """Modular inverse of a scalar in this ring's modulus."""
+        return mod_inv(value, self.modulus)

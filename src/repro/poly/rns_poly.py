@@ -1,0 +1,205 @@
+"""RNS (residue-number-system) polynomials: limb-parallel ring elements.
+
+A degree-``N`` polynomial over the composite modulus ``Q = q_0 * ... * q_{L-1}``
+is stored as an ``(L, N)`` matrix of residues -- one row (*limb*) per prime.
+Addition, multiplication, and the NTT act limb-wise, which is the parallelism
+HE accelerators (and the paper's TPU mapping) exploit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numtheory.crt import RnsBasis
+from repro.poly.ring import PolyRing
+
+_RING_CACHE: dict[tuple[int, int], PolyRing] = {}
+
+COEFF_DOMAIN = "coeff"
+EVAL_DOMAIN = "eval"
+
+
+def ring_for(degree: int, modulus: int) -> PolyRing:
+    """Return a cached ``PolyRing`` for (degree, modulus).
+
+    Root-of-unity discovery is not free, and CKKS touches the same handful of
+    limb moduli millions of times, so rings are memoised process-wide.
+    """
+    key = (degree, modulus)
+    ring = _RING_CACHE.get(key)
+    if ring is None:
+        ring = PolyRing(degree=degree, modulus=modulus)
+        _RING_CACHE[key] = ring
+    return ring
+
+
+@dataclass
+class RnsPolynomial:
+    """A ring element of ``R_Q`` stored limb-wise.
+
+    Attributes
+    ----------
+    basis:
+        The RNS basis whose moduli index the rows of ``residues``.
+    residues:
+        ``(L, N)`` uint64 residue matrix.
+    domain:
+        Either ``"coeff"`` (coefficient domain) or ``"eval"`` (NTT domain).
+    """
+
+    basis: RnsBasis
+    residues: np.ndarray
+    domain: str = COEFF_DOMAIN
+
+    def __post_init__(self) -> None:
+        self.residues = np.asarray(self.residues, dtype=np.uint64)
+        expected = (self.basis.size, self.basis.degree)
+        if self.residues.shape != expected:
+            raise ValueError(
+                f"residue matrix has shape {self.residues.shape}, expected {expected}"
+            )
+        if self.domain not in (COEFF_DOMAIN, EVAL_DOMAIN):
+            raise ValueError(f"unknown domain {self.domain!r}")
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def zero(cls, basis: RnsBasis, domain: str = COEFF_DOMAIN) -> "RnsPolynomial":
+        """The all-zero element."""
+        return cls(basis, np.zeros((basis.size, basis.degree), dtype=np.uint64), domain)
+
+    @classmethod
+    def from_int_coefficients(
+        cls, coefficients: list[int] | np.ndarray, basis: RnsBasis
+    ) -> "RnsPolynomial":
+        """Build a coefficient-domain element from (possibly huge) integers."""
+        coefficients = list(coefficients)
+        if len(coefficients) != basis.degree:
+            raise ValueError("coefficient count must equal the ring degree")
+        residues = basis.decompose_array(coefficients)
+        return cls(basis, residues, COEFF_DOMAIN)
+
+    @classmethod
+    def from_signed_coefficients(
+        cls, coefficients: np.ndarray, basis: RnsBasis
+    ) -> "RnsPolynomial":
+        """Build from small signed integers (secrets, errors, plaintexts)."""
+        coefficients = np.asarray(coefficients, dtype=np.int64)
+        rows = [
+            np.mod(coefficients, q).astype(np.uint64) for q in basis.moduli
+        ]
+        return cls(basis, np.stack(rows, axis=0), COEFF_DOMAIN)
+
+    def copy(self) -> "RnsPolynomial":
+        """Deep copy."""
+        return RnsPolynomial(self.basis, self.residues.copy(), self.domain)
+
+    # ---------------------------------------------------------------- queries
+    @property
+    def degree(self) -> int:
+        """Ring degree N."""
+        return self.basis.degree
+
+    @property
+    def limb_count(self) -> int:
+        """Number of limbs L."""
+        return self.basis.size
+
+    def limb(self, index: int) -> np.ndarray:
+        """Residue row for limb ``index``."""
+        return self.residues[index]
+
+    def ring(self, index: int) -> PolyRing:
+        """The single-limb ring for limb ``index``."""
+        return ring_for(self.basis.degree, self.basis.moduli[index])
+
+    def to_int_coefficients(self) -> list[int]:
+        """CRT-reconstruct the coefficients as integers in ``[0, Q)``.
+
+        Requires the coefficient domain (convert with :meth:`to_coeff` first).
+        """
+        if self.domain != COEFF_DOMAIN:
+            raise ValueError("reconstruction requires the coefficient domain")
+        return self.basis.compose_array(self.residues)
+
+    def to_signed_coefficients(self) -> list[int]:
+        """CRT-reconstruct with centered (signed) representatives."""
+        big_q = self.basis.modulus_product
+        half = big_q // 2
+        return [c - big_q if c > half else c for c in self.to_int_coefficients()]
+
+    # ------------------------------------------------------------ domain flip
+    def to_eval(self) -> "RnsPolynomial":
+        """Return the NTT-domain version (no-op if already there)."""
+        if self.domain == EVAL_DOMAIN:
+            return self.copy()
+        rows = [self.ring(i).ntt(self.residues[i]) for i in range(self.limb_count)]
+        return RnsPolynomial(self.basis, np.stack(rows, axis=0), EVAL_DOMAIN)
+
+    def to_coeff(self) -> "RnsPolynomial":
+        """Return the coefficient-domain version (no-op if already there)."""
+        if self.domain == COEFF_DOMAIN:
+            return self.copy()
+        rows = [self.ring(i).intt(self.residues[i]) for i in range(self.limb_count)]
+        return RnsPolynomial(self.basis, np.stack(rows, axis=0), COEFF_DOMAIN)
+
+    # ------------------------------------------------------------- arithmetic
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis.moduli != other.basis.moduli:
+            raise ValueError("operands live in different RNS bases")
+        if self.domain != other.domain:
+            raise ValueError("operands live in different domains")
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Limb-wise addition (works in either domain)."""
+        self._check_compatible(other)
+        moduli = self.basis.moduli_array[:, None]
+        residues = (self.residues + other.residues) % moduli
+        return RnsPolynomial(self.basis, residues, self.domain)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Limb-wise subtraction."""
+        self._check_compatible(other)
+        moduli = self.basis.moduli_array[:, None]
+        residues = (self.residues + (moduli - other.residues)) % moduli
+        return RnsPolynomial(self.basis, residues, self.domain)
+
+    def negate(self) -> "RnsPolynomial":
+        """Additive inverse."""
+        moduli = self.basis.moduli_array[:, None]
+        return RnsPolynomial(self.basis, (moduli - self.residues) % moduli, self.domain)
+
+    def scalar_mul(self, scalar: int) -> "RnsPolynomial":
+        """Multiply by an integer scalar (reduced limb-wise)."""
+        rows = [
+            (self.residues[i] * np.uint64(int(scalar) % q)) % np.uint64(q)
+            for i, q in enumerate(self.basis.moduli)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows, axis=0), self.domain)
+
+    def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        """Negacyclic product; result is returned in the evaluation domain."""
+        self._check_compatible(other)
+        a_eval = self if self.domain == EVAL_DOMAIN else self.to_eval()
+        b_eval = other if other.domain == EVAL_DOMAIN else other.to_eval()
+        moduli = self.basis.moduli_array[:, None]
+        residues = (a_eval.residues * b_eval.residues) % moduli
+        return RnsPolynomial(self.basis, residues, EVAL_DOMAIN)
+
+    def automorphism(self, exponent: int) -> "RnsPolynomial":
+        """Apply the Galois automorphism limb-wise (coefficient domain)."""
+        source = self.to_coeff()
+        rows = [
+            source.ring(i).automorphism(source.residues[i], exponent)
+            for i in range(self.limb_count)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows, axis=0), COEFF_DOMAIN)
+
+    # --------------------------------------------------------- basis surgery
+    def keep_limbs(self, count: int) -> "RnsPolynomial":
+        """Truncate to the first ``count`` limbs (no value correction)."""
+        if not 1 <= count <= self.limb_count:
+            raise ValueError("invalid limb count")
+        new_basis = RnsBasis(moduli=self.basis.moduli[:count], degree=self.degree)
+        return RnsPolynomial(new_basis, self.residues[:count].copy(), self.domain)

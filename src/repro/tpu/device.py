@@ -1,0 +1,286 @@
+"""Roofline device model: costs kernel graphs on a simulated tensor core.
+
+This is the substitution for running on real TPU hardware.  Each device
+operation emitted by the CROSS compiler is costed as
+
+    latency = max(compute_time, memory_time) + dispatch_overhead
+
+where compute time comes from the engine's peak throughput (MXU int8 MACs or
+VPU 32-bit ALU ops, derated by tile utilisation) and memory time comes from
+streaming the operation's bytes at VMEM or HBM bandwidth depending on whether
+the kernel's working set is VMEM-resident.  The calibration constants
+(dispatch overhead, VPU instruction counts for modular arithmetic) are
+documented on :class:`CostModelConfig`; the reproduction targets *relative*
+behaviour -- speedup ratios, bottleneck shifts, crossover points -- rather
+than absolute microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kernel_ir import (
+    Category,
+    Engine,
+    KernelGraph,
+    KernelOp,
+    MatMulOp,
+    MemoryOp,
+    PermuteOp,
+    TypeConvertOp,
+    VectorOp,
+)
+from repro.tpu.memory import MemoryHierarchy
+from repro.tpu.mxu import MatrixUnit
+from repro.tpu.specs import TensorCoreSpec, tensor_core
+from repro.tpu.trace import ExecutionTrace, TraceEvent
+from repro.tpu.vpu import VectorUnit
+from repro.tpu.xlu import CrossLaneUnit
+
+
+@dataclass(frozen=True)
+class CostModelConfig:
+    """Calibration constants of the roofline model.
+
+    Attributes
+    ----------
+    dispatch_overhead_s:
+        Fixed per-operation overhead (XLA kernel dispatch, pipeline fill).
+    kernel_launch_overhead_s:
+        Fixed per-kernel-graph overhead (host->device launch).
+    mxu_efficiency:
+        Fraction of MXU peak a well-tiled GEMM sustains.
+    vpu_efficiency:
+        Fraction of VPU peak an element-wise kernel sustains.
+    matmul_on_vpu_ops_per_mac:
+        VPU instruction count per MAC when a high-precision modular matmul is
+        forced onto the vector unit (the pre-BAT BConv/NTT baseline).
+    xlu_bandwidth_fraction:
+        XLU peak bandwidth as a fraction of VMEM read bandwidth.
+    """
+
+    dispatch_overhead_s: float = 1.5e-6
+    kernel_launch_overhead_s: float = 3.0e-6
+    mxu_efficiency: float = 0.7
+    vpu_efficiency: float = 0.85
+    matmul_on_vpu_ops_per_mac: float = 12.0
+    xlu_bandwidth_fraction: float = 0.25
+
+
+@dataclass
+class TensorCoreDevice:
+    """One simulated TPU tensor core.
+
+    Parameters
+    ----------
+    spec:
+        Peak-capability description (see :mod:`repro.tpu.specs`).
+    config:
+        Roofline calibration constants.
+    """
+
+    spec: TensorCoreSpec
+    config: CostModelConfig = field(default_factory=CostModelConfig)
+    memory: MemoryHierarchy = field(init=False)
+    mxu: MatrixUnit = field(init=False)
+    vpu: VectorUnit = field(init=False)
+    xlu: CrossLaneUnit = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.memory = MemoryHierarchy(self.spec)
+        self.mxu = MatrixUnit(
+            systolic_dim=self.spec.mxu_systolic_dim, operand_bits=8, accumulator_bits=32
+        )
+        self.vpu = VectorUnit(lanes=self.spec.vpu_lanes, sublanes=self.spec.vpu_sublanes)
+        self.xlu = CrossLaneUnit(lanes=self.spec.vpu_lanes, sublanes=self.spec.vpu_sublanes)
+
+    @classmethod
+    def for_generation(
+        cls, name: str, config: CostModelConfig | None = None
+    ) -> "TensorCoreDevice":
+        """Build a device for a TPU generation name ("TPUv4" .. "TPUv6e")."""
+        return cls(spec=tensor_core(name), config=config or CostModelConfig())
+
+    # --------------------------------------------------------------- op costs
+    def _cost_matmul(self, op: MatMulOp, working_set: float) -> TraceEvent:
+        if op.operand_bits <= 8:
+            # Dense low-precision GEMM on the MXU.  The stationary dimensions
+            # (m, k) are padded to the systolic-array size; the streaming n
+            # dimension is not, matching how XLA tiles GEMMs.
+            dim = self.spec.mxu_systolic_dim
+            padded_m = -(-op.m // dim) * dim
+            padded_k = -(-op.k // dim) * dim
+            effective_macs = padded_m * padded_k * op.n * op.batch
+            compute = (2 * effective_macs) / (
+                self.spec.mxu_ops_per_second * self.config.mxu_efficiency
+            )
+            engine = Engine.MXU
+        else:
+            # High-precision modular matmul has no matrix engine to run on:
+            # it is serialised onto the VPU (the paper's "idle MXU" baseline).
+            compute = (op.mac_count * self.config.matmul_on_vpu_ops_per_mac) / (
+                self.spec.vpu_ops_per_second * self.config.vpu_efficiency
+            )
+            engine = Engine.VPU
+        bytes_moved = op.input_bytes + op.output_bytes
+        memory = bytes_moved / self.memory.effective_read_bandwidth(working_set)
+        latency = max(compute, memory) + self.config.dispatch_overhead_s
+        return TraceEvent(
+            name=op.name,
+            engine=engine,
+            category=op.category,
+            latency_s=latency,
+            compute_s=compute,
+            memory_s=memory,
+            bytes_moved=bytes_moved,
+        )
+
+    def _cost_vector(self, op: VectorOp, working_set: float) -> TraceEvent:
+        stats = self.vpu.tile_stats(op.elements, op.ops_per_element)
+        utilization = max(stats.utilization, 1e-3)
+        compute = stats.alu_ops / (
+            self.spec.vpu_ops_per_second * self.config.vpu_efficiency * utilization
+        )
+        memory = op.data_bytes / self.memory.effective_read_bandwidth(working_set)
+        latency = max(compute, memory) + self.config.dispatch_overhead_s
+        return TraceEvent(
+            name=op.name,
+            engine=Engine.VPU,
+            category=op.category,
+            latency_s=latency,
+            compute_s=compute,
+            memory_s=memory,
+            bytes_moved=op.data_bytes,
+        )
+
+    def _cost_permute(self, op: PermuteOp, working_set: float) -> TraceEvent:
+        bandwidth = (
+            self.spec.vmem_read_bandwidth
+            * self.config.xlu_bandwidth_fraction
+            * op.efficiency
+        )
+        memory = op.data_bytes / bandwidth
+        latency = memory + self.config.dispatch_overhead_s
+        return TraceEvent(
+            name=op.name,
+            engine=Engine.XLU,
+            category=op.category,
+            latency_s=latency,
+            compute_s=0.0,
+            memory_s=memory,
+            bytes_moved=op.data_bytes,
+        )
+
+    def _cost_type_convert(self, op: TypeConvertOp, working_set: float) -> TraceEvent:
+        compute = op.elements / (
+            self.spec.vpu_ops_per_second * self.config.vpu_efficiency
+        )
+        memory = op.data_bytes / self.memory.effective_read_bandwidth(working_set)
+        latency = max(compute, memory) + self.config.dispatch_overhead_s
+        return TraceEvent(
+            name=op.name,
+            engine=Engine.VPU,
+            category=op.category,
+            latency_s=latency,
+            compute_s=compute,
+            memory_s=memory,
+            bytes_moved=op.data_bytes,
+        )
+
+    def _cost_memory(self, op: MemoryOp) -> TraceEvent:
+        memory = self.memory.hbm_time(op.bytes_moved)
+        return TraceEvent(
+            name=op.name,
+            engine=Engine.MEMORY,
+            category=op.category,
+            latency_s=memory + self.config.dispatch_overhead_s,
+            compute_s=0.0,
+            memory_s=memory,
+            bytes_moved=op.bytes_moved,
+        )
+
+    def cost_op(self, op: KernelOp, working_set: float = 0.0) -> TraceEvent:
+        """Cost a single device operation."""
+        if isinstance(op, MatMulOp):
+            return self._cost_matmul(op, working_set)
+        if isinstance(op, VectorOp):
+            return self._cost_vector(op, working_set)
+        if isinstance(op, PermuteOp):
+            return self._cost_permute(op, working_set)
+        if isinstance(op, TypeConvertOp):
+            return self._cost_type_convert(op, working_set)
+        if isinstance(op, MemoryOp):
+            return self._cost_memory(op)
+        raise TypeError(f"unknown kernel op type {type(op).__name__}")
+
+    # -------------------------------------------------------------- execution
+    def run(self, graph: KernelGraph) -> ExecutionTrace:
+        """Cost a whole kernel graph and return its execution trace."""
+        working_set = self._working_set_bytes(graph)
+        trace = ExecutionTrace(kernel=graph.name)
+        trace.add(
+            TraceEvent(
+                name=f"{graph.name}/launch",
+                engine=Engine.MEMORY,
+                category=Category.OTHER,
+                latency_s=self.config.kernel_launch_overhead_s,
+                compute_s=0.0,
+                memory_s=0.0,
+                bytes_moved=0.0,
+            )
+        )
+        for op in graph.ops:
+            trace.add(self.cost_op(op, working_set))
+        return trace
+
+    def latency(self, graph: KernelGraph) -> float:
+        """End-to-end latency (seconds) of one kernel graph."""
+        return self.run(graph).total_latency
+
+    @staticmethod
+    def _working_set_bytes(graph: KernelGraph) -> float:
+        """Rough working-set estimate: the largest single-op footprint."""
+        footprints = [0.0]
+        for op in graph.ops:
+            if isinstance(op, MatMulOp):
+                footprints.append(float(op.input_bytes + op.output_bytes))
+            elif isinstance(op, (VectorOp, TypeConvertOp, PermuteOp)):
+                footprints.append(float(op.data_bytes))
+            elif isinstance(op, MemoryOp):
+                footprints.append(float(op.bytes_moved))
+        return max(footprints)
+
+
+@dataclass
+class TpuVirtualMachine:
+    """A group of tensor cores sharing one host (the paper's TPU-VM).
+
+    The paper's throughput methodology runs the same kernel on every tensor
+    core and reports amortised single-batch latency; ``amortized_latency`` and
+    ``throughput`` implement exactly that.
+    """
+
+    generation: str
+    tensor_cores: int
+    config: CostModelConfig = field(default_factory=CostModelConfig)
+    core: TensorCoreDevice = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.core = TensorCoreDevice.for_generation(self.generation, self.config)
+
+    @property
+    def total_power_watts(self) -> float:
+        """Aggregate TDP of the participating tensor cores."""
+        return self.core.spec.tdp_watts * self.tensor_cores
+
+    def amortized_latency(self, graph: KernelGraph) -> float:
+        """Per-kernel latency when every core processes an independent batch."""
+        return self.core.latency(graph) / self.tensor_cores
+
+    def throughput(self, graph: KernelGraph) -> float:
+        """Kernels completed per second across the VM."""
+        return self.tensor_cores / self.core.latency(graph)
+
+    def throughput_per_watt(self, graph: KernelGraph) -> float:
+        """Kernels per second per watt (the paper's energy-efficiency metric)."""
+        return self.throughput(graph) / self.total_power_watts

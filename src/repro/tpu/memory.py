@@ -1,0 +1,53 @@
+"""Memory-hierarchy model: VMEM residency and effective bandwidth.
+
+The TPU keeps hot data in a software-managed vector memory (VMEM, tens of MB
+per tensor core) backed by HBM.  Whether a kernel streams its operands from
+VMEM or from HBM dominates its latency for the memory-bound HE kernels, and
+the batching behaviour of Fig. 11b is entirely a story about parameter reuse
+versus VMEM capacity.  This model captures exactly that: a working set that
+fits in VMEM enjoys VMEM bandwidth, anything larger spills to HBM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tpu.specs import TensorCoreSpec
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Bandwidth/capacity view of one tensor core's memory system."""
+
+    spec: TensorCoreSpec
+    vmem_residency_fraction: float = 0.75
+
+    @property
+    def vmem_capacity(self) -> float:
+        """Bytes of VMEM usable for kernel working sets."""
+        return self.spec.vmem_capacity_bytes * self.vmem_residency_fraction
+
+    def effective_read_bandwidth(self, working_set_bytes: float) -> float:
+        """Sustained read bandwidth for a kernel with the given working set."""
+        if working_set_bytes <= self.vmem_capacity:
+            return self.spec.vmem_read_bandwidth
+        return self.spec.hbm_bandwidth
+
+    def effective_write_bandwidth(self, working_set_bytes: float) -> float:
+        """Sustained write bandwidth for a kernel with the given working set."""
+        if working_set_bytes <= self.vmem_capacity:
+            return self.spec.vmem_write_bandwidth
+        return self.spec.hbm_bandwidth
+
+    def transfer_time(self, bytes_moved: float, working_set_bytes: float | None = None) -> float:
+        """Seconds to stream ``bytes_moved`` given the kernel's working set."""
+        working_set = bytes_moved if working_set_bytes is None else working_set_bytes
+        return bytes_moved / self.effective_read_bandwidth(working_set)
+
+    def hbm_time(self, bytes_moved: float) -> float:
+        """Seconds to stream ``bytes_moved`` from/to HBM regardless of residency."""
+        return bytes_moved / self.spec.hbm_bandwidth
+
+    def fits_in_vmem(self, bytes_needed: float) -> bool:
+        """Whether a working set is VMEM-resident."""
+        return bytes_needed <= self.vmem_capacity

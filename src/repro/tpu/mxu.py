@@ -1,0 +1,108 @@
+"""Functional model of the matrix multiplication unit (MXU).
+
+The MXU is a ``d x d`` systolic array (128 for TPUv4/v5, 256 for v6e) that
+multiplies int8 operands and accumulates into 32-bit registers.  This model
+is *functional + structural*: it produces bit-exact results (so it can stand
+in for the MXU inside correctness tests), enforces the operand/accumulator
+width limits a real MXU has, and reports the tile statistics (number of
+``d x d`` passes, utilisation) that the roofline cost model consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class MxuPrecisionError(ValueError):
+    """Raised when operands or accumulators exceed the hardware widths."""
+
+
+@dataclass(frozen=True)
+class MxuStatistics:
+    """Structural statistics of one MXU matmul invocation.
+
+    Attributes
+    ----------
+    tiles:
+        Number of ``d x d x d`` systolic passes needed.
+    macs:
+        Useful multiply-accumulates performed.
+    utilization:
+        Useful MACs divided by the MACs the occupied tiles could have done.
+    max_accumulator_bits:
+        Largest accumulator magnitude observed, in bits.
+    """
+
+    tiles: int
+    macs: int
+    utilization: float
+    max_accumulator_bits: int
+
+
+@dataclass(frozen=True)
+class MatrixUnit:
+    """A systolic matrix engine with fixed operand and accumulator widths."""
+
+    systolic_dim: int = 128
+    operand_bits: int = 8
+    accumulator_bits: int = 32
+
+    def multiply(
+        self, lhs: np.ndarray, rhs: np.ndarray
+    ) -> tuple[np.ndarray, MxuStatistics]:
+        """Multiply two integer matrices, enforcing hardware width limits.
+
+        Parameters
+        ----------
+        lhs, rhs:
+            Integer matrices with entries representable in ``operand_bits``
+            (unsigned).  Shapes ``(m, k)`` and ``(k, n)``.
+
+        Returns
+        -------
+        (result, statistics):
+            ``result`` is the exact product with 64-bit accumulation (the
+            statistics flag whether a real 32-bit accumulator would have
+            overflowed, which tests assert never happens for paper-sized
+            kernels).
+        """
+        lhs = np.asarray(lhs)
+        rhs = np.asarray(rhs)
+        if lhs.ndim != 2 or rhs.ndim != 2 or lhs.shape[1] != rhs.shape[0]:
+            raise ValueError(f"incompatible matmul shapes {lhs.shape} @ {rhs.shape}")
+        operand_max = (1 << self.operand_bits) - 1
+        if int(lhs.max(initial=0)) > operand_max or int(rhs.max(initial=0)) > operand_max:
+            raise MxuPrecisionError(
+                f"operands exceed the {self.operand_bits}-bit MXU input precision"
+            )
+        if int(lhs.min(initial=0)) < 0 or int(rhs.min(initial=0)) < 0:
+            raise MxuPrecisionError("this MXU model expects unsigned operands")
+
+        result = lhs.astype(np.int64) @ rhs.astype(np.int64)
+        max_value = int(result.max(initial=0))
+        max_bits = max_value.bit_length()
+        if max_bits > self.accumulator_bits:
+            raise MxuPrecisionError(
+                f"accumulator needs {max_bits} bits > {self.accumulator_bits}-bit limit"
+            )
+
+        m, k = lhs.shape
+        n = rhs.shape[1]
+        d = self.systolic_dim
+        tiles = -(-m // d) * -(-k // d) * -(-n // d)
+        macs = m * k * n
+        utilization = macs / (tiles * d**3) if tiles else 0.0
+        stats = MxuStatistics(
+            tiles=tiles,
+            macs=macs,
+            utilization=utilization,
+            max_accumulator_bits=max_bits,
+        )
+        return result, stats
+
+    def tile_count(self, m: int, k: int, n: int) -> int:
+        """Number of systolic passes for an (m, k, n) GEMM (cost-model hook)."""
+        d = self.systolic_dim
+        return -(-m // d) * -(-k // d) * -(-n // d)

@@ -1,0 +1,78 @@
+"""Execution traces: the stand-in for the XLA profiler's trace viewer.
+
+Every simulated kernel execution produces a :class:`ExecutionTrace` holding
+one :class:`TraceEvent` per device operation.  Aggregations by engine and by
+breakdown category feed the Fig. 12 / Table IX latency-breakdown experiments,
+and the trace's total latency is what every benchmark reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.kernel_ir import Category, Engine
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """Cost record for one device operation."""
+
+    name: str
+    engine: Engine
+    category: Category
+    latency_s: float
+    compute_s: float
+    memory_s: float
+    bytes_moved: float
+
+
+@dataclass
+class ExecutionTrace:
+    """Ordered cost records for one kernel-graph execution."""
+
+    kernel: str
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def add(self, event: TraceEvent) -> None:
+        """Append an event."""
+        self.events.append(event)
+
+    @property
+    def total_latency(self) -> float:
+        """End-to-end latency in seconds (serialised op execution)."""
+        return sum(event.latency_s for event in self.events)
+
+    @property
+    def total_bytes(self) -> float:
+        """Total bytes moved."""
+        return sum(event.bytes_moved for event in self.events)
+
+    def latency_by_engine(self) -> dict[Engine, float]:
+        """Seconds attributed to each execution engine."""
+        totals: dict[Engine, float] = {}
+        for event in self.events:
+            totals[event.engine] = totals.get(event.engine, 0.0) + event.latency_s
+        return totals
+
+    def latency_by_category(self) -> dict[Category, float]:
+        """Seconds attributed to each breakdown bucket (paper Fig. 12)."""
+        totals: dict[Category, float] = {}
+        for event in self.events:
+            totals[event.category] = totals.get(event.category, 0.0) + event.latency_s
+        return totals
+
+    def category_fractions(self) -> dict[Category, float]:
+        """Latency share of each breakdown bucket (sums to 1)."""
+        total = self.total_latency
+        if total == 0:
+            return {}
+        return {
+            category: latency / total
+            for category, latency in self.latency_by_category().items()
+        }
+
+    def merged_with(self, other: "ExecutionTrace", name: str | None = None) -> "ExecutionTrace":
+        """Concatenate two traces (used when composing HE operators)."""
+        merged = ExecutionTrace(kernel=name or f"{self.kernel}+{other.kernel}")
+        merged.events = list(self.events) + list(other.events)
+        return merged

@@ -1,0 +1,83 @@
+"""Functional model of the vector processing unit (VPU).
+
+The VPU is a sea of 2048 32-bit SIMD ALUs organised as (8 sublanes, 128
+lanes); data is manipulated in 4 KiB ``VReg`` tiles of shape (8, 128) x 32
+bits, operated in lock step.  This model executes element-wise kernels
+bit-exactly while tracking how many VReg tiles the operation touches and how
+well they are utilised -- the coarse-granularity penalty the paper's section
+III-B2 describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class VpuStatistics:
+    """Structural statistics of one VPU kernel invocation."""
+
+    elements: int
+    vreg_tiles: int
+    utilization: float
+    alu_ops: float
+
+
+@dataclass(frozen=True)
+class VectorUnit:
+    """A (sublanes x lanes) SIMD vector engine with 32-bit registers."""
+
+    lanes: int = 128
+    sublanes: int = 8
+    operand_bits: int = 32
+
+    @property
+    def elements_per_vreg(self) -> int:
+        """Elements held by one vector register tile (1024 for (8, 128) x 32b)."""
+        return self.lanes * self.sublanes
+
+    def tile_stats(self, elements: int, ops_per_element: float = 1.0) -> VpuStatistics:
+        """Tile occupancy statistics for an element-wise kernel."""
+        tiles = -(-elements // self.elements_per_vreg) if elements else 0
+        utilization = (
+            elements / (tiles * self.elements_per_vreg) if tiles else 0.0
+        )
+        return VpuStatistics(
+            elements=elements,
+            vreg_tiles=tiles,
+            utilization=utilization,
+            alu_ops=elements * ops_per_element,
+        )
+
+    # ----------------------------------------------------- functional kernels
+    def elementwise_modmul(
+        self, a: np.ndarray, b: np.ndarray, modulus: int
+    ) -> tuple[np.ndarray, VpuStatistics]:
+        """Vectorized modular multiplication (one VReg-tiled pass)."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        if int(modulus) >= 1 << self.operand_bits:
+            raise ValueError("modulus exceeds the VPU register width")
+        result = (a * b) % np.uint64(modulus)
+        return result, self.tile_stats(a.size, ops_per_element=10.0)
+
+    def elementwise_modadd(
+        self, a: np.ndarray, b: np.ndarray, modulus: int
+    ) -> tuple[np.ndarray, VpuStatistics]:
+        """Vectorized modular addition."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        result = (a + b) % np.uint64(modulus)
+        return result, self.tile_stats(a.size, ops_per_element=2.0)
+
+    def elementwise_modsub(
+        self, a: np.ndarray, b: np.ndarray, modulus: int
+    ) -> tuple[np.ndarray, VpuStatistics]:
+        """Vectorized modular subtraction."""
+        a = np.asarray(a, dtype=np.uint64)
+        b = np.asarray(b, dtype=np.uint64)
+        q = np.uint64(modulus)
+        result = (a + (q - b % q)) % q
+        return result, self.tile_stats(a.size, ops_per_element=2.0)

@@ -1,0 +1,82 @@
+"""Functional model of the cross-lane unit (XLU).
+
+The XLU is the only path for moving data *between* lanes: it can transpose
+VMEM-resident tiles, shuffle data across lanes and reduce partial results.
+Unlike the MXU/VPU it cannot be hidden behind compute, which is why the
+paper's MAT optimisation tries to remove every runtime use of it.  The model
+performs the data movement bit-exactly and reports the number of (8, 128)
+tile moves plus the pattern-dependent efficiency used by the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class XluStatistics:
+    """Structural statistics of one cross-lane operation."""
+
+    elements: int
+    tile_moves: int
+    pattern: str
+    efficiency: float
+
+
+_PATTERN_EFFICIENCY = {
+    "transpose": 0.5,
+    "shuffle": 0.25,
+    "gather": 0.08,
+    "reduce": 0.5,
+    "broadcast": 1.0,
+}
+
+
+@dataclass(frozen=True)
+class CrossLaneUnit:
+    """The transpose / shuffle / reduction engine between VMEM lanes."""
+
+    lanes: int = 128
+    sublanes: int = 8
+
+    @property
+    def elements_per_tile(self) -> int:
+        """Elements per (sublanes, lanes) register tile."""
+        return self.lanes * self.sublanes
+
+    def _stats(self, elements: int, pattern: str) -> XluStatistics:
+        tiles = -(-elements // self.elements_per_tile) if elements else 0
+        return XluStatistics(
+            elements=elements,
+            tile_moves=tiles,
+            pattern=pattern,
+            efficiency=_PATTERN_EFFICIENCY.get(pattern, 0.25),
+        )
+
+    def transpose(self, matrix: np.ndarray) -> tuple[np.ndarray, XluStatistics]:
+        """Transpose a 2-D tile (the 4-step NTT's explicit reorder)."""
+        matrix = np.asarray(matrix)
+        return matrix.T.copy(), self._stats(matrix.size, "transpose")
+
+    def shuffle(
+        self, values: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, XluStatistics]:
+        """Arbitrary permutation along the last axis (bit-complement shuffles)."""
+        values = np.asarray(values)
+        indices = np.asarray(indices, dtype=np.int64)
+        return values[..., indices], self._stats(values.size, "shuffle")
+
+    def gather(
+        self, values: np.ndarray, indices: np.ndarray
+    ) -> tuple[np.ndarray, XluStatistics]:
+        """Irregular gather (the automorphism worst case, paper section V-C)."""
+        values = np.asarray(values)
+        indices = np.asarray(indices, dtype=np.int64)
+        return values[..., indices], self._stats(values.size, "gather")
+
+    def reduce(self, values: np.ndarray, axis: int = 0) -> tuple[np.ndarray, XluStatistics]:
+        """Cross-lane accumulation of partial results."""
+        values = np.asarray(values)
+        return values.sum(axis=axis), self._stats(values.size, "reduce")

@@ -1,0 +1,36 @@
+"""Tests for the table/figure formatting helpers."""
+
+from repro.analysis import format_breakdown, format_table, ratio_string, side_by_side
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", 10000.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "10,000" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["short"], ["much longer cell"]])
+        lines = text.splitlines()
+        assert len(lines[1]) == len("much longer cell")
+
+
+class TestRatioAndSideBySide:
+    def test_ratio(self):
+        assert ratio_string(2.0, 1.0) == "2.00x"
+        assert ratio_string(1.0, 0.0) == "n/a"
+
+    def test_side_by_side_contains_values(self):
+        line = side_by_side("HE-Mult", 100.0, 150.0, unit="us")
+        assert "HE-Mult" in line and "1.50x" in line
+
+
+class TestFormatBreakdown:
+    def test_sorted_by_share(self):
+        text = format_breakdown({"A": 0.2, "B": 0.8}, title="bd")
+        lines = text.splitlines()
+        assert lines[0] == "bd"
+        assert lines[1].strip().startswith("B")
+        assert "80.0%" in lines[1]

@@ -1,0 +1,125 @@
+"""Tests for scalar BAT (paper Fig. 7 / Alg. 5) and the sparse GPU baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.sparse_toeplitz import (
+    SparseCompiledScalar,
+    sparse_matvec_modmul,
+    sparse_toeplitz_matrix,
+    toeplitz_zero_fraction,
+)
+from repro.core.bat_scalar import (
+    CompiledScalar,
+    carry_propagation,
+    construct_toeplitz,
+    hp_scalar_mult_bat,
+    offline_compile_scalar,
+)
+from repro.core.chunks import chunk_decompose
+from repro.numtheory.primes import generate_ntt_prime
+
+Q = generate_ntt_prime(28, 4096)
+
+
+class TestToeplitz:
+    def test_structure(self):
+        chunks = np.array([1, 2, 3, 4], dtype=np.uint64)
+        matrix = construct_toeplitz(chunks)
+        assert matrix.shape == (7, 4)
+        for j in range(4):
+            assert np.array_equal(matrix[j:j + 4, j], chunks)
+
+    def test_zero_fraction_matches_paper(self):
+        # The paper reports ~43% zeros for K = 4 (12 of 28 entries).
+        assert toeplitz_zero_fraction(4) == pytest.approx(12 / 28)
+
+    def test_sparse_matrix_builder(self):
+        matrix = sparse_toeplitz_matrix(0x01020304 % Q, Q)
+        assert matrix.shape == (7, 4)
+
+
+class TestCarryPropagation:
+    def test_simple_carry(self):
+        matrix = np.array([[300], [0], [0]], dtype=np.uint64)
+        propagated = carry_propagation(matrix)
+        assert propagated[0, 0] == 300 - 256
+        assert propagated[1, 0] == 1
+
+    def test_no_carry_needed(self):
+        matrix = np.array([[10, 20], [30, 40]], dtype=np.uint64)
+        assert np.array_equal(carry_propagation(matrix), matrix)
+
+    def test_preserves_column_value(self, rng):
+        matrix = rng.integers(0, 1 << 12, size=(5, 3), dtype=np.uint64)
+        propagated = carry_propagation(matrix)
+        for col in range(3):
+            original = sum(int(matrix[r, col]) << (8 * r) for r in range(5))
+            carried = sum(int(propagated[r, col]) << (8 * r) for r in range(5))
+            assert original == carried
+
+
+class TestOfflineCompile:
+    def test_dense_and_byte_valued(self, rng):
+        for _ in range(10):
+            compiled = offline_compile_scalar(int(rng.integers(0, Q)), Q)
+            assert compiled.shape == (4, 4)
+            assert int(compiled.max()) <= 255
+
+    def test_compiled_matrix_reconstructs_product(self, rng):
+        for _ in range(20):
+            a = int(rng.integers(0, Q))
+            b = int(rng.integers(0, Q))
+            matrix = offline_compile_scalar(a, Q)
+            b_chunks = chunk_decompose(b, 4)
+            partial = matrix.astype(np.int64) @ b_chunks.astype(np.int64)
+            merged = sum(int(partial[i]) << (8 * i) for i in range(4))
+            assert merged % Q == (a * b) % Q
+
+    def test_zero_value(self):
+        assert np.all(offline_compile_scalar(0, Q) == 0)
+
+
+class TestScalarMultiplication:
+    @given(
+        a=st.integers(min_value=0, max_value=Q - 1),
+        b=st.integers(min_value=0, max_value=Q - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_bat_exact(self, a, b):
+        assert hp_scalar_mult_bat(a, b, Q) == (a * b) % Q
+
+    @given(
+        a=st.integers(min_value=0, max_value=Q - 1),
+        b=st.integers(min_value=0, max_value=Q - 1),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_sparse_baseline_exact(self, a, b):
+        assert sparse_matvec_modmul(a, b, Q) == (a * b) % Q
+
+    def test_bat_and_sparse_agree(self, rng):
+        """BAT removes redundancy but must compute the identical product."""
+        for _ in range(30):
+            a = int(rng.integers(0, Q))
+            b = int(rng.integers(0, Q))
+            assert hp_scalar_mult_bat(a, b, Q) == sparse_matvec_modmul(a, b, Q)
+
+    def test_compiled_scalar_reuse(self, rng):
+        a = int(rng.integers(0, Q))
+        bat = CompiledScalar.compile(a, Q)
+        sparse = SparseCompiledScalar.compile(a, Q)
+        for _ in range(10):
+            b = int(rng.integers(0, Q))
+            assert bat.multiply(b) == (a * b) % Q
+            assert sparse.multiply(b) == (a * b) % Q
+
+    def test_compiled_sizes_match_paper_claim(self, rng):
+        """BAT's operand is K x K dense; the GPU baseline's is (2K-1) x K sparse."""
+        a = int(rng.integers(1, Q))
+        bat = CompiledScalar.compile(a, Q)
+        sparse = SparseCompiledScalar.compile(a, Q)
+        assert bat.matrix.size == 16
+        assert sparse.matrix.size == 28
+        assert bat.matrix.size / sparse.matrix.size == pytest.approx(4 / 7)

@@ -1,0 +1,65 @@
+"""Tests for the packed-bootstrapping schedule model (paper Table IX)."""
+
+import pytest
+
+from repro.ckks.bootstrapping import BootstrappingSchedule, estimate_bootstrapping
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.tpu import TensorCoreDevice
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.cross_default())
+
+
+@pytest.fixture(scope="module")
+def device():
+    return TensorCoreDevice.for_generation("TPUv6e")
+
+
+class TestSchedule:
+    def test_counts_positive(self):
+        schedule = BootstrappingSchedule(degree=2**16)
+        counts = schedule.operator_counts()
+        assert all(count > 0 for count in counts.values())
+        assert set(counts) == {"rotate", "he_mult", "rescale", "he_add"}
+
+    def test_rotations_dominate(self):
+        """The linear transforms make Rotate the most frequent operator."""
+        counts = BootstrappingSchedule(degree=2**16).operator_counts()
+        assert counts["rotate"] > counts["he_mult"]
+
+    def test_scaling_with_degree(self):
+        small = BootstrappingSchedule(degree=2**13).rotation_count
+        large = BootstrappingSchedule(degree=2**16).rotation_count
+        assert large >= small
+
+
+class TestEstimate:
+    def test_estimate_structure(self, compiler, device):
+        estimate = estimate_bootstrapping(compiler, device, tensor_cores=8)
+        assert estimate.latency_ms > 0
+        assert set(estimate.operator_latencies) == {"rotate", "he_mult", "rescale", "he_add"}
+        assert abs(sum(estimate.breakdown.values()) - 1.0) < 1e-9
+
+    def test_more_cores_lower_latency(self, compiler, device):
+        one = estimate_bootstrapping(compiler, device, tensor_cores=1)
+        eight = estimate_bootstrapping(compiler, device, tensor_cores=8)
+        assert eight.latency_s == pytest.approx(one.latency_s / 8)
+
+    def test_cross_beats_gpu_baseline_schedule(self, compiler, device):
+        baseline_compiler = CrossCompiler(PARAMETER_SETS["D"], CompilerOptions.gpu_baseline())
+        cross = estimate_bootstrapping(compiler, device, tensor_cores=8)
+        baseline = estimate_bootstrapping(baseline_compiler, device, tensor_cores=8)
+        assert cross.latency_s < baseline.latency_s
+
+    def test_newer_tpu_is_faster(self, compiler):
+        v4 = estimate_bootstrapping(compiler, TensorCoreDevice.for_generation("TPUv4"), tensor_cores=8)
+        v6e = estimate_bootstrapping(compiler, TensorCoreDevice.for_generation("TPUv6e"), tensor_cores=8)
+        assert v6e.latency_s < v4.latency_s
+
+    def test_breakdown_has_vec_and_permutation_costs(self, compiler, device):
+        estimate = estimate_bootstrapping(compiler, device, tensor_cores=8)
+        assert "VecModOps" in estimate.breakdown
+        assert "Automorphism" in estimate.breakdown

@@ -1,0 +1,71 @@
+"""Tests for CKKS encoding (canonical embedding)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksEncoder, CkksParameters
+
+
+@pytest.fixture(scope="module")
+def setup(ckks_setup):
+    return ckks_setup["params"], ckks_setup["encoder"]
+
+
+class TestEncodeDecode:
+    def test_roundtrip_complex(self, setup, rng):
+        params, encoder = setup
+        values = rng.uniform(-1, 1, params.slot_count) + 1j * rng.uniform(-1, 1, params.slot_count)
+        decoded = encoder.decode(encoder.encode(values))
+        assert np.abs(decoded - values).max() < 1e-4
+
+    def test_roundtrip_real(self, setup, rng):
+        params, encoder = setup
+        values = rng.uniform(-10, 10, params.slot_count)
+        decoded = encoder.decode(encoder.encode_real(values))
+        assert np.abs(decoded.real - values).max() < 1e-3
+        assert np.abs(decoded.imag).max() < 1e-3
+
+    def test_short_vector_zero_padded(self, setup):
+        params, encoder = setup
+        decoded = encoder.decode(encoder.encode([1.0, 2.0, 3.0]))
+        assert np.abs(decoded[:3] - np.array([1, 2, 3])).max() < 1e-4
+        assert np.abs(decoded[3:]).max() < 1e-4
+
+    def test_too_many_values_rejected(self, setup):
+        params, encoder = setup
+        with pytest.raises(ValueError):
+            encoder.encode(np.ones(params.slot_count + 1))
+
+    def test_scale_respected(self, setup):
+        params, encoder = setup
+        plaintext = encoder.encode([1.0], scale=2.0**15)
+        assert plaintext.scale == 2.0**15
+        assert np.abs(encoder.decode(plaintext)[0] - 1.0) < 1e-2
+
+    def test_additivity(self, setup, rng):
+        """encode(a) + encode(b) decodes to a + b (the scheme's homomorphism)."""
+        params, encoder = setup
+        a = rng.uniform(-1, 1, params.slot_count)
+        b = rng.uniform(-1, 1, params.slot_count)
+        summed = encoder.encode(a).poly.add(encoder.encode(b).poly)
+        from repro.ckks.ciphertext import Plaintext
+
+        decoded = encoder.decode(Plaintext(poly=summed, scale=params.scale, level=params.limbs))
+        assert np.abs(decoded.real - (a + b)).max() < 1e-3
+
+    def test_level_parameter(self, setup):
+        params, encoder = setup
+        plaintext = encoder.encode([1.0], level=2)
+        assert plaintext.poly.limb_count == 2
+
+    def test_rotation_exponents(self, setup):
+        params, encoder = setup
+        assert encoder.slot_rotation_exponent(1) == 5
+        assert encoder.conjugation_exponent == 2 * params.degree - 1
+
+    def test_larger_ring(self):
+        params = CkksParameters.create(degree=128, limbs=2, log_q=28, scale_bits=22)
+        encoder = CkksEncoder(params)
+        values = np.linspace(-2, 2, params.slot_count)
+        decoded = encoder.decode(encoder.encode_real(values))
+        assert np.abs(decoded.real - values).max() < 1e-3

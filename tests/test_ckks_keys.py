@@ -1,0 +1,86 @@
+"""Tests for CKKS key generation and key-switching key structure."""
+
+import numpy as np
+import pytest
+
+from repro.ckks.keys import KeyGenerator, digit_partition
+from repro.ckks.params import CkksParameters
+
+
+class TestDigitPartition:
+    def test_exact_split(self):
+        assert digit_partition(6, 3) == [(0, 2), (2, 4), (4, 6)]
+
+    def test_uneven_split(self):
+        assert digit_partition(5, 3) == [(0, 2), (2, 4), (4, 5)]
+
+    def test_fewer_limbs_than_digits(self):
+        assert digit_partition(2, 3) == [(0, 1), (1, 2)]
+
+    def test_single_digit(self):
+        assert digit_partition(4, 1) == [(0, 4)]
+
+
+class TestParameters:
+    def test_create_defaults(self, ckks_setup):
+        params = ckks_setup["params"]
+        assert params.slot_count == params.degree // 2
+        assert params.special_limbs >= 1
+        assert params.modulus_product > 0
+        assert set(params.special_basis.moduli).isdisjoint(params.modulus_basis.moduli)
+
+    def test_basis_at_level(self, ckks_setup):
+        params = ckks_setup["params"]
+        assert params.basis_at_level(2).size == 2
+        with pytest.raises(ValueError):
+            params.basis_at_level(0)
+        with pytest.raises(ValueError):
+            params.basis_at_level(params.limbs + 1)
+
+    def test_extended_basis(self, ckks_setup):
+        params = ckks_setup["params"]
+        extended = params.extended_basis(params.limbs)
+        assert extended.size == params.limbs + params.special_limbs
+
+    def test_from_security_params(self):
+        from repro.core.config import PARAMETER_SETS
+
+        scaled = PARAMETER_SETS["A"].scaled(degree=32, limbs=2)
+        params = CkksParameters.from_security_params(scaled)
+        assert params.degree == 32
+        assert params.limbs == 2
+
+
+class TestSecretAndPublicKeys:
+    def test_secret_is_ternary(self, ckks_setup):
+        secret = ckks_setup["keygen"].secret_key
+        assert set(np.unique(secret.coefficients)).issubset({-1, 0, 1})
+
+    def test_public_key_is_encryption_of_zero(self, ckks_setup):
+        params = ckks_setup["params"]
+        keygen = ckks_setup["keygen"]
+        pk = keygen.public_key()
+        secret = keygen.secret_key.polynomial(params.modulus_basis)
+        noise = pk.b.add(pk.a.multiply(secret).to_coeff())
+        signed = np.array(noise.to_signed_coefficients(), dtype=np.float64)
+        # b + a*s = e: the residual must be key-generation noise, not data.
+        assert np.abs(signed).max() < 64
+
+    def test_switching_key_levels(self, ckks_setup):
+        params = ckks_setup["params"]
+        relin = ckks_setup["evaluator"].relin_key
+        assert set(relin.digits.keys()) == set(range(1, params.limbs + 1))
+        for level, digit_keys in relin.digits.items():
+            assert len(digit_keys) == len(digit_partition(level, params.dnum))
+            for b_j, a_j in digit_keys:
+                assert b_j.limb_count == level + params.special_limbs
+
+    def test_galois_key_lookup(self, ckks_setup):
+        keys = ckks_setup["evaluator"].galois_keys
+        with pytest.raises(KeyError):
+            keys.key_for(9999)
+
+    def test_missing_level_raises(self, ckks_setup):
+        relin = ckks_setup["evaluator"].relin_key
+        with pytest.raises(KeyError):
+            relin.digits_at_level(99)

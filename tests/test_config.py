@@ -1,0 +1,60 @@
+"""Tests for the paper's parameter sets (Table IV) and CROSS configuration."""
+
+import pytest
+
+from repro.core.config import (
+    DEFAULT_SET,
+    PARAMETER_SETS,
+    SecurityParams,
+    chunks_per_word,
+)
+
+
+class TestParameterSets:
+    def test_table4_values(self):
+        assert PARAMETER_SETS["A"].degree == 2**12 and PARAMETER_SETS["A"].limbs == 4
+        assert PARAMETER_SETS["B"].degree == 2**13 and PARAMETER_SETS["B"].limbs == 8
+        assert PARAMETER_SETS["C"].degree == 2**14 and PARAMETER_SETS["C"].limbs == 15
+        assert PARAMETER_SETS["D"].degree == 2**16 and PARAMETER_SETS["D"].limbs == 51
+
+    def test_log_big_q_matches_table(self):
+        # Table IV: Set A 109 bits ~ 4*28, Set D 1904 = 51 * ~37... the paper
+        # states logQ as the product of limb count and limb width.
+        assert PARAMETER_SETS["A"].log_big_q == 4 * 28
+        assert PARAMETER_SETS["D"].log_big_q == 51 * 28
+
+    def test_default_is_set_d(self):
+        assert DEFAULT_SET is PARAMETER_SETS["D"]
+        assert DEFAULT_SET.dnum == 3
+
+    def test_aux_limbs(self):
+        assert PARAMETER_SETS["D"].aux_limbs == 17
+        assert PARAMETER_SETS["A"].aux_limbs == 2
+        assert PARAMETER_SETS["D"].extended_limbs == 68
+
+    def test_ciphertext_words(self):
+        params = PARAMETER_SETS["A"]
+        assert params.coefficients_per_ciphertext == 2 * 4 * 2**12
+
+    def test_scaled(self):
+        scaled = PARAMETER_SETS["D"].scaled(degree=64, limbs=3)
+        assert scaled.degree == 64
+        assert scaled.limbs == 3
+        assert scaled.log_q == 28
+        assert scaled.name.endswith("-scaled")
+
+    def test_scaled_default_limbs(self):
+        scaled = PARAMETER_SETS["D"].scaled(degree=128)
+        assert scaled.limbs == 4
+
+
+class TestChunksPerWord:
+    def test_paper_default(self):
+        assert chunks_per_word(28) == 4
+
+    @pytest.mark.parametrize("log_q,expected", [(8, 1), (16, 2), (24, 3), (32, 4), (59, 8)])
+    def test_various_widths(self, log_q, expected):
+        assert chunks_per_word(log_q) == expected
+
+    def test_wider_engine(self):
+        assert chunks_per_word(28, precision_bits=16) == 2

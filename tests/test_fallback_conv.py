@@ -1,0 +1,69 @@
+"""Tests for the 1-D-convolution fallback multiplication (paper Appendix H)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chunks import chunk_decompose
+from repro.core.fallback_conv import chunkwise_convolution, convolution_modmul
+from repro.numtheory.primes import generate_ntt_prime
+
+Q = generate_ntt_prime(28, 4096)
+
+
+class TestChunkwiseConvolution:
+    def test_partial_sum_count(self, rng):
+        a = chunk_decompose(int(rng.integers(0, Q)), 4)
+        b = chunk_decompose(int(rng.integers(0, Q)), 4)
+        partial = chunkwise_convolution(a, b)
+        assert partial.shape == (7,)
+
+    def test_partial_sum_bound(self, rng):
+        """Each partial sum fits in 2*bp + log2(K) = 18 bits (paper Fig. 16)."""
+        a = np.full(4, 255, dtype=np.uint64)
+        partial = chunkwise_convolution(a, a)
+        assert int(partial.max()) < 1 << 18
+
+    def test_reconstructs_product(self, rng):
+        a_val = int(rng.integers(0, Q))
+        b_val = int(rng.integers(0, Q))
+        partial = chunkwise_convolution(chunk_decompose(a_val, 4), chunk_decompose(b_val, 4))
+        merged = sum(int(partial[i]) << (8 * i) for i in range(7))
+        assert merged == a_val * b_val
+
+    def test_mismatched_chunks_rejected(self):
+        with pytest.raises(ValueError):
+            chunkwise_convolution(np.zeros(4, dtype=np.uint64), np.zeros(3, dtype=np.uint64))
+
+
+class TestConvolutionModMul:
+    def test_vector_exactness(self, rng):
+        a = rng.integers(0, Q, size=3000, dtype=np.uint64)
+        b = rng.integers(0, Q, size=3000, dtype=np.uint64)
+        expected = (a.astype(object) * b.astype(object)) % Q
+        assert np.array_equal(convolution_modmul(a, b, Q), expected.astype(np.uint64))
+
+    def test_matrix_shape_preserved(self, rng):
+        a = rng.integers(0, Q, size=(6, 9), dtype=np.uint64)
+        b = rng.integers(0, Q, size=(6, 9), dtype=np.uint64)
+        result = convolution_modmul(a, b, Q)
+        assert result.shape == (6, 9)
+        assert np.array_equal(result, (a.astype(object) * b.astype(object) % Q).astype(np.uint64))
+
+    def test_edge_values(self):
+        a = np.array([0, 1, Q - 1, Q - 1], dtype=np.uint64)
+        b = np.array([Q - 1, Q - 1, Q - 1, 0], dtype=np.uint64)
+        expected = (a.astype(object) * b.astype(object)) % Q
+        assert np.array_equal(convolution_modmul(a, b, Q), expected.astype(np.uint64))
+
+    @given(
+        a=st.integers(min_value=0, max_value=Q - 1),
+        b=st.integers(min_value=0, max_value=Q - 1),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_scalar(self, a, b):
+        result = convolution_modmul(
+            np.array([a], dtype=np.uint64), np.array([b], dtype=np.uint64), Q
+        )
+        assert int(result[0]) == (a * b) % Q

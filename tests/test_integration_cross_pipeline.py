@@ -1,0 +1,134 @@
+"""Integration tests: CROSS's compiled kernels inside full HE pipelines.
+
+These tests thread the BAT/MAT machinery through multi-module pipelines --
+RNS polynomials, basis conversion and the functional MXU model -- to verify
+the paper's core claim that the transformations are lossless end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.bat import compile_left_operand, expand_runtime_right
+from repro.core.ntt3step import ThreeStepNttPlan
+from repro.numtheory.crt import RnsBasis
+from repro.poly.basis_conversion import BasisConversion
+from repro.poly.modmat import modmatmul
+from repro.poly.negacyclic import negacyclic_convolve
+from repro.poly.rns_poly import RnsPolynomial, ring_for
+from repro.tpu.mxu import MatrixUnit
+
+
+class TestRnsMultiplicationThroughThreeStepNtt:
+    """Full RNS polynomial multiplication with every limb using the MAT+BAT NTT."""
+
+    def test_limbwise_product_matches_schoolbook(self, rns_basis, rng):
+        degree = rns_basis.degree
+        plans = {
+            q: ThreeStepNttPlan(
+                degree=degree,
+                modulus=q,
+                psi=ring_for(degree, q).psi,
+                rows=8,
+                cols=8,
+                use_bat=True,
+                reduction="montgomery",
+            )
+            for q in rns_basis.moduli
+        }
+        a = RnsPolynomial.from_int_coefficients(
+            [int(v) % rns_basis.modulus_product for v in rng.integers(0, 2**60, size=degree)],
+            rns_basis,
+        )
+        b = RnsPolynomial.from_int_coefficients(
+            [int(v) % rns_basis.modulus_product for v in rng.integers(0, 2**60, size=degree)],
+            rns_basis,
+        )
+        product_rows = []
+        for index, q in enumerate(rns_basis.moduli):
+            plan = plans[q]
+            a_eval = plan.forward(a.residues[index])
+            b_eval = plan.forward(b.residues[index])
+            product_rows.append(plan.inverse((a_eval * b_eval) % np.uint64(q)))
+        via_cross = np.stack(product_rows, axis=0)
+        expected = a.multiply(b).to_coeff().residues
+        assert np.array_equal(via_cross, expected)
+
+
+class TestBconvStep2OnFunctionalMxu:
+    """BConv's step-2 matmul executed through BAT on the functional MXU model."""
+
+    def test_bat_bconv_matches_reference(self, rns_basis, rng):
+        target = RnsBasis.generate(5, 30, rns_basis.degree)
+        conversion = BasisConversion(source=rns_basis, target=target)
+        poly = RnsPolynomial.from_int_coefficients(
+            [int(v) % rns_basis.modulus_product for v in rng.integers(0, 2**59, size=rns_basis.degree)],
+            rns_basis,
+        )
+        scaled = conversion.step1(poly.residues)
+        reference = conversion.step2(scaled)
+
+        mxu = MatrixUnit(systolic_dim=128)
+        for j, p_j in enumerate(target.moduli):
+            row_constants = conversion.conversion_matrix[j:j + 1, :] % np.uint64(p_j)
+            plan = compile_left_operand(row_constants, int(p_j))
+            expanded = expand_runtime_right(scaled % np.uint64(p_j), plan)
+            chunk_sums, stats = mxu.multiply(plan.compiled, expanded)
+            assert stats.max_accumulator_bits <= 32
+            merged = np.zeros(scaled.shape[1], dtype=np.uint64)
+            for i in range(plan.num_chunks):
+                merged += chunk_sums[i].astype(np.uint64) << np.uint64(8 * i)
+            assert np.array_equal(merged % np.uint64(p_j), reference[j])
+
+
+class TestCompiledTwiddleReuse:
+    """One offline BAT compilation of the twiddle matrix serves a whole batch."""
+
+    def test_batch_of_polynomials(self, ring, rng):
+        plan = ThreeStepNttPlan(
+            degree=ring.degree, modulus=ring.modulus, psi=ring.psi, rows=8, cols=8,
+            use_bat=True, reduction="barrett",
+        )
+        batch = np.stack([ring.random_uniform(rng) for _ in range(4)])
+        outputs = plan.forward_batch(batch)
+        for row_in, row_out in zip(batch, outputs):
+            assert np.array_equal(plan.to_reference_order(row_out), ring.ntt(row_in))
+
+
+class TestNegacyclicProductViaBatMatmulOnly:
+    """A full negacyclic product computed with nothing but BAT matmuls.
+
+    The NTT matrices, the point-wise twiddles and the inverse all execute as
+    dense int8 matrix multiplications plus byte bookkeeping -- exactly the
+    instruction mix CROSS issues to the MXU.
+    """
+
+    def test_matches_schoolbook(self, ring, rng):
+        a = ring.random_uniform(rng)
+        b = ring.random_uniform(rng)
+        plan = ThreeStepNttPlan(
+            degree=ring.degree, modulus=ring.modulus, psi=ring.psi, rows=8, cols=8,
+            use_bat=True, reduction="montgomery",
+        )
+        a_eval = plan.forward(a)
+        b_eval = plan.forward(b)
+        product = plan.inverse((a_eval * b_eval) % np.uint64(ring.modulus))
+        assert np.array_equal(product, negacyclic_convolve(a, b, ring.modulus))
+
+
+class TestMatmulPrecisionInvariants:
+    """The BAT accumulator-width claim (2*bp + log2(KV) bits) holds in practice."""
+
+    @pytest.mark.parametrize("inner", [16, 64, 256])
+    def test_accumulator_width(self, inner, prime, rng):
+        a = rng.integers(0, prime, size=(4, inner), dtype=np.uint64)
+        b = rng.integers(0, prime, size=(inner, 8), dtype=np.uint64)
+        plan = compile_left_operand(a, prime)
+        expanded = expand_runtime_right(b, plan)
+        mxu = MatrixUnit()
+        _, stats = mxu.multiply(plan.compiled, expanded)
+        assert stats.max_accumulator_bits <= plan.accumulator_bits
+        assert plan.accumulator_bits <= 32
+        assert np.array_equal(
+            modmatmul(a, b, prime),
+            __import__("repro.core.bat", fromlist=["bat_modmatmul_left_known"]).bat_modmatmul_left_known(plan, b),
+        )

@@ -1,0 +1,85 @@
+"""Tests for the kernel IR (device operation graphs)."""
+
+import pytest
+
+from repro.core.kernel_ir import (
+    Category,
+    KernelGraph,
+    MatMulOp,
+    MemoryOp,
+    PermuteOp,
+    TypeConvertOp,
+    VectorOp,
+)
+
+
+class TestOps:
+    def test_matmul_counts(self):
+        op = MatMulOp(name="gemm", m=128, k=256, n=64, operand_bits=8, batch=2)
+        assert op.mac_count == 128 * 256 * 64 * 2
+        assert op.input_bytes == (128 * 256 + 256 * 64) * 1 * 2
+        assert op.output_bytes == 128 * 64 * 4 * 2
+
+    def test_matmul_32bit_bytes(self):
+        op = MatMulOp(name="gemm32", m=4, k=4, n=4, operand_bits=32)
+        assert op.input_bytes == (16 + 16) * 4
+
+    def test_vector_op(self):
+        op = VectorOp(name="vec", elements=1000, ops_per_element=10.0)
+        assert op.op_count == 10000
+        assert op.data_bytes == 1000 * 4 * 3
+
+    def test_permute_efficiency(self):
+        assert PermuteOp(name="t", elements=10, pattern="transpose").efficiency == 0.5
+        assert PermuteOp(name="g", elements=10, pattern="gather").efficiency == 0.08
+        assert PermuteOp(name="b", elements=10, pattern="broadcast").efficiency == 1.0
+        assert PermuteOp(name="x", elements=10, pattern="unknown").efficiency == 0.25
+
+    def test_permute_bytes(self):
+        op = PermuteOp(name="p", elements=100, operand_bits=32)
+        assert op.data_bytes == 800
+
+    def test_type_convert_bytes(self):
+        op = TypeConvertOp(name="c", elements=8, from_bits=32, to_bits=8)
+        assert op.data_bytes == 8 * 5
+
+    def test_memory_op(self):
+        op = MemoryOp(name="load", bytes_moved=4096)
+        assert op.bytes_moved == 4096
+        assert op.category == Category.OTHER
+
+
+class TestKernelGraph:
+    def test_add_and_extend(self):
+        graph = KernelGraph(name="g")
+        graph.add(VectorOp(name="a", elements=1))
+        graph.extend([VectorOp(name="b", elements=2), MatMulOp(name="c", m=1, k=1, n=1)])
+        assert len(graph.ops) == 3
+        assert graph.count(VectorOp) == 2
+        assert graph.count(MatMulOp) == 1
+
+    def test_totals(self):
+        graph = KernelGraph(name="g")
+        graph.add(MatMulOp(name="m1", m=2, k=3, n=4))
+        graph.add(MatMulOp(name="m2", m=1, k=1, n=1))
+        graph.add(VectorOp(name="v", elements=10, ops_per_element=2.0))
+        graph.add(PermuteOp(name="p", elements=5))
+        assert graph.total_macs == 24 + 1
+        assert graph.total_vector_ops == 20
+        assert graph.total_permute_bytes == 40
+
+    def test_merge_with_prefix(self):
+        inner = KernelGraph(name="inner").add(VectorOp(name="op", elements=1))
+        outer = KernelGraph(name="outer").merge(inner, prefix="sub")
+        assert outer.ops[0].name == "sub/op"
+
+    def test_repeat(self):
+        graph = KernelGraph(name="g").add(VectorOp(name="v", elements=1))
+        repeated = graph.repeat(5)
+        assert len(repeated.ops) == 5
+        assert repeated.name == "gx5"
+
+    def test_ops_are_frozen(self):
+        op = VectorOp(name="v", elements=1)
+        with pytest.raises(Exception):
+            op.elements = 2

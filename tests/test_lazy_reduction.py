@@ -1,0 +1,77 @@
+"""Tests for BAT lazy modular reduction (paper Appendix J)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lazy_reduction import LazyReductionPlan, lazy_reduce, lazy_reduce_exact
+from repro.numtheory.primes import generate_ntt_prime
+
+Q = generate_ntt_prime(28, 4096)
+
+
+@pytest.fixture(scope="module")
+def plan():
+    return LazyReductionPlan.create(Q)
+
+
+class TestPlan:
+    def test_constants(self, plan):
+        for j, constant in enumerate(plan.low_constants):
+            assert int(constant) == pow(2, (j + 4) * 8, Q)
+
+    def test_constant_chunks_reconstruct(self, plan):
+        for j in range(plan.num_chunks):
+            merged = sum(
+                int(plan.low_constant_chunks[j, k]) << (8 * k)
+                for k in range(plan.num_chunks)
+            )
+            assert merged == int(plan.low_constants[j])
+
+    def test_rejects_wide_modulus(self):
+        with pytest.raises(ValueError):
+            LazyReductionPlan.create(1 << 33)
+
+    def test_output_bound_formula(self, plan):
+        assert plan.output_bound == (1 << 32) + 4 * 255 * (Q - 1)
+
+
+class TestLazyReduce:
+    def test_congruence_and_bound(self, plan, rng):
+        values = rng.integers(0, 1 << 63, size=2000, dtype=np.uint64)
+        reduced = lazy_reduce(values, plan)
+        assert np.all(
+            (reduced.astype(object) - values.astype(object)) % Q == 0
+        )
+        assert int(reduced.max()) <= plan.output_bound
+
+    def test_matrix_and_direct_forms_agree(self, plan, rng):
+        values = rng.integers(0, 1 << 62, size=500, dtype=np.uint64)
+        matrix_form = lazy_reduce(values, plan, use_matrix=True)
+        direct_form = lazy_reduce(values, plan, use_matrix=False)
+        assert np.array_equal(matrix_form, direct_form)
+
+    def test_multiple_passes_shrink(self, plan, rng):
+        values = rng.integers(1 << 60, 1 << 63, size=200, dtype=np.uint64)
+        one_pass = lazy_reduce(values, plan, passes=1)
+        two_pass = lazy_reduce(values, plan, passes=2)
+        assert int(two_pass.max()) <= int(one_pass.max())
+        assert np.all((two_pass.astype(object) - values.astype(object)) % Q == 0)
+
+    def test_small_values_untouched(self, plan):
+        values = np.array([0, 1, Q - 1, (1 << 32) - 1], dtype=np.uint64)
+        assert np.array_equal(lazy_reduce(values, plan), values)
+
+    def test_exact_variant(self, plan, rng):
+        values = rng.integers(0, 1 << 63, size=1000, dtype=np.uint64)
+        expected = np.array([int(v) % Q for v in values], dtype=np.uint64)
+        assert np.array_equal(lazy_reduce_exact(values, plan), expected)
+
+    @given(value=st.integers(min_value=0, max_value=(1 << 63) - 1))
+    @settings(max_examples=150, deadline=None)
+    def test_property_congruence(self, value):
+        plan = LazyReductionPlan.create(Q)
+        reduced = int(lazy_reduce(np.array([value], dtype=np.uint64), plan)[0])
+        assert reduced % Q == value % Q
+        assert reduced <= plan.output_bound

@@ -1,0 +1,74 @@
+"""Tests for the 4-step NTT baseline (explicit transpose)."""
+
+import numpy as np
+import pytest
+
+from repro.poly.ntt_fourstep import FourStepNttPlan, _modular_matrix_inverse
+from repro.poly.ntt_reference import ntt_forward_negacyclic
+
+
+@pytest.fixture(scope="module", params=[(8, 8), (4, 16), (16, 4)])
+def plan(request, ring):
+    rows, cols = request.param
+    return FourStepNttPlan(
+        degree=ring.degree, modulus=ring.modulus, psi=ring.psi, rows=rows, cols=cols
+    )
+
+
+class TestFourStep:
+    def test_matches_reference(self, plan, ring, rng):
+        a = ring.random_uniform(rng)
+        assert np.array_equal(plan.forward(a), ring.ntt(a))
+
+    def test_inverse_roundtrip(self, plan, ring, rng):
+        a = ring.random_uniform(rng)
+        assert np.array_equal(plan.inverse(plan.forward(a)), a)
+
+    def test_zero_and_constant(self, plan, ring):
+        zero = ring.zeros()
+        assert np.all(plan.forward(zero) == 0)
+        const = ring.zeros()
+        const[0] = 5
+        assert np.all(plan.forward(const) == 5)
+
+    def test_shape_validation(self, ring):
+        with pytest.raises(ValueError):
+            FourStepNttPlan(
+                degree=ring.degree, modulus=ring.modulus, psi=ring.psi, rows=8, cols=16
+            )
+
+    def test_linearity(self, plan, ring, rng):
+        a = ring.random_uniform(rng)
+        b = ring.random_uniform(rng)
+        lhs = plan.forward(ring.add(a, b))
+        rhs = ring.add(plan.forward(a), plan.forward(b))
+        assert np.array_equal(lhs, rhs)
+
+
+class TestModularMatrixInverse:
+    def test_inverse_of_identity(self):
+        identity = np.eye(5, dtype=np.uint64)
+        assert np.array_equal(_modular_matrix_inverse(identity, 97), identity)
+
+    def test_inverse_property(self, rng):
+        from repro.poly.modmat import modmatmul
+
+        q = 97
+        while True:
+            matrix = rng.integers(0, q, size=(6, 6), dtype=np.uint64)
+            try:
+                inverse = _modular_matrix_inverse(matrix, q)
+                break
+            except ValueError:
+                continue
+        product = modmatmul(matrix, inverse, q)
+        assert np.array_equal(product, np.eye(6, dtype=np.uint64))
+
+    def test_singular_rejected(self):
+        singular = np.zeros((3, 3), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            _modular_matrix_inverse(singular, 97)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            _modular_matrix_inverse(np.zeros((2, 3), dtype=np.uint64), 97)

@@ -1,0 +1,136 @@
+"""Tests for RNS polynomials (limb-parallel ring elements)."""
+
+import numpy as np
+import pytest
+
+from repro.numtheory.crt import RnsBasis
+from repro.poly.negacyclic import negacyclic_convolve
+from repro.poly.rns_poly import COEFF_DOMAIN, EVAL_DOMAIN, RnsPolynomial, ring_for
+
+
+@pytest.fixture(scope="module")
+def poly_pair(rns_basis, rng):
+    big_q = rns_basis.modulus_product
+    coeffs_a = [int(v) for v in rng.integers(0, 2**60, size=rns_basis.degree)]
+    coeffs_b = [int(v) for v in rng.integers(0, 2**60, size=rns_basis.degree)]
+    a = RnsPolynomial.from_int_coefficients([c % big_q for c in coeffs_a], rns_basis)
+    b = RnsPolynomial.from_int_coefficients([c % big_q for c in coeffs_b], rns_basis)
+    return a, b
+
+
+class TestConstruction:
+    def test_zero(self, rns_basis):
+        zero = RnsPolynomial.zero(rns_basis)
+        assert np.all(zero.residues == 0)
+        assert zero.domain == COEFF_DOMAIN
+
+    def test_shape_validation(self, rns_basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial(rns_basis, np.zeros((2, 2), dtype=np.uint64))
+
+    def test_bad_domain(self, rns_basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial(
+                rns_basis,
+                np.zeros((rns_basis.size, rns_basis.degree), dtype=np.uint64),
+                "weird",
+            )
+
+    def test_int_roundtrip(self, rns_basis, rng):
+        coeffs = [int(v) % rns_basis.modulus_product for v in rng.integers(0, 2**62, size=rns_basis.degree)]
+        poly = RnsPolynomial.from_int_coefficients(coeffs, rns_basis)
+        assert poly.to_int_coefficients() == coeffs
+
+    def test_signed_roundtrip(self, rns_basis):
+        signed = np.array([-3, -1, 0, 2] * (rns_basis.degree // 4), dtype=np.int64)
+        poly = RnsPolynomial.from_signed_coefficients(signed, rns_basis)
+        assert poly.to_signed_coefficients() == signed.tolist()
+
+    def test_wrong_length(self, rns_basis):
+        with pytest.raises(ValueError):
+            RnsPolynomial.from_int_coefficients([1, 2, 3], rns_basis)
+
+    def test_ring_cache(self, rns_basis):
+        r1 = ring_for(rns_basis.degree, rns_basis.moduli[0])
+        r2 = ring_for(rns_basis.degree, rns_basis.moduli[0])
+        assert r1 is r2
+
+
+class TestArithmetic:
+    def test_add_matches_integer_add(self, poly_pair, rns_basis):
+        a, b = poly_pair
+        big_q = rns_basis.modulus_product
+        expected = [
+            (x + y) % big_q
+            for x, y in zip(a.to_int_coefficients(), b.to_int_coefficients())
+        ]
+        assert a.add(b).to_int_coefficients() == expected
+
+    def test_sub_negate(self, poly_pair):
+        a, b = poly_pair
+        assert a.sub(b).add(b).to_int_coefficients() == a.to_int_coefficients()
+        assert np.all(a.add(a.negate()).residues == 0)
+
+    def test_scalar_mul(self, poly_pair, rns_basis):
+        a, _ = poly_pair
+        big_q = rns_basis.modulus_product
+        expected = [(3 * c) % big_q for c in a.to_int_coefficients()]
+        assert a.scalar_mul(3).to_int_coefficients() == expected
+
+    def test_multiply_matches_schoolbook_per_limb(self, poly_pair, rns_basis):
+        a, b = poly_pair
+        product = a.multiply(b).to_coeff()
+        for index, q in enumerate(rns_basis.moduli):
+            expected = negacyclic_convolve(a.residues[index], b.residues[index], q)
+            assert np.array_equal(product.residues[index], expected)
+
+    def test_domain_mismatch_rejected(self, poly_pair):
+        a, b = poly_pair
+        with pytest.raises(ValueError):
+            a.add(b.to_eval())
+
+    def test_basis_mismatch_rejected(self, poly_pair, rns_basis):
+        a, _ = poly_pair
+        other = RnsPolynomial.zero(
+            RnsBasis(moduli=rns_basis.moduli[:2], degree=rns_basis.degree)
+        )
+        with pytest.raises(ValueError):
+            a.add(other)
+
+
+class TestDomains:
+    def test_eval_roundtrip(self, poly_pair):
+        a, _ = poly_pair
+        assert np.array_equal(a.to_eval().to_coeff().residues, a.residues)
+
+    def test_to_eval_idempotent(self, poly_pair):
+        a, _ = poly_pair
+        eval_once = a.to_eval()
+        assert np.array_equal(eval_once.to_eval().residues, eval_once.residues)
+
+    def test_reconstruction_requires_coeff_domain(self, poly_pair):
+        a, _ = poly_pair
+        with pytest.raises(ValueError):
+            a.to_eval().to_int_coefficients()
+
+
+class TestLimbOperations:
+    def test_keep_limbs(self, poly_pair):
+        a, _ = poly_pair
+        truncated = a.keep_limbs(2)
+        assert truncated.limb_count == 2
+        assert np.array_equal(truncated.residues, a.residues[:2])
+
+    def test_keep_limbs_validation(self, poly_pair):
+        a, _ = poly_pair
+        with pytest.raises(ValueError):
+            a.keep_limbs(0)
+        with pytest.raises(ValueError):
+            a.keep_limbs(a.limb_count + 1)
+
+    def test_automorphism_limbwise(self, poly_pair):
+        a, _ = poly_pair
+        rotated = a.automorphism(5)
+        for index in range(a.limb_count):
+            expected = a.ring(index).automorphism(a.residues[index], 5)
+            assert np.array_equal(rotated.residues[index], expected)

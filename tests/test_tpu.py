@@ -1,0 +1,272 @@
+"""Tests for the simulated TPU: specs, functional units, memory, device model."""
+
+import numpy as np
+import pytest
+
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import PARAMETER_SETS
+from repro.core.kernel_ir import (
+    Category,
+    Engine,
+    KernelGraph,
+    MatMulOp,
+    MemoryOp,
+    PermuteOp,
+    TypeConvertOp,
+    VectorOp,
+)
+from repro.tpu import (
+    COMPARISON_DEVICES,
+    TPU_TENSOR_CORES,
+    CostModelConfig,
+    CrossLaneUnit,
+    MatrixUnit,
+    MemoryHierarchy,
+    MxuPrecisionError,
+    TensorCoreDevice,
+    TpuVirtualMachine,
+    VectorUnit,
+    comparison_device,
+    tensor_core,
+)
+
+
+class TestSpecs:
+    def test_all_generations_present(self):
+        assert set(TPU_TENSOR_CORES) == {"TPUv4", "TPUv5e", "TPUv5p", "TPUv6e"}
+
+    def test_monotonic_compute(self):
+        ordered = ["TPUv4", "TPUv5e", "TPUv5p", "TPUv6e"]
+        peaks = [TPU_TENSOR_CORES[g].mxu_ops_per_second for g in ordered]
+        assert peaks == sorted(peaks)
+
+    def test_v6e_has_larger_mxu(self):
+        assert TPU_TENSOR_CORES["TPUv6e"].mxu_systolic_dim == 256
+        assert TPU_TENSOR_CORES["TPUv4"].mxu_systolic_dim == 128
+
+    def test_vreg_size_is_4kb(self):
+        assert tensor_core("TPUv4").vreg_bytes == 4096
+
+    def test_vpu_throughput_formula(self):
+        spec = tensor_core("TPUv4")
+        assert spec.vpu_ops_per_second == 128 * 8 * 2 * spec.clock_hz
+
+    def test_unknown_generation(self):
+        with pytest.raises(KeyError):
+            tensor_core("TPUv99")
+
+    def test_comparison_devices(self):
+        assert comparison_device("NVIDIA A100").tdp_watts == 400
+        assert comparison_device("AMD Alveo U280").category == "FPGA"
+        with pytest.raises(KeyError):
+            comparison_device("Abacus")
+
+    def test_fig5_ai_asics_most_efficient(self):
+        """Fig. 5 claim: AI ASICs sit on the best TOPs/W frontier of their node."""
+        v6e = COMPARISON_DEVICES["TPUv6e"]
+        a100 = COMPARISON_DEVICES["NVIDIA A100"]
+        u280 = COMPARISON_DEVICES["AMD Alveo U280"]
+        assert v6e.int8_tops / v6e.tdp_watts > a100.int8_tops / a100.tdp_watts
+        assert a100.int8_tops / a100.tdp_watts > u280.int8_tops / u280.tdp_watts
+
+
+class TestMatrixUnit:
+    def test_exact_product(self, rng):
+        mxu = MatrixUnit()
+        a = rng.integers(0, 256, size=(32, 16), dtype=np.int64)
+        b = rng.integers(0, 256, size=(16, 8), dtype=np.int64)
+        result, stats = mxu.multiply(a, b)
+        assert np.array_equal(result, a @ b)
+        assert stats.macs == 32 * 16 * 8
+        assert stats.max_accumulator_bits <= 32
+
+    def test_rejects_wide_operands(self):
+        mxu = MatrixUnit()
+        with pytest.raises(MxuPrecisionError):
+            mxu.multiply(np.array([[256]]), np.array([[1]]))
+
+    def test_rejects_signed_operands(self):
+        mxu = MatrixUnit()
+        with pytest.raises(MxuPrecisionError):
+            mxu.multiply(np.array([[-1]]), np.array([[1]]))
+
+    def test_accumulator_overflow_detected(self):
+        mxu = MatrixUnit(accumulator_bits=16)
+        a = np.full((1, 64), 255, dtype=np.int64)
+        with pytest.raises(MxuPrecisionError):
+            mxu.multiply(a, a.T)
+
+    def test_tile_count(self):
+        mxu = MatrixUnit(systolic_dim=128)
+        assert mxu.tile_count(128, 128, 128) == 1
+        assert mxu.tile_count(256, 128, 64) == 2
+        assert mxu.tile_count(129, 129, 1) == 4
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            MatrixUnit().multiply(np.zeros((2, 3)), np.zeros((4, 5)))
+
+
+class TestVectorUnit:
+    def test_modmul_exact(self, rng, prime):
+        vpu = VectorUnit()
+        a = rng.integers(0, prime, size=3000, dtype=np.uint64)
+        b = rng.integers(0, prime, size=3000, dtype=np.uint64)
+        result, stats = vpu.elementwise_modmul(a, b, prime)
+        assert np.array_equal(result, (a.astype(object) * b.astype(object) % prime).astype(np.uint64))
+        assert stats.vreg_tiles == -(-3000 // 1024)
+
+    def test_modadd_modsub(self, rng, prime):
+        vpu = VectorUnit()
+        a = rng.integers(0, prime, size=100, dtype=np.uint64)
+        b = rng.integers(0, prime, size=100, dtype=np.uint64)
+        total, _ = vpu.elementwise_modadd(a, b, prime)
+        diff, _ = vpu.elementwise_modsub(total, b, prime)
+        assert np.array_equal(diff, a)
+
+    def test_rejects_wide_modulus(self):
+        with pytest.raises(ValueError):
+            VectorUnit().elementwise_modmul(np.array([1]), np.array([1]), 1 << 40)
+
+    def test_tile_utilization(self):
+        vpu = VectorUnit()
+        stats = vpu.tile_stats(512)
+        assert stats.vreg_tiles == 1
+        assert stats.utilization == 0.5
+
+
+class TestCrossLaneUnit:
+    def test_transpose(self, rng):
+        xlu = CrossLaneUnit()
+        matrix = rng.integers(0, 100, size=(16, 8))
+        transposed, stats = xlu.transpose(matrix)
+        assert np.array_equal(transposed, matrix.T)
+        assert stats.pattern == "transpose"
+
+    def test_shuffle_and_gather(self, rng):
+        xlu = CrossLaneUnit()
+        values = rng.integers(0, 100, size=64)
+        indices = rng.permutation(64)
+        shuffled, s_stats = xlu.shuffle(values, indices)
+        gathered, g_stats = xlu.gather(values, indices)
+        assert np.array_equal(shuffled, values[indices])
+        assert np.array_equal(gathered, values[indices])
+        assert g_stats.efficiency < s_stats.efficiency
+
+    def test_reduce(self, rng):
+        xlu = CrossLaneUnit()
+        values = rng.integers(0, 100, size=(4, 16))
+        reduced, _ = xlu.reduce(values, axis=0)
+        assert np.array_equal(reduced, values.sum(axis=0))
+
+
+class TestMemoryHierarchy:
+    def test_vmem_vs_hbm_bandwidth(self):
+        memory = MemoryHierarchy(tensor_core("TPUv6e"))
+        small = memory.effective_read_bandwidth(1 << 20)
+        huge = memory.effective_read_bandwidth(1 << 30)
+        assert small > huge
+        assert huge == tensor_core("TPUv6e").hbm_bandwidth
+
+    def test_fits_in_vmem(self):
+        memory = MemoryHierarchy(tensor_core("TPUv4"))
+        assert memory.fits_in_vmem(1 << 20)
+        assert not memory.fits_in_vmem(1 << 30)
+
+    def test_transfer_time_positive(self):
+        memory = MemoryHierarchy(tensor_core("TPUv4"))
+        assert memory.transfer_time(1 << 20) > 0
+        assert memory.hbm_time(1 << 20) >= memory.transfer_time(1 << 20)
+
+
+class TestDeviceModel:
+    def test_matmul_int8_goes_to_mxu(self):
+        device = TensorCoreDevice.for_generation("TPUv6e")
+        event = device.cost_op(MatMulOp(name="g", m=256, k=256, n=256, operand_bits=8))
+        assert event.engine == Engine.MXU
+
+    def test_matmul_int32_goes_to_vpu(self):
+        device = TensorCoreDevice.for_generation("TPUv6e")
+        event = device.cost_op(MatMulOp(name="g", m=64, k=64, n=64, operand_bits=32))
+        assert event.engine == Engine.VPU
+
+    def test_vpu_matmul_much_slower(self):
+        device = TensorCoreDevice.for_generation("TPUv6e")
+        mxu = device.cost_op(MatMulOp(name="a", m=256, k=256, n=4096, operand_bits=8))
+        vpu = device.cost_op(MatMulOp(name="b", m=256, k=256, n=4096, operand_bits=32))
+        assert vpu.latency_s > mxu.latency_s
+
+    def test_gather_slower_than_transpose(self):
+        device = TensorCoreDevice.for_generation("TPUv6e")
+        transpose = device.cost_op(PermuteOp(name="t", elements=1 << 20, pattern="transpose"))
+        gather = device.cost_op(PermuteOp(name="g", elements=1 << 20, pattern="gather"))
+        assert gather.latency_s > transpose.latency_s
+
+    def test_memory_op(self):
+        device = TensorCoreDevice.for_generation("TPUv4")
+        event = device.cost_op(MemoryOp(name="m", bytes_moved=1 << 24))
+        assert event.engine == Engine.MEMORY
+        assert event.latency_s > 0
+
+    def test_type_convert(self):
+        device = TensorCoreDevice.for_generation("TPUv4")
+        event = device.cost_op(TypeConvertOp(name="c", elements=1 << 16))
+        assert event.engine == Engine.VPU
+
+    def test_unknown_op_type(self):
+        device = TensorCoreDevice.for_generation("TPUv4")
+        with pytest.raises(TypeError):
+            device.cost_op(object())
+
+    def test_trace_totals_and_categories(self):
+        device = TensorCoreDevice.for_generation("TPUv6e")
+        graph = KernelGraph(name="k")
+        graph.add(VectorOp(name="v", elements=1 << 16, category=Category.VEC_MOD_OPS))
+        graph.add(MatMulOp(name="m", m=128, k=128, n=128, category=Category.NTT_MATMUL))
+        trace = device.run(graph)
+        assert trace.total_latency > 0
+        fractions = trace.category_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+        assert Category.VEC_MOD_OPS in fractions
+
+    def test_latency_is_sum_of_events(self):
+        device = TensorCoreDevice.for_generation("TPUv4")
+        graph = KernelGraph(name="k").add(VectorOp(name="v", elements=100))
+        trace = device.run(graph)
+        assert trace.total_latency == pytest.approx(sum(e.latency_s for e in trace.events))
+
+    def test_faster_generation_is_faster(self):
+        compiler = CrossCompiler(PARAMETER_SETS["B"], CompilerOptions.cross_default())
+        graph = compiler.he_mult()
+        v4 = TensorCoreDevice.for_generation("TPUv4").latency(graph)
+        v6e = TensorCoreDevice.for_generation("TPUv6e").latency(graph)
+        assert v6e < v4
+
+    def test_custom_cost_config(self):
+        config = CostModelConfig(dispatch_overhead_s=0.0, kernel_launch_overhead_s=0.0)
+        device = TensorCoreDevice.for_generation("TPUv6e", config)
+        graph = KernelGraph(name="k").add(VectorOp(name="v", elements=1))
+        baseline = TensorCoreDevice.for_generation("TPUv6e").latency(graph)
+        assert device.latency(graph) < baseline
+
+
+class TestTpuVirtualMachine:
+    def test_amortized_latency(self):
+        compiler = CrossCompiler(PARAMETER_SETS["A"], CompilerOptions.cross_default())
+        graph = compiler.ntt(limbs=1)
+        vm1 = TpuVirtualMachine("TPUv6e", 1)
+        vm8 = TpuVirtualMachine("TPUv6e", 8)
+        assert vm8.amortized_latency(graph) == pytest.approx(vm1.amortized_latency(graph) / 8)
+
+    def test_throughput_per_watt(self):
+        compiler = CrossCompiler(PARAMETER_SETS["A"], CompilerOptions.cross_default())
+        graph = compiler.ntt(limbs=1)
+        vm = TpuVirtualMachine("TPUv6e", 4)
+        assert vm.throughput(graph) > 0
+        assert vm.throughput_per_watt(graph) == pytest.approx(
+            vm.throughput(graph) / vm.total_power_watts
+        )
+
+    def test_total_power(self):
+        vm = TpuVirtualMachine("TPUv4", 8)
+        assert vm.total_power_watts == 8 * tensor_core("TPUv4").tdp_watts
