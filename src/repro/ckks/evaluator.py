@@ -18,7 +18,7 @@ from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import GaloisKey, GaloisKeySet, RelinearizationKey
 from repro.ckks.keyswitch import switch_key
 from repro.ckks.params import CkksParameters
-from repro.numtheory.modular import mod_inv
+from repro.numtheory.crt import inverse_column
 from repro.poly.rns_poly import RnsPolynomial
 
 
@@ -191,18 +191,20 @@ def _match_level(poly: RnsPolynomial, level: int) -> RnsPolynomial:
 def _rescale_poly(
     poly: RnsPolynomial, params: CkksParameters, level: int
 ) -> RnsPolynomial:
-    """RNS rescaling of one polynomial: ``(c - [c]_{q_last}) / q_last`` limb-wise."""
+    """RNS rescaling of one polynomial: ``(c - [c]_{q_last}) / q_last``.
+
+    All surviving limbs are processed in one batched pass: the dropped limb is
+    reduced against every remaining modulus by broadcasting, the subtraction
+    uses a conditional subtract (operands are already reduced), and the
+    per-limb ``q_last^{-1}`` constants are cached across calls.
+    """
     poly = poly.to_coeff()
     last_index = level - 1
     last_modulus = params.modulus_basis.moduli[last_index]
     last_limb = poly.residues[last_index]
     new_basis = params.basis_at_level(level - 1)
-    rows = []
-    for index, q_i in enumerate(new_basis.moduli):
-        inverse = np.uint64(mod_inv(last_modulus % q_i, q_i))
-        reduced_last = last_limb % np.uint64(q_i)
-        diff = (
-            poly.residues[index] + (np.uint64(q_i) - reduced_last)
-        ) % np.uint64(q_i)
-        rows.append((diff * inverse) % np.uint64(q_i))
-    return RnsPolynomial(new_basis, np.stack(rows, axis=0), "coeff")
+    moduli = new_basis.moduli_array[:, None]
+    inverses = inverse_column(last_modulus, new_basis.moduli)
+    diff = poly.residues[:last_index] + (moduli - last_limb[None, :] % moduli)
+    diff = np.where(diff >= moduli, diff - moduli, diff)
+    return RnsPolynomial(new_basis, (diff * inverses) % moduli, "coeff")

@@ -13,18 +13,24 @@ level+special basis (BConv), inner product with the key digits, and ModDown
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from repro.ckks.keys import KeySwitchKey, digit_partition
 from repro.ckks.params import CkksParameters
-from repro.numtheory.crt import RnsBasis
-from repro.numtheory.modular import mod_inv
-from repro.poly.basis_conversion import BasisConversion
+from repro.numtheory.crt import RnsBasis, inverse_column
+from repro.poly.basis_conversion import conversion_for
 from repro.poly.rns_poly import RnsPolynomial
 
 
+@lru_cache(maxsize=None)
+def _sub_basis_cached(moduli: tuple[int, ...], degree: int) -> RnsBasis:
+    return RnsBasis(moduli=moduli, degree=degree)
+
+
 def _sub_basis(basis: RnsBasis, start: int, stop: int) -> RnsBasis:
-    return RnsBasis(moduli=basis.moduli[start:stop], degree=basis.degree)
+    return _sub_basis_cached(basis.moduli[start:stop], basis.degree)
 
 
 def switch_key(
@@ -54,10 +60,11 @@ def switch_key(
     for (start, stop), (b_j, a_j) in zip(partitions, digit_keys):
         digit_basis = _sub_basis(level_basis, start, stop)
         digit_poly = RnsPolynomial(
-            digit_basis, poly.residues[start:stop].copy(), "coeff"
+            digit_basis, poly.residues[start:stop], "coeff"
         )
-        # Basis-extend the digit to the full level + special basis (BConv).
-        conversion = BasisConversion(source=digit_basis, target=extended)
+        # Basis-extend the digit to the full level + special basis (BConv);
+        # the conversion constants are compiled once per basis pair.
+        conversion = conversion_for(digit_basis, extended)
         extended_digit = conversion.convert(digit_poly)
         term0 = extended_digit.multiply(b_j).to_coeff()
         term1 = extended_digit.multiply(a_j).to_coeff()
@@ -84,19 +91,12 @@ def mod_down(
         raise ValueError("ModDown input must live in the extended basis")
     poly = poly.to_coeff()
 
-    special_part = RnsPolynomial(
-        special, poly.residues[level:].copy(), "coeff"
-    )
-    conversion = BasisConversion(source=special, target=level_basis)
+    special_part = RnsPolynomial(special, poly.residues[level:], "coeff")
+    conversion = conversion_for(special, level_basis)
     correction = conversion.convert(special_part)
 
-    p_product = special.modulus_product
-    rows = []
-    for index, q_i in enumerate(level_basis.moduli):
-        inverse = np.uint64(mod_inv(p_product % q_i, q_i))
-        diff = (
-            poly.residues[index]
-            + (np.uint64(q_i) - correction.residues[index])
-        ) % np.uint64(q_i)
-        rows.append((diff * inverse) % np.uint64(q_i))
-    return RnsPolynomial(level_basis, np.stack(rows, axis=0), "coeff")
+    moduli = level_basis.moduli_array[:, None]
+    inverses = inverse_column(special.modulus_product, level_basis.moduli)
+    diff = poly.residues[:level] + (moduli - correction.residues)
+    diff = np.where(diff >= moduli, diff - moduli, diff)
+    return RnsPolynomial(level_basis, (diff * inverses) % moduli, "coeff")

@@ -9,12 +9,25 @@ container that the polynomial and CKKS layers build on.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from functools import reduce
+from functools import lru_cache, reduce
 
 import numpy as np
 
 from repro.numtheory.modular import mod_inv
 from repro.numtheory.primes import generate_rns_primes
+
+
+@lru_cache(maxsize=None)
+def inverse_column(value: int, moduli: tuple[int, ...]) -> np.ndarray:
+    """Per-limb ``value^{-1} mod q_i`` as a cached read-only (L, 1) uint64 column.
+
+    The hot RNS division steps (rescale, ModDown) multiply a whole residue
+    matrix by the same per-limb inverse constants on every call; this memoises
+    the column once per (value, basis) pair.
+    """
+    inverses = np.array([mod_inv(value % q, q) for q in moduli], dtype=np.uint64)[:, None]
+    inverses.flags.writeable = False
+    return inverses
 
 
 def crt_decompose(value: int, moduli: list[int]) -> list[int]:
@@ -75,6 +88,12 @@ class RnsBasis:
         if not self.moduli:
             raise ValueError("RNS basis needs at least one modulus")
         object.__setattr__(self, "_hat_inverses", tuple(self._compute_hat_inverses()))
+        # Cached read-only moduli vector: the hot limb-wise paths broadcast it
+        # on every operation, so it must not be rebuilt per property access.
+        # (Stored outside the dataclass fields to keep eq/hash tuple-based.)
+        array = np.array(self.moduli, dtype=np.uint64)
+        array.flags.writeable = False
+        object.__setattr__(self, "_moduli_array", array)
 
     @classmethod
     def generate(cls, count: int, bits: int, degree: int) -> "RnsBasis":
@@ -94,8 +113,8 @@ class RnsBasis:
 
     @property
     def moduli_array(self) -> np.ndarray:
-        """Moduli as a uint64 NumPy array (one per limb)."""
-        return np.array(self.moduli, dtype=np.uint64)
+        """Moduli as a shared read-only uint64 NumPy array (one per limb)."""
+        return self._moduli_array
 
     def _compute_hat_inverses(self) -> list[int]:
         """Per-limb ``(Q / q_i)^{-1} mod q_i`` -- the BConv step-1 constants."""
@@ -128,14 +147,41 @@ class RnsBasis:
         return np.stack(rows, axis=0)
 
     def compose_array(self, residues: np.ndarray) -> list[int]:
-        """Reconstruct a list of integers from a (L, n) residue matrix."""
+        """Reconstruct a list of integers from a (L, n) residue matrix.
+
+        For one- and two-limb bases with word-sized moduli the reconstruction
+        runs as a fully vectorized Garner step (every intermediate fits
+        uint64), which is the hot case for rescaled ciphertexts and plaintext
+        decode; larger bases fall back to exact big-integer CRT per column.
+        """
         residues = np.asarray(residues)
         if residues.shape[0] != self.size:
             raise ValueError("residue matrix must have one row per limb")
+        if (
+            self.size <= 2
+            and residues.dtype.kind == "u"
+            and all(int(q) < (1 << 32) for q in self.moduli)
+        ):
+            # Signed / object inputs keep the exact big-int path (a negative
+            # residue must reduce like a Python int, not wrap through uint64).
+            return self._compose_array_small(residues.astype(np.uint64, copy=False))
         return [
             self.compose([int(residues[i, j]) for i in range(self.size)])
             for j in range(residues.shape[1])
         ]
+
+    def _compose_array_small(self, residues: np.ndarray) -> list[int]:
+        """Vectorized Garner reconstruction for L <= 2 word-sized limbs."""
+        q0 = np.uint64(self.moduli[0])
+        first = residues[0] % q0
+        if self.size == 1:
+            return first.tolist()
+        q1 = np.uint64(self.moduli[1])
+        inverse = np.uint64(mod_inv(self.moduli[0] % self.moduli[1], self.moduli[1]))
+        delta = residues[1] % q1 + (q1 - first % q1)
+        delta = np.where(delta >= q1, delta - q1, delta)
+        correction = (delta * inverse) % q1
+        return (first + correction * q0).tolist()
 
     def drop_last(self, count: int = 1) -> "RnsBasis":
         """Return the basis with the last ``count`` moduli removed (rescaling)."""

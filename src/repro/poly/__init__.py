@@ -6,6 +6,10 @@ The CKKS scheme computes in ``R_Q = Z_Q[x]/(x^N + 1)``.  This package provides
 * ``ntt_reference`` -- the radix-2 (Cooley-Tukey) negacyclic NTT/INTT with
   natural-order semantics, used as the functional reference for every other
   NTT formulation in the library,
+* ``ntt_engine`` -- the production path: cached per-ring ``NttPlan`` objects
+  (precomputed bit-reversal, per-stage twiddles, twist vectors and Shoup
+  companion constants) and limb-stacked ``NttPlanStack`` execution of whole
+  ``(L, N)`` residue matrices,
 * ``ntt_fourstep`` -- the GPU-style 4-step NTT with its explicit transpose and
   output reordering (the decomposing-layer baseline of paper section III-D),
 * ``ring`` -- a ``PolyRing`` bundling modulus, roots of unity and NTT plans,
@@ -14,7 +18,8 @@ The CKKS scheme computes in ``R_Q = Z_Q[x]/(x^N + 1)``.  This package provides
   step-2 modular matrix multiplication BAT accelerates (paper Table VI).
 """
 
-from repro.poly.basis_conversion import BasisConversion
+from repro.poly.basis_conversion import BasisConversion, conversion_for
+from repro.poly.ntt_engine import NttPlan, NttPlanStack, plan_for, plan_stack_for
 from repro.poly.negacyclic import (
     negacyclic_convolve,
     poly_add,
@@ -34,8 +39,13 @@ from repro.poly.rns_poly import RnsPolynomial
 __all__ = [
     "BasisConversion",
     "FourStepNttPlan",
+    "NttPlan",
+    "NttPlanStack",
     "PolyRing",
     "RnsPolynomial",
+    "conversion_for",
+    "plan_for",
+    "plan_stack_for",
     "negacyclic_convolve",
     "negacyclic_evaluate_direct",
     "ntt_forward_negacyclic",

@@ -22,6 +22,7 @@ used by tests and by rescaling correctness checks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -113,3 +114,15 @@ class BasisConversion:
         integers = polynomial.to_int_coefficients()
         residues = self.target.decompose_array(integers)
         return RnsPolynomial(self.target, residues, COEFF_DOMAIN)
+
+
+@lru_cache(maxsize=None)
+def conversion_for(source: RnsBasis, target: RnsBasis) -> BasisConversion:
+    """Return a cached :class:`BasisConversion` for a (source, target) pair.
+
+    Key switching performs the same digit -> extended-basis conversions on
+    every call; the constant tables (``hat_inverses`` and the conversion
+    matrix) depend only on the two bases, so they are compiled once per pair
+    and shared process-wide, mirroring the NTT plan cache.
+    """
+    return BasisConversion(source=source, target=target)

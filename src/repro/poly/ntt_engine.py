@@ -1,0 +1,411 @@
+"""Vectorized limb-parallel NTT engine with cached twiddle plans and Shoup hot paths.
+
+The reference transform (`repro.poly.ntt_reference`) is bit-exact but rebuilds
+its twiddle, twist, and bit-reversal tables inside Python loops on every call,
+and the RNS layer invokes it once per limb.  This module is the production
+path: an :class:`NttPlan` precomputes, once per ``(degree, modulus)`` ring,
+
+* the bit-reversal permutation,
+* the per-stage forward and inverse twiddle tables,
+* the negacyclic twist / untwist vectors (untwist folds in ``N^{-1}``), and
+* Shoup companion constants ``floor(w * 2**32 / q)`` for every fixed
+  multiplier,
+
+then executes the radix-2 butterflies as a handful of whole-array NumPy
+passes.  The hot loop never divides: multiplication by a precomputed constant
+uses Shoup's method (two word multiplies, see `repro.numtheory.shoup`), and
+the butterflies are *lazy* in Harvey's sense -- intermediate values live in
+``[0, 4q)``, each stage performs a single conditional subtraction of ``2q``
+(via the uint64 wrap-around ``minimum`` trick), and values are reduced to the
+canonical ``[0, q)`` range only once at the end.  This is exact for any
+``q < 2**30``; the transform output is therefore bit-identical to the
+reference oracle, which every plan is property-tested against.
+
+:class:`NttPlanStack` stacks the per-limb tables of an RNS basis into
+``(L, ...)`` arrays so an entire ``(L, N)`` residue matrix is transformed in
+one shot -- the limb-parallel execution model the paper maps onto wide batched
+hardware.  Plans and stacks are memoised process-wide via :func:`plan_for` and
+:func:`plan_stack_for`.  Oversized moduli (``>= 2**30``) are not planned;
+callers fall back to the big-int-safe reference path.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
+from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
+
+#: Lazy (Harvey-style) butterflies need ``4q < 2**32`` so every intermediate
+#: fits the 32-bit Shoup precision and uint64 products never overflow.
+MAX_PLAN_MODULUS = 1 << 30
+
+_SHIFT32 = np.uint64(32)
+
+
+def _shoup_quotients(values: np.ndarray, modulus: int) -> np.ndarray:
+    """Per-element 32-bit Shoup companions ``floor(w * 2**32 / q)``."""
+    flat = [(int(w) << 32) // modulus for w in values.ravel().tolist()]
+    return np.array(flat, dtype=np.uint64).reshape(values.shape)
+
+
+def _reduce_once(x: np.ndarray, q, scratch: np.ndarray | None = None) -> None:
+    """In-place conditional subtract of ``q`` for values in ``[0, 2q)``.
+
+    Uses the wrap-around trick: ``x - q`` underflows past ``x`` whenever
+    ``x < q``, so ``minimum`` selects the reduced representative.
+    """
+    if scratch is None:
+        np.minimum(x, x - q, out=x)
+    else:
+        np.subtract(x, q, out=scratch)
+        np.minimum(x, scratch, out=x)
+
+
+def _twist_in_place(data: np.ndarray, w: np.ndarray, w_shoup: np.ndarray, q, hi: np.ndarray) -> None:
+    """Lazy Shoup multiply of ``data`` by a same-shape table, allocation-free.
+
+    ``hi`` is a full-size scratch buffer; ``data`` ends up in ``[0, 2q)``.
+    """
+    np.multiply(data, w_shoup, out=hi)
+    hi >>= _SHIFT32
+    hi *= q
+    data *= w
+    data -= hi
+
+
+def _power_table(base: int, count: int, modulus: int, *, first: int = 1) -> np.ndarray:
+    """``[first * base**j mod q for j in range(count)]`` by vectorized doubling."""
+    out = np.empty(count, dtype=np.uint64)
+    out[0] = first % modulus
+    q = np.uint64(modulus)
+    step = base % modulus
+    filled = 1
+    while filled < count:
+        take = min(filled, count - filled)
+        out[filled : filled + take] = (out[:take] * np.uint64(step)) % q
+        filled += take
+        step = (step * step) % modulus
+    return out
+
+
+#: Stages with at most this many twiddles run on transposed views: the block
+#: axis becomes the inner loop, avoiding per-chunk ufunc overhead on the
+#: tiny contiguous runs of the early stages.
+_TRANSPOSE_MAX_HALF = 8
+
+
+@dataclass(frozen=True)
+class _Stage:
+    """One butterfly stage: twiddles and Shoup companions, both orientations.
+
+    ``twiddles``/``shoup`` broadcast along the half axis (block-major views);
+    the ``_t`` variants carry a trailing singleton so they broadcast along the
+    block axis instead (transposed views for small-``half`` stages).
+    ``identity`` marks the all-ones first stage, whose multiplication (and,
+    with reduced inputs, whose reductions) are skipped entirely.
+    """
+
+    twiddles: np.ndarray
+    shoup: np.ndarray
+    twiddles_t: np.ndarray
+    shoup_t: np.ndarray
+    identity: bool
+
+
+def _make_stage(twiddles: np.ndarray, shoup: np.ndarray) -> _Stage:
+    """Package 1-D twiddle tables with their transposed-broadcast variants."""
+    return _Stage(
+        twiddles=twiddles,
+        shoup=shoup,
+        twiddles_t=twiddles[:, None],
+        shoup_t=shoup[:, None],
+        identity=bool(np.all(twiddles == 1)),
+    )
+
+
+def _build_stages(root: int, n: int, modulus: int) -> tuple[_Stage, ...]:
+    """Per-stage twiddle tables for a decimation-in-time cyclic NTT."""
+    stages = []
+    length = 2
+    while length <= n:
+        stage_root = pow(root, n // length, modulus)
+        twiddles = _power_table(stage_root, length // 2, modulus)
+        stages.append(_make_stage(twiddles, _shoup_quotients(twiddles, modulus)))
+        length *= 2
+    return tuple(stages)
+
+
+def _lazy_butterflies(data, stages: tuple[_Stage, ...], q, two_q, scratch=None) -> None:
+    """In-place lazy DIT butterfly cascade over the last axis.
+
+    Input values must be below ``2q`` (bit-reversed order); outputs are below
+    ``4q``.  In the plan-stack layout the stage tables carry a broadcast limb
+    axis and ``q``/``two_q`` are ``(L, 1, 1)`` columns; in the single-modulus
+    layout they are scalars.
+
+    Every stage writes through two reusable half-size scratch buffers
+    (allocated once per plan): the hot loop performs zero allocations, which
+    matters because fresh buffers of NTT size fall through to mmap and pay a
+    page-fault per stage otherwise.
+    """
+    n = data.shape[-1]
+    if n < 2:
+        return
+    lead = data.shape[:-1]
+    if scratch is None:
+        scratch = (
+            np.empty((*lead, n // 2), dtype=np.uint64),
+            np.empty((*lead, n // 2), dtype=np.uint64),
+        )
+    for index, stage in enumerate(stages):
+        half = stage.twiddles.shape[-1]
+        length = 2 * half
+        blocks = data.reshape(*lead, n // length, length)
+        if index == 0 and stage.identity:
+            # First stage: twiddle is 1 and inputs are < 2q, so the butterfly
+            # needs no multiplication and no reduction (outputs < 4q).
+            upper = blocks[..., :half]
+            lower = blocks[..., half:]
+            tmp = scratch[0].reshape(*lead, n // length, half)
+            np.add(upper, two_q, out=tmp)
+            tmp -= lower
+            np.add(upper, lower, out=upper)
+            lower[...] = tmp
+            continue
+        if half <= _TRANSPOSE_MAX_HALF and n // length > half:
+            # Small-half stage: make the (large) block axis the inner loop.
+            upper = blocks[..., :half].swapaxes(-1, -2)
+            lower = blocks[..., half:].swapaxes(-1, -2)
+            twiddle_w, twiddle_s = stage.twiddles_t, stage.shoup_t
+            shape = (*lead, half, n // length)
+        else:
+            upper = blocks[..., :half]
+            lower = blocks[..., half:]
+            twiddle_w, twiddle_s = stage.twiddles, stage.shoup
+            shape = (*lead, n // length, half)
+        tmp = scratch[0].reshape(shape)
+        twisted = scratch[1].reshape(shape)
+        # Shoup multiply by the stage twiddles, lazily (result < 2q).
+        np.multiply(lower, twiddle_s, out=tmp)
+        tmp >>= _SHIFT32
+        tmp *= q
+        np.multiply(lower, twiddle_w, out=twisted)
+        twisted -= tmp
+        np.subtract(upper, two_q, out=tmp)
+        np.minimum(upper, tmp, out=tmp)
+        np.add(tmp, twisted, out=upper)
+        tmp += two_q
+        np.subtract(tmp, twisted, out=lower)
+
+
+@dataclass
+class NttPlan:
+    """Precomputed negacyclic NTT machinery for one ``(degree, modulus)`` ring.
+
+    ``forward``/``inverse`` accept any ``(..., N)`` array of *reduced*
+    residues and transform every row in one vectorized pass; outputs are in
+    ``[0, q)`` and bit-exact with the `repro.poly.ntt_reference` functions for
+    the same ``psi``.
+    """
+
+    degree: int
+    modulus: int
+    psi: int
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.degree):
+            raise ValueError("NTT length must be a power of two")
+        if not 1 < self.modulus < MAX_PLAN_MODULUS:
+            raise ValueError("NttPlan requires 1 < q < 2**30 (lazy-reduction bound)")
+        n, q = self.degree, self.modulus
+        self._q = np.uint64(q)
+        self._two_q = np.uint64(2 * q)
+        self.bitrev = bit_reverse_indices(n)
+        omega = pow(self.psi, 2, q)
+        self.fwd_stages = _build_stages(omega, n, q)
+        self.inv_stages = _build_stages(mod_inv(omega, q), n, q)
+        self.twist = _power_table(self.psi, n, q)
+        self.twist_shoup = _shoup_quotients(self.twist, q)
+        # The twist is applied after the bit-reversal gather, so the hot path
+        # keeps bit-reversed copies of the twist tables.
+        self.twist_br = self.twist[self.bitrev]
+        self.twist_br_shoup = self.twist_shoup[self.bitrev]
+        # Untwist folds the 1/N scaling into the psi^{-j} powers.
+        self.untwist = _power_table(mod_inv(self.psi, q), n, q, first=mod_inv(n, q))
+        self.untwist_shoup = _shoup_quotients(self.untwist, q)
+
+    # ---------------------------------------------------------------- entry
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT over the last axis (natural order in/out)."""
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        data = np.take(coeffs, self.bitrev, axis=-1)
+        _twist_in_place(data, self.twist_br, self.twist_br_shoup, self._q, np.empty_like(data))
+        _lazy_butterflies(data, self.fwd_stages, self._q, self._two_q)
+        _reduce_once(data, self._two_q)
+        _reduce_once(data, self._q)
+        return data
+
+    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT over the last axis (natural order in/out)."""
+        evaluations = np.asarray(evaluations, dtype=np.uint64)
+        data = np.take(evaluations, self.bitrev, axis=-1)
+        _lazy_butterflies(data, self.inv_stages, self._q, self._two_q)
+        _twist_in_place(data, self.untwist, self.untwist_shoup, self._q, np.empty_like(data))
+        _reduce_once(data, self._q)
+        return data
+
+    def pointwise(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
+        """Evaluation-domain product of reduced operands."""
+        a_eval = np.asarray(a_eval, dtype=np.uint64)
+        b_eval = np.asarray(b_eval, dtype=np.uint64)
+        return (a_eval * b_eval) % self._q
+
+    def multiply(self, a_coeffs: np.ndarray, b_coeffs: np.ndarray) -> np.ndarray:
+        """Negacyclic polynomial product through the cached transform."""
+        return self.inverse(self.pointwise(self.forward(a_coeffs), self.forward(b_coeffs)))
+
+
+class NttPlanStack:
+    """Stacked per-limb plans executing a whole ``(L, N)`` matrix at once.
+
+    Twiddle/twist tables of the ``L`` single-modulus plans are stacked into
+    ``(L, ...)`` arrays so every butterfly stage is one NumPy expression over
+    all limbs simultaneously -- the limb axis rides along as a batch dimension
+    with per-row moduli.
+    """
+
+    def __init__(self, plans: tuple[NttPlan, ...]):
+        if not plans:
+            raise ValueError("plan stack needs at least one limb")
+        degrees = {plan.degree for plan in plans}
+        if len(degrees) != 1:
+            raise ValueError("all limbs of a plan stack must share the ring degree")
+        self.plans = plans
+        self.degree = plans[0].degree
+        self.moduli = tuple(plan.modulus for plan in plans)
+        self.bitrev = plans[0].bitrev
+        q_col = np.array(self.moduli, dtype=np.uint64)[:, None]
+        self._q_col, self._two_q_col = q_col, q_col * np.uint64(2)
+        self._q_cube, self._two_q_cube = q_col[:, :, None], self._two_q_col[:, :, None]
+        # Reusable scratch keeps the hot loop allocation-free; stacks are
+        # cached process-wide, so buffers are per-thread to stay reentrant
+        # (NumPy releases the GIL inside ufunc loops).
+        self._thread_local = threading.local()
+
+        def stack(per_plan) -> np.ndarray:
+            return np.stack([per_plan(p) for p in plans], axis=0)
+
+        def stack_stages(which: str) -> tuple[_Stage, ...]:
+            reference = getattr(plans[0], which)
+            stages = []
+            for s in range(len(reference)):
+                twiddles = stack(lambda p: getattr(p, which)[s].twiddles)  # (L, half)
+                shoup = stack(lambda p: getattr(p, which)[s].shoup)
+                stages.append(
+                    _Stage(
+                        twiddles=twiddles[:, None, :],
+                        shoup=shoup[:, None, :],
+                        twiddles_t=twiddles[:, :, None],
+                        shoup_t=shoup[:, :, None],
+                        identity=reference[s].identity,
+                    )
+                )
+            return tuple(stages)
+
+        self._fwd_stages = stack_stages("fwd_stages")
+        self._inv_stages = stack_stages("inv_stages")
+        self._twist_br = stack(lambda p: p.twist_br)
+        self._twist_br_shoup = stack(lambda p: p.twist_br_shoup)
+        self._untwist = stack(lambda p: p.untwist)
+        self._untwist_shoup = stack(lambda p: p.untwist_shoup)
+
+    @property
+    def limb_count(self) -> int:
+        """Number of stacked limbs L."""
+        return len(self.plans)
+
+    def _buffers(self) -> tuple[tuple[np.ndarray, np.ndarray], np.ndarray]:
+        """This thread's (butterfly scratch pair, full-size scratch)."""
+        local = self._thread_local
+        if not hasattr(local, "scratch"):
+            shape = (self.limb_count, max(self.degree // 2, 1))
+            local.scratch = (
+                np.empty(shape, dtype=np.uint64),
+                np.empty(shape, dtype=np.uint64),
+            )
+            local.scratch_full = np.empty((self.limb_count, self.degree), dtype=np.uint64)
+        return local.scratch, local.scratch_full
+
+    def _check_shape(self, matrix: np.ndarray) -> np.ndarray:
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        expected = (self.limb_count, self.degree)
+        if matrix.shape != expected:
+            raise ValueError(f"residue matrix has shape {matrix.shape}, expected {expected}")
+        return matrix
+
+    def forward(self, matrix: np.ndarray) -> np.ndarray:
+        """Forward NTT of all ``L`` limbs of a reduced ``(L, N)`` matrix."""
+        matrix = self._check_shape(matrix)
+        scratch, scratch_full = self._buffers()
+        data = np.take(matrix, self.bitrev, axis=-1)
+        _twist_in_place(data, self._twist_br, self._twist_br_shoup, self._q_col, scratch_full)
+        _lazy_butterflies(data, self._fwd_stages, self._q_cube, self._two_q_cube, scratch)
+        _reduce_once(data, self._two_q_col, scratch_full)
+        _reduce_once(data, self._q_col, scratch_full)
+        return data
+
+    def inverse(self, matrix: np.ndarray) -> np.ndarray:
+        """Inverse NTT of all ``L`` limbs of a reduced ``(L, N)`` matrix."""
+        matrix = self._check_shape(matrix)
+        scratch, scratch_full = self._buffers()
+        data = np.take(matrix, self.bitrev, axis=-1)
+        _lazy_butterflies(data, self._inv_stages, self._q_cube, self._two_q_cube, scratch)
+        _twist_in_place(data, self._untwist, self._untwist_shoup, self._q_col, scratch_full)
+        _reduce_once(data, self._q_col, scratch_full)
+        return data
+
+
+# --------------------------------------------------------------- plan caches
+_PLAN_CACHE: dict[tuple[int, int], NttPlan] = {}
+_STACK_CACHE: dict[tuple[tuple[int, ...], int], NttPlanStack] = {}
+
+
+def plan_for(degree: int, modulus: int, psi: int | None = None) -> NttPlan:
+    """Return the cached :class:`NttPlan` for ``(degree, modulus)``.
+
+    ``psi`` defaults to the deterministic primitive ``2N``-th root produced by
+    `primitive_nth_root_of_unity` -- the same root `PolyRing` uses -- so plans
+    built here are bit-compatible with the ring layer.
+    """
+    key = (degree, modulus)
+    plan = _PLAN_CACHE.get(key)
+    if plan is None:
+        if psi is None:
+            psi = primitive_nth_root_of_unity(2 * degree, modulus)
+        plan = NttPlan(degree=degree, modulus=modulus, psi=psi)
+        _PLAN_CACHE[key] = plan
+    elif psi is not None and plan.psi != psi:
+        raise ValueError(
+            f"plan cache for (degree={degree}, q={modulus}) holds psi={plan.psi}, "
+            f"but psi={psi} was requested; plans are keyed per ring, not per root"
+        )
+    return plan
+
+
+def plan_stack_for(moduli: tuple[int, ...], degree: int) -> NttPlanStack:
+    """Return the cached :class:`NttPlanStack` for an RNS basis' moduli."""
+    key = (tuple(int(q) for q in moduli), degree)
+    stack = _STACK_CACHE.get(key)
+    if stack is None:
+        stack = NttPlanStack(tuple(plan_for(degree, q) for q in key[0]))
+        _STACK_CACHE[key] = stack
+    return stack
+
+
+def supports(moduli: tuple[int, ...]) -> bool:
+    """True when every modulus fits the engine's lazy-reduction word bound."""
+    return all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)

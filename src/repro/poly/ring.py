@@ -9,6 +9,7 @@ arithmetic with exact semantics.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -18,11 +19,27 @@ from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
 from repro.numtheory.montgomery import MontgomeryContext
 from repro.numtheory.primes import is_prime
 from repro.poly.negacyclic import poly_add, poly_negate, poly_sub
+from repro.poly.ntt_engine import MAX_PLAN_MODULUS, NttPlan, plan_for
 from repro.poly.ntt_reference import (
     ntt_forward_negacyclic,
     ntt_inverse_negacyclic,
     ntt_pointwise_multiply,
 )
+
+
+@lru_cache(maxsize=None)
+def automorphism_tables(degree: int, exponent: int) -> tuple[np.ndarray, np.ndarray]:
+    """Cached (target index, sign-wrap mask) tables for ``x -> x^exponent``.
+
+    Shared by the single-limb and RNS automorphism paths so the permutation
+    is computed once per (degree, exponent) pair.
+    """
+    indices = (np.arange(degree, dtype=np.int64) * exponent) % (2 * degree)
+    wrap = indices >= degree
+    target = np.where(wrap, indices - degree, indices)
+    target.flags.writeable = False
+    wrap.flags.writeable = False
+    return target, wrap
 
 
 @dataclass
@@ -55,6 +72,13 @@ class PolyRing:
         self.omega = pow(self.psi, 2, self.modulus)
         self.barrett = BarrettContext.create(self.modulus)
         self.montgomery = MontgomeryContext.create(self.modulus)
+        # The cached-plan engine covers every lazy-reduction-sized modulus;
+        # oversized moduli keep the big-int-safe reference path.
+        self._plan = (
+            plan_for(self.degree, self.modulus, psi=self.psi)
+            if self.modulus < MAX_PLAN_MODULUS
+            else None
+        )
 
     # --------------------------------------------------------------- sampling
     def random_uniform(self, rng: np.random.Generator) -> np.ndarray:
@@ -116,12 +140,26 @@ class PolyRing:
         return self.intt(self.pointwise_mul(a_eval, b_eval))
 
     # --------------------------------------------------------------------- NTT
+    @property
+    def plan(self) -> NttPlan | None:
+        """The cached vectorized NTT plan (None for oversized moduli)."""
+        return self._plan
+
     def ntt(self, coeffs: np.ndarray) -> np.ndarray:
-        """Forward negacyclic NTT (natural coefficient -> evaluation order)."""
+        """Forward negacyclic NTT (natural coefficient -> evaluation order).
+
+        Delegates to the cached :class:`NttPlan` (bit-exact with the reference
+        transform); the per-call table-building reference path survives only
+        as the oracle and the oversized-modulus fallback.
+        """
+        if self._plan is not None:
+            return self._plan.forward(coeffs)
         return ntt_forward_negacyclic(coeffs, self.modulus, self.psi)
 
     def intt(self, evaluations: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT."""
+        if self._plan is not None:
+            return self._plan.inverse(evaluations)
         return ntt_inverse_negacyclic(evaluations, self.modulus, self.psi)
 
     # ------------------------------------------------------------- utilities
@@ -135,16 +173,13 @@ class PolyRing:
         if exponent % 2 == 0:
             raise ValueError("automorphism exponent must be odd")
         coeffs = np.asarray(coeffs, dtype=np.uint64)
-        n = self.degree
-        result = np.zeros(n, dtype=np.uint64)
-        indices = (np.arange(n, dtype=np.int64) * exponent) % (2 * n)
-        wrap = indices >= n
-        target = np.where(wrap, indices - n, indices)
+        target, wrap = automorphism_tables(self.degree, exponent % (2 * self.degree))
         values = np.where(
             wrap,
             (np.uint64(self.modulus) - coeffs) % np.uint64(self.modulus),
             coeffs,
         )
+        result = np.empty(self.degree, dtype=np.uint64)
         result[target] = values
         return result
 

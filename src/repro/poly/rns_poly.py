@@ -13,7 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.numtheory.crt import RnsBasis
-from repro.poly.ring import PolyRing
+from repro.poly.ntt_engine import NttPlanStack, plan_stack_for, supports
+from repro.poly.ring import PolyRing, automorphism_tables
 
 _RING_CACHE: dict[tuple[int, int], PolyRing] = {}
 
@@ -127,22 +128,50 @@ class RnsPolynomial:
         """CRT-reconstruct with centered (signed) representatives."""
         big_q = self.basis.modulus_product
         half = big_q // 2
-        return [c - big_q if c > half else c for c in self.to_int_coefficients()]
+        values = self.to_int_coefficients()
+        if big_q < (1 << 63):
+            # Every reconstructed coefficient fits int64: center vectorized.
+            centered = np.asarray(values, dtype=np.int64)
+            return np.where(centered > half, centered - big_q, centered).tolist()
+        return [c - big_q if c > half else c for c in values]
 
     # ------------------------------------------------------------ domain flip
+    def _plan_stack(self) -> NttPlanStack | None:
+        """The cached limb-stacked NTT plan for this basis (None if oversized)."""
+        if supports(self.basis.moduli):
+            return plan_stack_for(self.basis.moduli, self.degree)
+        return None
+
     def to_eval(self) -> "RnsPolynomial":
-        """Return the NTT-domain version (no-op if already there)."""
+        """Return the NTT-domain version (no-op if already there).
+
+        ``RnsPolynomial`` is treated as immutable everywhere, so the no-op
+        branch returns ``self`` rather than a deep copy.  The conversion runs
+        all limbs through one stacked engine pass.
+        """
         if self.domain == EVAL_DOMAIN:
-            return self.copy()
-        rows = [self.ring(i).ntt(self.residues[i]) for i in range(self.limb_count)]
-        return RnsPolynomial(self.basis, np.stack(rows, axis=0), EVAL_DOMAIN)
+            return self
+        stack = self._plan_stack()
+        if stack is not None:
+            residues = stack.forward(self.residues)
+        else:
+            residues = np.stack(
+                [self.ring(i).ntt(self.residues[i]) for i in range(self.limb_count)]
+            )
+        return RnsPolynomial(self.basis, residues, EVAL_DOMAIN)
 
     def to_coeff(self) -> "RnsPolynomial":
         """Return the coefficient-domain version (no-op if already there)."""
         if self.domain == COEFF_DOMAIN:
-            return self.copy()
-        rows = [self.ring(i).intt(self.residues[i]) for i in range(self.limb_count)]
-        return RnsPolynomial(self.basis, np.stack(rows, axis=0), COEFF_DOMAIN)
+            return self
+        stack = self._plan_stack()
+        if stack is not None:
+            residues = stack.inverse(self.residues)
+        else:
+            residues = np.stack(
+                [self.ring(i).intt(self.residues[i]) for i in range(self.limb_count)]
+            )
+        return RnsPolynomial(self.basis, residues, COEFF_DOMAIN)
 
     # ------------------------------------------------------------- arithmetic
     def _check_compatible(self, other: "RnsPolynomial") -> None:
@@ -152,31 +181,40 @@ class RnsPolynomial:
             raise ValueError("operands live in different domains")
 
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        """Limb-wise addition (works in either domain)."""
+        """Limb-wise addition (works in either domain).
+
+        Residues are kept reduced everywhere, so the sum is below ``2q`` and a
+        conditional subtract replaces the full ``%`` reduction (lazy-reduction
+        hot path).
+        """
         self._check_compatible(other)
         moduli = self.basis.moduli_array[:, None]
-        residues = (self.residues + other.residues) % moduli
+        total = self.residues + other.residues
+        residues = np.where(total >= moduli, total - moduli, total)
         return RnsPolynomial(self.basis, residues, self.domain)
 
     def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        """Limb-wise subtraction."""
+        """Limb-wise subtraction (conditional-subtract reduction)."""
         self._check_compatible(other)
         moduli = self.basis.moduli_array[:, None]
-        residues = (self.residues + (moduli - other.residues)) % moduli
+        total = self.residues + (moduli - other.residues)
+        residues = np.where(total >= moduli, total - moduli, total)
         return RnsPolynomial(self.basis, residues, self.domain)
 
     def negate(self) -> "RnsPolynomial":
         """Additive inverse."""
         moduli = self.basis.moduli_array[:, None]
-        return RnsPolynomial(self.basis, (moduli - self.residues) % moduli, self.domain)
+        residues = np.where(self.residues == 0, self.residues, moduli - self.residues)
+        return RnsPolynomial(self.basis, residues, self.domain)
 
     def scalar_mul(self, scalar: int) -> "RnsPolynomial":
-        """Multiply by an integer scalar (reduced limb-wise)."""
-        rows = [
-            (self.residues[i] * np.uint64(int(scalar) % q)) % np.uint64(q)
-            for i, q in enumerate(self.basis.moduli)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows, axis=0), self.domain)
+        """Multiply by an integer scalar (one batched pass over all limbs)."""
+        moduli = self.basis.moduli_array[:, None]
+        scalars = np.array(
+            [int(scalar) % q for q in self.basis.moduli], dtype=np.uint64
+        )[:, None]
+        residues = (self.residues * scalars) % moduli
+        return RnsPolynomial(self.basis, residues, self.domain)
 
     def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
         """Negacyclic product; result is returned in the evaluation domain."""
@@ -188,13 +226,17 @@ class RnsPolynomial:
         return RnsPolynomial(self.basis, residues, EVAL_DOMAIN)
 
     def automorphism(self, exponent: int) -> "RnsPolynomial":
-        """Apply the Galois automorphism limb-wise (coefficient domain)."""
+        """Apply the Galois automorphism to all limbs in one batched gather."""
+        if exponent % 2 == 0:
+            raise ValueError("automorphism exponent must be odd")
         source = self.to_coeff()
-        rows = [
-            source.ring(i).automorphism(source.residues[i], exponent)
-            for i in range(self.limb_count)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows, axis=0), COEFF_DOMAIN)
+        target, wrap = automorphism_tables(self.degree, exponent % (2 * self.degree))
+        moduli = self.basis.moduli_array[:, None]
+        negated = np.where(source.residues == 0, source.residues, moduli - source.residues)
+        values = np.where(wrap[None, :], negated, source.residues)
+        residues = np.empty_like(source.residues)
+        residues[:, target] = values
+        return RnsPolynomial(self.basis, residues, COEFF_DOMAIN)
 
     # --------------------------------------------------------- basis surgery
     def keep_limbs(self, count: int) -> "RnsPolynomial":
