@@ -1,0 +1,210 @@
+"""Microbenchmark: fused key switching + hoisted rotations vs the PR 1 path.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_keyswitch_fused.py [--quick]
+
+Three comparisons at the acceptance configuration ``N = 2**12, L = 8,
+dnum = 3``:
+
+* **switch_key** -- the fused pipeline (stacked all-digit BConv, one batched
+  forward NTT, eval-domain accumulation, two inverse NTTs) against
+  ``switch_key_unfused``, the per-digit loop the repository shipped after
+  PR 1 (one BConv + one digit transform + two key products + two inverse
+  NTTs *per digit*);
+* **HE-Mult** -- a full ``multiply`` (tensor product + relinearisation)
+  with the evaluator's key switch swapped between the two implementations;
+  the fused result is asserted bit-exact against the unfused oracle; and
+* **rotation batches** -- ``hoist`` + ``rotate_hoisted`` over a batch of
+  steps against sequential ``rotate`` calls (which already use the fused
+  switch), i.e. the hoisting gain *on top of* fusion.
+
+The acceptance gate is >= 2x on HE-Mult; hoisted rotation batches are gated
+at >= 1.3x (the forward transform and BConv are amortised, the two inverse
+NTTs and ModDown are not).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.keyswitch import switch_key, switch_key_unfused
+from repro.ckks.params import CkksParameters
+from repro.poly.rns_poly import RnsPolynomial
+
+DEGREE = 2**12
+LIMBS = 8
+DNUM = 3
+ROTATION_STEPS = (1, 2, 3, 4)
+HE_MULT_GATE = 2.0
+ROTATION_GATE = 1.3
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()  # warm-up (populates plan / conversion / key-eval caches)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_instance() -> dict:
+    # Four special primes (vs the default three) keep P comfortably above the
+    # digit product, so key-switch noise stays far below the slot values and
+    # the hoisted-vs-sequential sanity check is meaningful.
+    params = CkksParameters.create(
+        degree=DEGREE, limbs=LIMBS, log_q=28, dnum=DNUM, scale_bits=24, special_limbs=4
+    )
+    keygen = KeyGenerator(params, rng=np.random.default_rng(99))
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    decryptor = Decryptor(params, keygen.secret_key)
+    exponents = [pow(5, s, 2 * params.degree) for s in ROTATION_STEPS]
+    evaluator = CkksEvaluator(
+        params,
+        relin_key=keygen.relinearization_key(),
+        galois_keys=keygen.galois_keys(exponents),
+    )
+    rng = np.random.default_rng(7)
+    z = rng.uniform(-1, 1, params.slot_count)
+    ciphertext = encryptor.encrypt(encoder.encode(z))
+    return {
+        "params": params,
+        "encoder": encoder,
+        "decryptor": decryptor,
+        "evaluator": evaluator,
+        "ciphertext": ciphertext,
+        "z": z,
+        "rng": rng,
+    }
+
+
+def bench_switch_key(instance: dict, repeats: int) -> dict:
+    params = instance["params"]
+    relin = instance["evaluator"].relin_key
+    level = params.limbs
+    rng = instance["rng"]
+    d = RnsPolynomial.from_signed_coefficients(
+        rng.integers(-1000, 1000, size=params.degree, dtype=np.int64),
+        params.basis_at_level(level),
+    )
+    fused = switch_key(d, relin, params, level)
+    loop = switch_key_unfused(d, relin, params, level)
+    for fused_poly, loop_poly in zip(fused, loop):
+        assert np.array_equal(
+            fused_poly.residues, loop_poly.residues
+        ), "fused switch_key drifted from the unfused oracle"
+    t_loop = best_of(lambda: switch_key_unfused(d, relin, params, level), repeats)
+    t_fused = best_of(lambda: switch_key(d, relin, params, level), repeats)
+    return {"loop_ms": t_loop * 1e3, "fused_ms": t_fused * 1e3}
+
+
+def pr1_he_mult(evaluator: CkksEvaluator, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
+    """Faithful replica of the PR 1 HE-Mult dataflow.
+
+    Per-term operand transforms in the tensor product (eight forward passes)
+    followed by the per-digit key-switch loop -- the path this benchmark's
+    speedups are measured against.
+    """
+    params = evaluator.params
+    d0 = lhs.c0.multiply(rhs.c0).to_coeff()
+    d1 = lhs.c0.multiply(rhs.c1).add(lhs.c1.multiply(rhs.c0)).to_coeff()
+    d2 = lhs.c1.multiply(rhs.c1).to_coeff()
+    ks0, ks1 = switch_key_unfused(d2, evaluator.relin_key, params, lhs.level)
+    return Ciphertext(
+        c0=d0.add(ks0),
+        c1=d1.add(ks1),
+        scale=lhs.scale * rhs.scale,
+        level=lhs.level,
+    )
+
+
+def bench_he_mult(instance: dict, repeats: int) -> dict:
+    evaluator = instance["evaluator"]
+    ct = instance["ciphertext"]
+    baseline = pr1_he_mult(evaluator, ct, ct)
+    fused = evaluator.multiply(ct, ct)
+    assert np.array_equal(fused.c0.residues, baseline.c0.residues)
+    assert np.array_equal(fused.c1.residues, baseline.c1.residues)
+    t_loop = best_of(lambda: pr1_he_mult(evaluator, ct, ct), repeats)
+    t_fused = best_of(lambda: evaluator.multiply(ct, ct), repeats)
+    return {"loop_ms": t_loop * 1e3, "fused_ms": t_fused * 1e3}
+
+
+def bench_rotations(instance: dict, repeats: int) -> dict:
+    evaluator = instance["evaluator"]
+    ct = instance["ciphertext"]
+
+    def sequential() -> list[Ciphertext]:
+        return [evaluator.rotate(ct, s) for s in ROTATION_STEPS]
+
+    def hoisted() -> list[Ciphertext]:
+        handle = evaluator.hoist(ct)
+        return [evaluator.rotate_hoisted(handle, s) for s in ROTATION_STEPS]
+
+    # Sanity: hoisted rotations decrypt to the same slots as sequential ones.
+    encoder, decryptor = instance["encoder"], instance["decryptor"]
+    for seq, hoist in zip(sequential(), hoisted()):
+        seq_slots = encoder.decode(decryptor.decrypt(seq))
+        hoist_slots = encoder.decode(decryptor.decrypt(hoist))
+        assert np.abs(seq_slots - hoist_slots).max() < 1e-2, "hoisted rotation drifted"
+
+    t_seq = best_of(sequential, repeats)
+    t_hoist = best_of(hoisted, repeats)
+    return {"loop_ms": t_seq * 1e3, "fused_ms": t_hoist * 1e3}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repeats for CI logs"
+    )
+    args = parser.parse_args()
+    repeats = 3 if args.quick else 10
+
+    print(
+        f"Fused key-switch microbenchmark (N=2^{DEGREE.bit_length() - 1}, "
+        f"L={LIMBS}, dnum={DNUM}, batch of {len(ROTATION_STEPS)} rotations)"
+    )
+    instance = build_instance()
+
+    rows = [
+        ("switch_key (loop vs fused)", bench_switch_key(instance, repeats), None),
+        ("HE-Mult (loop vs fused)", bench_he_mult(instance, repeats), HE_MULT_GATE),
+        (
+            "rotation batch (seq vs hoisted)",
+            bench_rotations(instance, repeats),
+            ROTATION_GATE,
+        ),
+    ]
+
+    header = f"{'kernel':<32} {'baseline ms':>12} {'fused ms':>10} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    ok = True
+    for name, row, gate in rows:
+        speedup = row["loop_ms"] / row["fused_ms"]
+        verdict = ""
+        if gate is not None:
+            passed = speedup >= gate
+            ok = ok and passed
+            verdict = f"  (gate {gate:.1f}x -> {'PASS' if passed else 'FAIL'})"
+        print(
+            f"{name:<32} {row['loop_ms']:>12.2f} {row['fused_ms']:>10.2f} "
+            f"{speedup:>7.2f}x{verdict}"
+        )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,7 @@ from repro.ckks.bootstrapping import (
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.encoding import CkksEncoder
 from repro.ckks.encryptor import Decryptor, Encryptor
-from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.evaluator import CkksEvaluator, HoistedCiphertext
 from repro.ckks.keys import (
     GaloisKey,
     GaloisKeySet,
@@ -27,7 +27,13 @@ from repro.ckks.keys import (
     RelinearizationKey,
     SecretKey,
 )
-from repro.ckks.keyswitch import mod_down, switch_key
+from repro.ckks.keyswitch import (
+    decompose_and_extend,
+    mod_down,
+    switch_extended_eval,
+    switch_key,
+    switch_key_unfused,
+)
 from repro.ckks.params import CkksParameters
 
 __all__ = [
@@ -41,13 +47,17 @@ __all__ = [
     "Encryptor",
     "GaloisKey",
     "GaloisKeySet",
+    "HoistedCiphertext",
     "KeyGenerator",
     "KeySwitchKey",
     "Plaintext",
     "PublicKey",
     "RelinearizationKey",
     "SecretKey",
+    "decompose_and_extend",
     "estimate_bootstrapping",
     "mod_down",
+    "switch_extended_eval",
     "switch_key",
+    "switch_key_unfused",
 ]

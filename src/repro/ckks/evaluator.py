@@ -11,15 +11,46 @@ as the paper verifies its implementation against OpenFHE.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import GaloisKey, GaloisKeySet, RelinearizationKey
-from repro.ckks.keyswitch import switch_key
+from repro.ckks.keyswitch import (
+    decompose_and_extend,
+    switch_extended_eval,
+    switch_key,
+)
 from repro.ckks.params import CkksParameters
-from repro.numtheory.crt import inverse_column
-from repro.poly.rns_poly import RnsPolynomial
+from repro.numtheory.crt import subtract_and_divide
+from repro.poly.ring import automorphism_eval_indices
+from repro.poly.rns_poly import RnsPolynomial, stacked_ntt_forward
+
+
+@lru_cache(maxsize=None)
+def _rotation_exponent(steps: int, degree: int) -> int:
+    """Memoised Galois exponent ``5**steps mod 2N`` for a slot rotation."""
+    return pow(5, steps, 2 * degree)
+
+
+@dataclass
+class HoistedCiphertext:
+    """A ciphertext with its key-switch decomposition precomputed for reuse.
+
+    Hoisting runs the expensive, rotation-independent half of a rotation once
+    -- digit decomposition, stacked BConv and the batched forward NTT of
+    ``c1``'s extended digits -- and keeps the evaluation-domain digit tensor.
+    Each subsequent :meth:`CkksEvaluator.rotate_hoisted` then only permutes
+    the tensor (the automorphism commutes to after BConv and is a pure gather
+    in the NTT domain), takes the key inner products and pays the two inverse
+    NTTs of ModDown, amortising the decomposition across a whole rotation
+    batch (baby-step/giant-step matrix-vector products, convolution taps).
+    """
+
+    ciphertext: Ciphertext
+    digits_eval: np.ndarray
+    level: int
 
 
 @dataclass
@@ -65,11 +96,18 @@ class CkksEvaluator:
     def multiply(
         self, lhs: Ciphertext, rhs: Ciphertext, *, relinearize: bool = True
     ) -> Ciphertext:
-        """HE-Mult: tensor product followed (optionally) by relinearisation."""
+        """HE-Mult: tensor product followed (optionally) by relinearisation.
+
+        Each operand component is transformed to the evaluation domain once
+        and reused across the three tensor terms (the naive formulation pays
+        eight forward passes where four suffice).
+        """
         self._check_compatible(lhs, rhs, check_scale=False)
-        d0 = lhs.c0.multiply(rhs.c0).to_coeff()
-        d1 = lhs.c0.multiply(rhs.c1).add(lhs.c1.multiply(rhs.c0)).to_coeff()
-        d2 = lhs.c1.multiply(rhs.c1).to_coeff()
+        a0, a1 = lhs.c0.to_eval(), lhs.c1.to_eval()
+        b0, b1 = rhs.c0.to_eval(), rhs.c1.to_eval()
+        d0 = a0.multiply(b0).to_coeff()
+        d1 = a0.multiply(b1).add(a1.multiply(b0)).to_coeff()
+        d2 = a1.multiply(b1).to_coeff()
         product = Ciphertext(
             c0=d0,
             c1=d1,
@@ -82,8 +120,8 @@ class CkksEvaluator:
         return product
 
     def multiply_plain(self, ciphertext: Ciphertext, plaintext: Plaintext) -> Ciphertext:
-        """Multiply a ciphertext by an encoded plaintext."""
-        poly = _match_level(plaintext.poly, ciphertext.level)
+        """Multiply a ciphertext by an encoded plaintext (one plaintext NTT)."""
+        poly = _match_level(plaintext.poly, ciphertext.level).to_eval()
         return Ciphertext(
             c0=ciphertext.c0.multiply(poly).to_coeff(),
             c1=ciphertext.c1.multiply(poly).to_coeff(),
@@ -92,8 +130,28 @@ class CkksEvaluator:
         )
 
     def square(self, ciphertext: Ciphertext) -> Ciphertext:
-        """Homomorphic squaring (a multiply with shared operands)."""
-        return self.multiply(ciphertext, ciphertext)
+        """Homomorphic squaring, specialised for the shared operand.
+
+        The generic tensor product computes four evaluation-domain products
+        (``c0*c0``, ``c0*c1``, ``c1*c0``, ``c1*c1``) and re-transforms each
+        operand per product; squaring needs only three -- the cross term is
+        ``d1 = 2 * c0 * c1``, a doubling add -- over operands transformed
+        once.  Bit-identical to ``multiply(ct, ct)``.
+        """
+        c0_eval = ciphertext.c0.to_eval()
+        c1_eval = ciphertext.c1.to_eval()
+        d0 = c0_eval.multiply(c0_eval).to_coeff()
+        cross = c0_eval.multiply(c1_eval)
+        d1 = cross.add(cross).to_coeff()
+        d2 = c1_eval.multiply(c1_eval).to_coeff()
+        product = Ciphertext(
+            c0=d0,
+            c1=d1,
+            c2=d2,
+            scale=ciphertext.scale * ciphertext.scale,
+            level=ciphertext.level,
+        )
+        return self.relinearize(product)
 
     def relinearize(self, ciphertext: Ciphertext) -> Ciphertext:
         """Fold the quadratic component ``c2`` back into a linear ciphertext."""
@@ -145,8 +203,65 @@ class CkksEvaluator:
         """Rotate the packed slots by ``steps`` positions (HE-Rotate)."""
         if self.galois_keys is None:
             raise ValueError("rotation requires Galois keys")
-        exponent = pow(5, steps, 2 * self.params.degree)
+        exponent = _rotation_exponent(steps, self.params.degree)
         return self.apply_galois(ciphertext, exponent)
+
+    def hoist(self, ciphertext: Ciphertext) -> HoistedCiphertext:
+        """Precompute the rotation-independent key-switch half of ``c1``.
+
+        Pays the digit decomposition, stacked BConv and one batched forward
+        NTT once; the returned handle feeds any number of
+        :meth:`rotate_hoisted` / :meth:`conjugate_hoisted` calls on the same
+        ciphertext.
+        """
+        if self.galois_keys is None:
+            raise ValueError("rotation requires Galois keys")
+        level = ciphertext.level
+        extended_digits = decompose_and_extend(ciphertext.c1, self.params, level)
+        digits_eval = stacked_ntt_forward(
+            self.params.extended_basis(level), extended_digits
+        )
+        return HoistedCiphertext(
+            ciphertext=ciphertext, digits_eval=digits_eval, level=level
+        )
+
+    def rotate_hoisted(self, hoisted: HoistedCiphertext, steps: int) -> Ciphertext:
+        """Rotate via a hoisted decomposition (one gather + inner product).
+
+        Decrypts to the same slots as ``rotate(ciphertext, steps)``; the
+        hoisted BConv happens before (rather than after) the automorphism, so
+        the tiny fast-BConv rounding term differs, exactly as in standard
+        hoisting.
+        """
+        exponent = _rotation_exponent(steps, self.params.degree)
+        return self._apply_galois_hoisted(hoisted, exponent)
+
+    def conjugate_hoisted(self, hoisted: HoistedCiphertext) -> Ciphertext:
+        """Conjugate the slots via a hoisted decomposition."""
+        return self._apply_galois_hoisted(hoisted, 2 * self.params.degree - 1)
+
+    def _apply_galois_hoisted(
+        self, hoisted: HoistedCiphertext, exponent: int
+    ) -> Ciphertext:
+        """Automorphism + key switch, reusing the hoisted digit tensor."""
+        if self.galois_keys is None:
+            raise ValueError("rotation requires Galois keys")
+        key: GaloisKey = self.galois_keys.key_for(exponent)
+        ciphertext = hoisted.ciphertext
+        # The automorphism acts on the NTT domain as a pure evaluation-point
+        # permutation, so the hoisted digits are rotated with one gather.
+        indices = automorphism_eval_indices(self.params.degree, exponent)
+        rotated_digits = np.take(hoisted.digits_eval, indices, axis=-1)
+        ks0, ks1 = switch_extended_eval(
+            rotated_digits, key, self.params, hoisted.level
+        )
+        rotated_c0 = ciphertext.c0.automorphism(exponent)
+        return Ciphertext(
+            c0=rotated_c0.add(ks0),
+            c1=ks1,
+            scale=ciphertext.scale,
+            level=hoisted.level,
+        )
 
     def conjugate(self, ciphertext: Ciphertext) -> Ciphertext:
         """Complex-conjugate the packed slots."""
@@ -193,10 +308,9 @@ def _rescale_poly(
 ) -> RnsPolynomial:
     """RNS rescaling of one polynomial: ``(c - [c]_{q_last}) / q_last``.
 
-    All surviving limbs are processed in one batched pass: the dropped limb is
-    reduced against every remaining modulus by broadcasting, the subtraction
-    uses a conditional subtract (operands are already reduced), and the
-    per-limb ``q_last^{-1}`` constants are cached across calls.
+    The dropped limb is reduced against every remaining modulus by
+    broadcasting, then handed to the same cached subtract-and-divide kernel
+    ModDown uses (`repro.numtheory.crt.subtract_and_divide`).
     """
     poly = poly.to_coeff()
     last_index = level - 1
@@ -204,7 +318,10 @@ def _rescale_poly(
     last_limb = poly.residues[last_index]
     new_basis = params.basis_at_level(level - 1)
     moduli = new_basis.moduli_array[:, None]
-    inverses = inverse_column(last_modulus, new_basis.moduli)
-    diff = poly.residues[:last_index] + (moduli - last_limb[None, :] % moduli)
-    diff = np.where(diff >= moduli, diff - moduli, diff)
-    return RnsPolynomial(new_basis, (diff * inverses) % moduli, "coeff")
+    residues = subtract_and_divide(
+        poly.residues[:last_index],
+        last_limb[None, :] % moduli,
+        last_modulus,
+        new_basis,
+    )
+    return RnsPolynomial(new_basis, residues, "coeff")

@@ -58,6 +58,9 @@ class KeySwitchKey:
     digits: dict[int, list[tuple[RnsPolynomial, RnsPolynomial]]] = field(
         default_factory=dict
     )
+    _eval_cache: dict[int, tuple[np.ndarray, np.ndarray]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def digits_at_level(self, level: int) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
         """The digit keys usable for a ciphertext with ``level`` limbs."""
@@ -65,6 +68,25 @@ class KeySwitchKey:
             return self.digits[level]
         except KeyError as exc:
             raise KeyError(f"no key material generated for level {level}") from exc
+
+    def stacked_eval_digits(self, level: int) -> tuple[np.ndarray, np.ndarray]:
+        """The level's key digits as eval-domain ``(D, L', N)`` stacks, cached.
+
+        The fused key switch keeps its digit/key inner products in the
+        evaluation domain; key material is static per level, so the forward
+        transforms of every ``(b_j, a_j)`` pair are paid once and the
+        read-only stacks shared across all subsequent switch/rotate calls.
+        """
+        cached = self._eval_cache.get(level)
+        if cached is None:
+            pairs = self.digits_at_level(level)
+            b_stack = np.stack([b_j.to_eval().residues for b_j, _ in pairs], axis=0)
+            a_stack = np.stack([a_j.to_eval().residues for _, a_j in pairs], axis=0)
+            b_stack.flags.writeable = False
+            a_stack.flags.writeable = False
+            cached = (b_stack, a_stack)
+            self._eval_cache[level] = cached
+        return cached
 
 
 @dataclass

@@ -5,32 +5,104 @@ by some source secret (``s**2`` after a tensor product, ``automorphism(s)``
 after a rotation), key switching produces a ciphertext pair ``(ks0, ks1)``
 under the canonical secret ``s`` such that ``ks0 + ks1 * s ~= d * s_source``.
 
-The schedule mirrors the kernel sequence the CROSS compiler costs (paper's
-Decomposing layer): digit decomposition, basis extension of each digit to the
-level+special basis (BConv), inner product with the key digits, and ModDown
-(divide by the special modulus ``P`` with rounding).
+The pipeline is *fused* the way the paper's compiler fuses the Decomposing
+layer: a single stacked BConv extends all ``dnum`` digits to the level +
+special basis in one block matmul, one batched forward NTT transforms the
+whole ``(dnum, L', N)`` digit tensor, the digit/key inner products accumulate
+in the evaluation domain, and only the two accumulators come back to the
+coefficient domain -- so a switch costs exactly one forward and two inverse
+transform passes regardless of ``dnum``, instead of the ``3*dnum`` forward
+and ``2*dnum`` inverse passes of the per-digit loop.  The loop survives as
+:func:`switch_key_unfused`, the bit-exact oracle the fused path is tested
+against.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 import numpy as np
 
 from repro.ckks.keys import KeySwitchKey, digit_partition
 from repro.ckks.params import CkksParameters
-from repro.numtheory.crt import RnsBasis, inverse_column
-from repro.poly.basis_conversion import conversion_for
-from repro.poly.rns_poly import RnsPolynomial
+from repro.numtheory.crt import RnsBasis, subtract_and_divide
+from repro.poly.basis_conversion import (
+    conversion_for,
+    stacked_conversion_for,
+    _sub_basis,
+)
+from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial, stacked_ntt_forward
 
 
-@lru_cache(maxsize=None)
-def _sub_basis_cached(moduli: tuple[int, ...], degree: int) -> RnsBasis:
-    return RnsBasis(moduli=moduli, degree=degree)
+def decompose_and_extend(
+    poly: RnsPolynomial, params: CkksParameters, level: int
+) -> np.ndarray:
+    """Digit-decompose ``poly`` and basis-extend every digit in one stacked BConv.
+
+    Returns the coefficient-domain ``(dnum, level + alpha, N)`` tensor of all
+    extended digits.  This is the per-ciphertext half of key switching that
+    rotation hoisting computes once and reuses across many rotations.
+    """
+    level_basis = params.basis_at_level(level)
+    poly = poly.to_coeff()
+    if poly.basis.moduli != level_basis.moduli:
+        raise ValueError("polynomial basis does not match the requested level")
+    conversion = stacked_conversion_for(
+        level_basis,
+        params.extended_basis(level),
+        tuple(digit_partition(level, params.dnum)),
+    )
+    return conversion.convert_stacked(poly.residues)
 
 
-def _sub_basis(basis: RnsBasis, start: int, stop: int) -> RnsBasis:
-    return _sub_basis_cached(basis.moduli[start:stop], basis.degree)
+def switch_extended_eval(
+    digits_eval: np.ndarray,
+    key: KeySwitchKey,
+    params: CkksParameters,
+    level: int,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Finish a key switch from eval-domain extended digits.
+
+    ``digits_eval`` is the ``(dnum, level + alpha, N)`` evaluation-domain
+    digit tensor.  The inner products with the key digits accumulate in the
+    evaluation domain; each accumulator pays one inverse NTT before ModDown.
+    """
+    extended = params.extended_basis(level)
+    b_stack, a_stack = key.stacked_eval_digits(level)
+    if digits_eval.shape != b_stack.shape:
+        raise ValueError("key material does not match the digit partition")
+    acc0 = _modular_inner_product(digits_eval, b_stack, extended)
+    acc1 = _modular_inner_product(digits_eval, a_stack, extended)
+    ks0 = RnsPolynomial(extended, acc0, EVAL_DOMAIN).to_coeff()
+    ks1 = RnsPolynomial(extended, acc1, EVAL_DOMAIN).to_coeff()
+    return mod_down(ks0, params, level), mod_down(ks1, params, level)
+
+
+def _modular_inner_product(
+    digits_eval: np.ndarray, key_stack: np.ndarray, basis: RnsBasis
+) -> np.ndarray:
+    """``sum_d digits[d] * key[d] mod q`` without materialising the products.
+
+    The digit axis is contracted by an integer einsum in chunks sized so the
+    uint64 partial sums cannot overflow (operands are reduced, so each
+    product is below ``q**2``); only the ``(L', N)`` accumulator ever pays a
+    modular reduction.
+    """
+    moduli = basis.moduli_array[:, None]
+    product_bits = 2 * max((int(q) - 1).bit_length() for q in basis.moduli)
+    chunk = max(1, 1 << max(0, 63 - product_bits))
+    accumulator: np.ndarray | None = None
+    for start in range(0, digits_eval.shape[0], chunk):
+        stop = min(start + chunk, digits_eval.shape[0])
+        partial = np.einsum(
+            "dln,dln->ln", digits_eval[start:stop], key_stack[start:stop]
+        )
+        partial %= moduli
+        if accumulator is None:
+            accumulator = partial
+        else:
+            accumulator += partial
+            np.subtract(accumulator, moduli, out=partial)
+            np.minimum(accumulator, partial, out=accumulator)
+    return accumulator
 
 
 def switch_key(
@@ -39,10 +111,29 @@ def switch_key(
     params: CkksParameters,
     level: int,
 ) -> tuple[RnsPolynomial, RnsPolynomial]:
-    """Apply hybrid key switching to ``poly`` (coefficient or eval domain).
+    """Apply fused hybrid key switching to ``poly`` (coefficient or eval domain).
 
     Returns ``(ks0, ks1)`` over the ``level``-limb ciphertext basis, in the
-    coefficient domain.
+    coefficient domain.  Bit-identical to :func:`switch_key_unfused`; for a
+    coefficient-domain input the whole switch runs exactly one batched
+    forward and two inverse transform passes.
+    """
+    extended_digits = decompose_and_extend(poly, params, level)
+    digits_eval = stacked_ntt_forward(params.extended_basis(level), extended_digits)
+    return switch_extended_eval(digits_eval, key, params, level)
+
+
+def switch_key_unfused(
+    poly: RnsPolynomial,
+    key: KeySwitchKey,
+    params: CkksParameters,
+    level: int,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """The per-digit key-switch loop (kept as the fused path's bit-exact oracle).
+
+    One BConv, one digit transform, two key products and two inverse NTTs per
+    digit, with the accumulation in the coefficient domain -- the PR 1
+    dataflow the fused pipeline is benchmarked against.
     """
     level_basis = params.basis_at_level(level)
     extended = params.extended_basis(level)
@@ -82,7 +173,8 @@ def mod_down(
     """Divide a (level + special)-basis polynomial by ``P`` with rounding.
 
     Standard RNS ModDown: take the special-prime residues, basis-convert them
-    to the ciphertext basis, subtract, and multiply by ``P^{-1}`` limb-wise.
+    to the ciphertext basis, subtract, and multiply by ``P^{-1}`` limb-wise
+    (the shared :func:`subtract_and_divide` kernel).
     """
     level_basis = params.basis_at_level(level)
     special = params.special_basis
@@ -95,8 +187,10 @@ def mod_down(
     conversion = conversion_for(special, level_basis)
     correction = conversion.convert(special_part)
 
-    moduli = level_basis.moduli_array[:, None]
-    inverses = inverse_column(special.modulus_product, level_basis.moduli)
-    diff = poly.residues[:level] + (moduli - correction.residues)
-    diff = np.where(diff >= moduli, diff - moduli, diff)
-    return RnsPolynomial(level_basis, (diff * inverses) % moduli, "coeff")
+    residues = subtract_and_divide(
+        poly.residues[:level],
+        correction.residues,
+        special.modulus_product,
+        level_basis,
+    )
+    return RnsPolynomial(level_basis, residues, "coeff")

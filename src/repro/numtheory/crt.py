@@ -30,6 +30,23 @@ def inverse_column(value: int, moduli: tuple[int, ...]) -> np.ndarray:
     return inverses
 
 
+def subtract_and_divide(
+    residues: np.ndarray, subtrahend: np.ndarray, divisor: int, basis: "RnsBasis"
+) -> np.ndarray:
+    """Batched exact RNS division: ``(residues - subtrahend) * divisor^{-1}``.
+
+    The conditional-subtract-then-multiply-by-inverse kernel shared by
+    rescaling and ModDown: both subtract a (broadcastable, already per-limb
+    reduced) correction from an ``(L, N)`` residue matrix and divide by a
+    constant whose per-limb inverses are memoised via :func:`inverse_column`.
+    """
+    moduli = basis.moduli_array[:, None]
+    inverses = inverse_column(divisor, basis.moduli)
+    diff = residues + (moduli - subtrahend)
+    diff = np.where(diff >= moduli, diff - moduli, diff)
+    return (diff * inverses) % moduli
+
+
 def crt_decompose(value: int, moduli: list[int]) -> list[int]:
     """Return the residues of ``value`` modulo each modulus in ``moduli``."""
     return [value % q for q in moduli]

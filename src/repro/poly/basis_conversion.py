@@ -30,6 +30,48 @@ from repro.numtheory.crt import RnsBasis
 from repro.poly.rns_poly import COEFF_DOMAIN, RnsPolynomial
 
 
+def _split_matrix(
+    matrix: np.ndarray, source_moduli: tuple[int, ...], target_moduli: tuple[int, ...]
+) -> tuple[int | None, np.ndarray | None, np.ndarray | None]:
+    """Hi/lo float64 halves of a constant matrix for exact split GEMMs.
+
+    The modular matmul ``matrix @ scaled`` runs as two BLAS float64 GEMMs
+    over the halves ``matrix = hi * 2**shift + lo`` whenever every dot
+    product is guaranteed below ``2**53`` (float64's exact-integer range);
+    returns ``(None, None, None)`` when the moduli are too wide, in which
+    case callers keep their chunked integer paths.
+    """
+    source_bits = max((int(q) - 1).bit_length() for q in source_moduli)
+    target_bits = max((int(p) - 1).bit_length() for p in target_moduli)
+    shift = (target_bits + 1) // 2
+    length_bits = max(1, len(source_moduli) - 1).bit_length()
+    if source_bits + max(shift, target_bits - shift) + length_bits > 53:
+        return None, None, None
+    hi = (matrix >> np.uint64(shift)).astype(np.float64)
+    lo = (matrix & np.uint64((1 << shift) - 1)).astype(np.float64)
+    return shift, hi, lo
+
+
+def _split_matmul(
+    shift: int,
+    matrix_hi: np.ndarray,
+    matrix_lo: np.ndarray,
+    scaled: np.ndarray,
+    target_col: np.ndarray,
+) -> np.ndarray:
+    """Exact modular matmul via the two float64 GEMMs of a split matrix.
+
+    Both GEMM results are < 2**53 integers (guaranteed by
+    :func:`_split_matrix`), so the uint64 round trip is lossless and the
+    recombination ``(hi % p) * 2**shift + lo`` stays below 2**63 before the
+    final reduction.
+    """
+    scaled_f = scaled.astype(np.float64)
+    hi = (matrix_hi @ scaled_f).astype(np.uint64) % target_col
+    lo = (matrix_lo @ scaled_f).astype(np.uint64)
+    return ((hi << np.uint64(shift)) + lo) % target_col
+
+
 @dataclass
 class BasisConversion:
     """Precompiled constants for converting from ``source`` to ``target``.
@@ -46,6 +88,9 @@ class BasisConversion:
     target: RnsBasis
     hat_inverses: np.ndarray = field(init=False, repr=False)
     conversion_matrix: np.ndarray = field(init=False, repr=False)
+    _split_shift: int | None = field(init=False, repr=False)
+    _matrix_hi: np.ndarray | None = field(init=False, repr=False)
+    _matrix_lo: np.ndarray | None = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if self.source.degree != self.target.degree:
@@ -60,6 +105,9 @@ class BasisConversion:
             for i in range(self.source.size):
                 matrix[j, i] = self.source.hat_modulo(i, p_j)
         self.conversion_matrix = matrix
+        self._split_shift, self._matrix_hi, self._matrix_lo = _split_matrix(
+            matrix, self.source.moduli, self.target.moduli
+        )
 
     # ----------------------------------------------------------------- step 1
     def step1(self, residues: np.ndarray) -> np.ndarray:
@@ -73,11 +121,20 @@ class BasisConversion:
         """Modular matrix multiplication against the conversion matrix.
 
         ``scaled`` is the (L, N) output of step 1; the result is the (L', N)
-        residue matrix in the target basis.  Accumulation is chunked so the
-        uint64 partial sums never overflow (products are < 2**60 for 28-bit
-        sources and 32-bit targets).
+        residue matrix in the target basis.  Word-sized moduli take the exact
+        split-GEMM fast path; otherwise accumulation is chunked so the uint64
+        partial sums never overflow (products are < 2**60 for 28-bit sources
+        and 32-bit targets).
         """
         scaled = np.asarray(scaled, dtype=np.uint64)
+        if self._split_shift is not None:
+            return _split_matmul(
+                self._split_shift,
+                self._matrix_hi,
+                self._matrix_lo,
+                scaled,
+                self.target.moduli_array[:, None],
+            )
         out = np.empty((self.target.size, scaled.shape[1]), dtype=np.uint64)
         for j, p_j in enumerate(self.target.moduli):
             row = self.conversion_matrix[j] % np.uint64(p_j)
@@ -126,3 +183,128 @@ def conversion_for(source: RnsBasis, target: RnsBasis) -> BasisConversion:
     and shared process-wide, mirroring the NTT plan cache.
     """
     return BasisConversion(source=source, target=target)
+
+
+@lru_cache(maxsize=None)
+def _sub_basis(source: RnsBasis, start: int, stop: int) -> RnsBasis:
+    return RnsBasis(moduli=source.moduli[start:stop], degree=source.degree)
+
+
+@dataclass
+class StackedBasisConversion:
+    """All-digit BConv: every key-switch digit converted in one batched matmul.
+
+    The per-digit :class:`BasisConversion` tables are stacked into one block
+    conversion matrix of shape ``(D, L', L)`` (zero outside each digit's
+    column range) and one fused ``(L,)`` hat-inverse vector, so converting all
+    ``D = dnum`` digits of an ``(L, N)`` residue matrix becomes a single
+    elementwise scale followed by one ``(D, L', L) x (L, N)`` modular einsum
+    -- the dense Decomposing-layer matmul the paper's compiler hands to the
+    MXU.  Results are bit-identical to running :meth:`BasisConversion.convert`
+    digit by digit (all reductions are exact, so chunking differences cannot
+    show).
+
+    Attributes
+    ----------
+    source:
+        The full level basis whose limbs the ``partitions`` tile.
+    target:
+        The target basis every digit is extended to (level + special primes).
+    partitions:
+        ``(start, stop)`` limb ranges of the digits, in order, covering
+        ``0..L`` contiguously.
+    """
+
+    source: RnsBasis
+    target: RnsBasis
+    partitions: tuple[tuple[int, int], ...]
+    hat_inverses: np.ndarray = field(init=False, repr=False)
+    block_matrix: np.ndarray = field(init=False, repr=False)
+    _chunk: int = field(init=False, repr=False)
+    _split_shift: int | None = field(init=False, repr=False)
+    _block_hi: np.ndarray | None = field(init=False, repr=False)
+    _block_lo: np.ndarray | None = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.source.degree != self.target.degree:
+            raise ValueError("source and target bases must share the ring degree")
+        expected_start = 0
+        for start, stop in self.partitions:
+            if start != expected_start or stop <= start or stop > self.source.size:
+                raise ValueError("digit partitions must tile the source basis")
+            expected_start = stop
+        if expected_start != self.source.size:
+            raise ValueError("digit partitions must tile the source basis")
+
+        digit_count = len(self.partitions)
+        hat = np.empty(self.source.size, dtype=np.uint64)
+        block = np.zeros(
+            (digit_count, self.target.size, self.source.size), dtype=np.uint64
+        )
+        for d, (start, stop) in enumerate(self.partitions):
+            digit = conversion_for(_sub_basis(self.source, start, stop), self.target)
+            hat[start:stop] = digit.hat_inverses
+            block[d, :, start:stop] = digit.conversion_matrix
+        self.hat_inverses = hat
+        self.block_matrix = block
+        source_bits = max((int(q) - 1).bit_length() for q in self.source.moduli)
+        target_bits = max((int(p) - 1).bit_length() for p in self.target.moduli)
+        self._chunk = max(1, 1 << max(0, 63 - target_bits - source_bits))
+        self._split_shift, self._block_hi, self._block_lo = _split_matrix(
+            block, self.source.moduli, self.target.moduli
+        )
+
+    @property
+    def digit_count(self) -> int:
+        """Number of digits ``D``."""
+        return len(self.partitions)
+
+    def convert_stacked(self, residues: np.ndarray) -> np.ndarray:
+        """Convert all digits of an ``(L, N)`` residue matrix to ``(D, L', N)``.
+
+        Step 1 scales every limb by its digit's ``qhat_i^{-1}`` in one pass;
+        step 2 runs the block matmul as a chunked modular einsum (chunks keep
+        the uint64 partial sums below ``2**63``).
+        """
+        residues = np.asarray(residues, dtype=np.uint64)
+        source_moduli = self.source.moduli_array[:, None]
+        scaled = (residues * self.hat_inverses[:, None]) % source_moduli
+
+        target_col = self.target.moduli_array[None, :, None]
+        if self._split_shift is not None:
+            return _split_matmul(
+                self._split_shift, self._block_hi, self._block_lo, scaled, target_col
+            )
+        out = np.zeros(
+            (self.digit_count, self.target.size, residues.shape[1]), dtype=np.uint64
+        )
+        for start in range(0, self.source.size, self._chunk):
+            stop = min(start + self._chunk, self.source.size)
+            partial = np.einsum(
+                "dji,in->djn", self.block_matrix[:, :, start:stop], scaled[start:stop]
+            )
+            partial %= target_col
+            out += partial
+            np.subtract(out, target_col, out=partial)
+            np.minimum(out, partial, out=out)
+        return out
+
+    def convert(self, polynomial: RnsPolynomial) -> tuple[RnsPolynomial, ...]:
+        """Convert a coefficient-domain polynomial; one target-basis element per digit."""
+        if polynomial.domain != COEFF_DOMAIN:
+            raise ValueError("BConv operates on coefficient-domain polynomials")
+        if polynomial.basis.moduli != self.source.moduli:
+            raise ValueError("polynomial basis does not match the conversion source")
+        stacked = self.convert_stacked(polynomial.residues)
+        return tuple(
+            RnsPolynomial(self.target, stacked[d], COEFF_DOMAIN)
+            for d in range(self.digit_count)
+        )
+
+
+@lru_cache(maxsize=None)
+def stacked_conversion_for(
+    source: RnsBasis, target: RnsBasis, partitions: tuple[tuple[int, int], ...]
+) -> StackedBasisConversion:
+    """Cached :class:`StackedBasisConversion` per (source, target, partition)."""
+    return StackedBasisConversion(source=source, target=target, partitions=partitions)

@@ -24,9 +24,18 @@ reference oracle, which every plan is property-tested against.
 :class:`NttPlanStack` stacks the per-limb tables of an RNS basis into
 ``(L, ...)`` arrays so an entire ``(L, N)`` residue matrix is transformed in
 one shot -- the limb-parallel execution model the paper maps onto wide batched
-hardware.  Plans and stacks are memoised process-wide via :func:`plan_for` and
-:func:`plan_stack_for`.  Oversized moduli (``>= 2**30``) are not planned;
-callers fall back to the big-int-safe reference path.
+hardware.  Stacks additionally accept *stacked operands*: any leading batch
+axes before the ``(L, N)`` tail (e.g. the ``(dnum, L', N)`` all-digit tensor
+the fused key switch builds) ride through the same butterfly cascade as extra
+broadcast dimensions, so converting every key-switch digit still counts as a
+single transform pass.  Plans and stacks are memoised process-wide via
+:func:`plan_for` and :func:`plan_stack_for`.  Oversized moduli (``>= 2**30``)
+are not planned; callers fall back to the big-int-safe reference path.
+
+Every ``forward``/``inverse`` entry point increments a process-wide pass
+counter (:func:`transform_counts` / :func:`reset_transform_counts`), which is
+how the test suite asserts dataflow claims such as "fused key switching runs
+exactly two inverse passes regardless of ``dnum``".
 """
 
 from __future__ import annotations
@@ -44,6 +53,22 @@ from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
 MAX_PLAN_MODULUS = 1 << 30
 
 _SHIFT32 = np.uint64(32)
+
+#: Process-wide transform-pass counters (one increment per ``forward`` /
+#: ``inverse`` call on a plan or plan stack, however many limbs or stacked
+#: operands that call batches).  Tests use these to pin down dataflow claims.
+_TRANSFORM_COUNTS = {"forward": 0, "inverse": 0}
+
+
+def transform_counts() -> dict[str, int]:
+    """Snapshot of the process-wide forward/inverse pass counters."""
+    return dict(_TRANSFORM_COUNTS)
+
+
+def reset_transform_counts() -> None:
+    """Reset the transform-pass counters (test instrumentation)."""
+    _TRANSFORM_COUNTS["forward"] = 0
+    _TRANSFORM_COUNTS["inverse"] = 0
 
 
 def _shoup_quotients(values: np.ndarray, modulus: int) -> np.ndarray:
@@ -241,6 +266,7 @@ class NttPlan:
     # ---------------------------------------------------------------- entry
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward negacyclic NTT over the last axis (natural order in/out)."""
+        _TRANSFORM_COUNTS["forward"] += 1
         coeffs = np.asarray(coeffs, dtype=np.uint64)
         data = np.take(coeffs, self.bitrev, axis=-1)
         _twist_in_place(data, self.twist_br, self.twist_br_shoup, self._q, np.empty_like(data))
@@ -251,6 +277,7 @@ class NttPlan:
 
     def inverse(self, evaluations: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT over the last axis (natural order in/out)."""
+        _TRANSFORM_COUNTS["inverse"] += 1
         evaluations = np.asarray(evaluations, dtype=np.uint64)
         data = np.take(evaluations, self.bitrev, axis=-1)
         _lazy_butterflies(data, self.inv_stages, self._q, self._two_q)
@@ -343,30 +370,56 @@ class NttPlanStack:
     def _check_shape(self, matrix: np.ndarray) -> np.ndarray:
         matrix = np.asarray(matrix, dtype=np.uint64)
         expected = (self.limb_count, self.degree)
-        if matrix.shape != expected:
-            raise ValueError(f"residue matrix has shape {matrix.shape}, expected {expected}")
+        if matrix.ndim < 2 or matrix.shape[-2:] != expected:
+            raise ValueError(
+                f"residue matrix has shape {matrix.shape}, expected (..., {expected[0]}, {expected[1]})"
+            )
         return matrix
 
-    def forward(self, matrix: np.ndarray) -> np.ndarray:
-        """Forward NTT of all ``L`` limbs of a reduced ``(L, N)`` matrix."""
+    def _transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
+        """One counted pass over a ``(..., L, N)`` matrix.
+
+        Stacked operands (leading batch axes, e.g. the fused key switch's
+        ``(dnum, L', N)`` digit tensor) are tiled internally one ``(L, N)``
+        slice at a time: a slice's working set stays cache-resident where the
+        monolithic broadcast walk would stream every stage through memory.
+        Still a single batched pass from the caller's (and the transform
+        counter's) point of view -- the tiling is an engine scheduling detail.
+        """
         matrix = self._check_shape(matrix)
+        _TRANSFORM_COUNTS["forward" if forward else "inverse"] += 1
+        if matrix.ndim == 2:
+            return self._transform_2d(matrix, forward)
+        flat = matrix.reshape(-1, self.limb_count, self.degree)
+        out = np.empty_like(flat)
+        for index in range(flat.shape[0]):
+            out[index] = self._transform_2d(flat[index], forward)
+        return out.reshape(matrix.shape)
+
+    def _transform_2d(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
         scratch, scratch_full = self._buffers()
         data = np.take(matrix, self.bitrev, axis=-1)
-        _twist_in_place(data, self._twist_br, self._twist_br_shoup, self._q_col, scratch_full)
-        _lazy_butterflies(data, self._fwd_stages, self._q_cube, self._two_q_cube, scratch)
-        _reduce_once(data, self._two_q_col, scratch_full)
+        if forward:
+            _twist_in_place(data, self._twist_br, self._twist_br_shoup, self._q_col, scratch_full)
+            _lazy_butterflies(data, self._fwd_stages, self._q_cube, self._two_q_cube, scratch)
+            _reduce_once(data, self._two_q_col, scratch_full)
+        else:
+            _lazy_butterflies(data, self._inv_stages, self._q_cube, self._two_q_cube, scratch)
+            _twist_in_place(data, self._untwist, self._untwist_shoup, self._q_col, scratch_full)
         _reduce_once(data, self._q_col, scratch_full)
         return data
 
+    def forward(self, matrix: np.ndarray) -> np.ndarray:
+        """Forward NTT of all limbs of a reduced ``(..., L, N)`` matrix.
+
+        Leading axes are stacked operands (e.g. key-switch digits) that ride
+        through the cascade in the same single counted pass.
+        """
+        return self._transform(matrix, forward=True)
+
     def inverse(self, matrix: np.ndarray) -> np.ndarray:
-        """Inverse NTT of all ``L`` limbs of a reduced ``(L, N)`` matrix."""
-        matrix = self._check_shape(matrix)
-        scratch, scratch_full = self._buffers()
-        data = np.take(matrix, self.bitrev, axis=-1)
-        _lazy_butterflies(data, self._inv_stages, self._q_cube, self._two_q_cube, scratch)
-        _twist_in_place(data, self._untwist, self._untwist_shoup, self._q_col, scratch_full)
-        _reduce_once(data, self._q_col, scratch_full)
-        return data
+        """Inverse NTT of all limbs of a reduced ``(..., L, N)`` matrix."""
+        return self._transform(matrix, forward=False)
 
 
 # --------------------------------------------------------------- plan caches

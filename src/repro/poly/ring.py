@@ -42,6 +42,27 @@ def automorphism_tables(degree: int, exponent: int) -> tuple[np.ndarray, np.ndar
     return target, wrap
 
 
+@lru_cache(maxsize=None)
+def automorphism_eval_indices(degree: int, exponent: int) -> np.ndarray:
+    """Cached gather table applying ``x -> x^exponent`` in the NTT domain.
+
+    The engine's forward transform evaluates ``a`` at ``psi * omega^j`` in
+    natural order, so the automorphism becomes a pure permutation of the
+    evaluation points: ``ntt(sigma_k(a))[j] = ntt(a)[(j*k + (k-1)/2) mod N]``
+    (using ``psi^k = psi * omega^{(k-1)/2}``).  No sign corrections are needed
+    -- which is what lets hoisted rotations permute already-transformed
+    key-switch digits instead of paying a fresh forward NTT per rotation.
+    """
+    exponent %= 2 * degree
+    if exponent % 2 == 0:
+        raise ValueError("automorphism exponent must be odd")
+    indices = (
+        np.arange(degree, dtype=np.int64) * exponent + (exponent - 1) // 2
+    ) % degree
+    indices.flags.writeable = False
+    return indices
+
+
 @dataclass
 class PolyRing:
     """A single-modulus negacyclic ring with cached NTT roots.

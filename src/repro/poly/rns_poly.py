@@ -36,6 +36,46 @@ def ring_for(degree: int, modulus: int) -> PolyRing:
     return ring
 
 
+def _stacked_transform(
+    basis: RnsBasis, stacked: np.ndarray, forward: bool
+) -> np.ndarray:
+    """Transform a ``(..., L, N)`` stacked-operand tensor over ``basis``.
+
+    The hot path is a single :class:`NttPlanStack` pass with the leading axes
+    riding along as batch dimensions; oversized moduli fall back to the exact
+    per-limb ring transforms (row by row, since the reference path only
+    guarantees 1-D inputs).
+    """
+    stacked = np.asarray(stacked, dtype=np.uint64)
+    if stacked.ndim < 2 or stacked.shape[-2:] != (basis.size, basis.degree):
+        raise ValueError(
+            f"stacked tensor has shape {stacked.shape}, expected "
+            f"(..., {basis.size}, {basis.degree})"
+        )
+    if supports(basis.moduli):
+        stack = plan_stack_for(basis.moduli, basis.degree)
+        return stack.forward(stacked) if forward else stack.inverse(stacked)
+    out = np.empty_like(stacked)
+    flat_in = stacked.reshape(-1, basis.size, basis.degree)
+    flat_out = out.reshape(-1, basis.size, basis.degree)
+    for batch in range(flat_in.shape[0]):
+        for i, q in enumerate(basis.moduli):
+            ring = ring_for(basis.degree, q)
+            transform = ring.ntt if forward else ring.intt
+            flat_out[batch, i] = transform(flat_in[batch, i])
+    return out
+
+
+def stacked_ntt_forward(basis: RnsBasis, stacked: np.ndarray) -> np.ndarray:
+    """Forward NTT of every ``(L, N)`` slice of a stacked-operand tensor."""
+    return _stacked_transform(basis, stacked, forward=True)
+
+
+def stacked_ntt_inverse(basis: RnsBasis, stacked: np.ndarray) -> np.ndarray:
+    """Inverse NTT of every ``(L, N)`` slice of a stacked-operand tensor."""
+    return _stacked_transform(basis, stacked, forward=False)
+
+
 @dataclass
 class RnsPolynomial:
     """A ring element of ``R_Q`` stored limb-wise.
@@ -217,8 +257,14 @@ class RnsPolynomial:
         return RnsPolynomial(self.basis, residues, self.domain)
 
     def multiply(self, other: "RnsPolynomial") -> "RnsPolynomial":
-        """Negacyclic product; result is returned in the evaluation domain."""
-        self._check_compatible(other)
+        """Negacyclic product; result is returned in the evaluation domain.
+
+        Operands may live in different domains (each is transformed as
+        needed), which lets callers hoist ``to_eval`` for reused operands
+        without converting the partner.
+        """
+        if self.basis.moduli != other.basis.moduli:
+            raise ValueError("operands live in different RNS bases")
         a_eval = self if self.domain == EVAL_DOMAIN else self.to_eval()
         b_eval = other if other.domain == EVAL_DOMAIN else other.to_eval()
         moduli = self.basis.moduli_array[:, None]

@@ -13,9 +13,32 @@ from __future__ import annotations
 from dataclasses import dataclass
 from math import ceil, log2
 
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.evaluator import CkksEvaluator
 from repro.core.compiler import CrossCompiler
 from repro.tpu.device import TensorCoreDevice
 from repro.workloads.mnist import WorkloadEstimate
+
+
+def hoisted_rotation_sum(
+    evaluator: CkksEvaluator, ciphertext: Ciphertext, offsets: list[int]
+) -> Ciphertext:
+    """``sum_s rot(x, s)`` over a batch of offsets with one hoisted decomposition.
+
+    The HELR gradient aggregation (and any baby-step batch of a BSGS
+    matrix-vector product) rotates one ciphertext by many offsets before
+    summing; hoisting pays the digit decomposition + BConv + forward NTT of
+    ``c1`` once and reuses it for every offset.  Offset 0 contributes the
+    input itself.
+    """
+    if not offsets:
+        raise ValueError("rotation batch must not be empty")
+    hoisted = evaluator.hoist(ciphertext)
+    accumulator: Ciphertext | None = None
+    for steps in offsets:
+        term = ciphertext if steps == 0 else evaluator.rotate_hoisted(hoisted, steps)
+        accumulator = term if accumulator is None else evaluator.add(accumulator, term)
+    return accumulator
 
 
 @dataclass(frozen=True)

@@ -155,6 +155,37 @@ def estimate_mnist_inference(
     )
 
 
+def run_encrypted_conv_taps(
+    evaluator: CkksEvaluator,
+    encoder: CkksEncoder,
+    ciphertext: Ciphertext,
+    taps: list[tuple[int, np.ndarray]],
+) -> Ciphertext:
+    """Apply one convolution tap batch: ``sum_s rot(x, s) * w_s``, hoisted.
+
+    A packed convolution rotates the *same* input ciphertext once per kernel
+    tap before the weighted accumulation, which is exactly the access pattern
+    rotation hoisting targets: the ciphertext's key-switch digits are
+    decomposed, basis-extended and transformed once, and every tap reuses the
+    hoisted tensor.  ``taps`` maps rotation offsets to per-slot weight
+    vectors; offset 0 uses the input directly.
+    """
+    if not taps:
+        raise ValueError("a convolution needs at least one tap")
+    hoisted = evaluator.hoist(ciphertext)
+    accumulator: Ciphertext | None = None
+    for steps, weights in taps:
+        rotated = (
+            ciphertext if steps == 0 else evaluator.rotate_hoisted(hoisted, steps)
+        )
+        weight_plain = encoder.encode(
+            np.asarray(weights, dtype=np.float64), level=rotated.level
+        )
+        term = evaluator.multiply_plain(rotated, weight_plain)
+        accumulator = term if accumulator is None else evaluator.add(accumulator, term)
+    return evaluator.rescale(accumulator)
+
+
 def run_encrypted_linear_layer(
     evaluator: CkksEvaluator,
     encoder: CkksEncoder,
