@@ -12,12 +12,28 @@ switching) and a packed-bootstrapping schedule model.  It serves two roles:
 from repro.ckks.bootstrapping import (
     BootstrappingEstimate,
     BootstrappingSchedule,
+    BootstrappingTransforms,
+    build_bootstrapping_transforms,
+    coeff_to_slot,
+    coeff_to_slot_split,
     estimate_bootstrapping,
+    slot_to_coeff,
+    slot_to_coeff_merge,
 )
 from repro.ckks.ciphertext import Ciphertext, Plaintext
-from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encoding import (
+    CkksEncoder,
+    matrix_diagonals,
+    matrix_from_diagonals,
+    rotate_slots,
+    slot_bit_reversal,
+)
 from repro.ckks.encryptor import Decryptor, Encryptor
 from repro.ckks.evaluator import CkksEvaluator, HoistedCiphertext
+from repro.ckks.linear_transform import (
+    DiagonalLinearTransform,
+    required_rotation_steps,
+)
 from repro.ckks.keys import (
     GaloisKey,
     GaloisKeySet,
@@ -31,6 +47,7 @@ from repro.ckks.keyswitch import (
     decompose_and_extend,
     mod_down,
     switch_extended_eval,
+    switch_galois_eval,
     switch_key,
     switch_key_unfused,
 )
@@ -39,11 +56,13 @@ from repro.ckks.params import CkksParameters
 __all__ = [
     "BootstrappingEstimate",
     "BootstrappingSchedule",
+    "BootstrappingTransforms",
     "Ciphertext",
     "CkksEncoder",
     "CkksEvaluator",
     "CkksParameters",
     "Decryptor",
+    "DiagonalLinearTransform",
     "Encryptor",
     "GaloisKey",
     "GaloisKeySet",
@@ -54,10 +73,21 @@ __all__ = [
     "PublicKey",
     "RelinearizationKey",
     "SecretKey",
+    "build_bootstrapping_transforms",
+    "coeff_to_slot",
+    "coeff_to_slot_split",
     "decompose_and_extend",
     "estimate_bootstrapping",
+    "matrix_diagonals",
+    "matrix_from_diagonals",
     "mod_down",
+    "required_rotation_steps",
+    "rotate_slots",
+    "slot_bit_reversal",
+    "slot_to_coeff",
+    "slot_to_coeff_merge",
     "switch_extended_eval",
+    "switch_galois_eval",
     "switch_key",
     "switch_key_unfused",
 ]

@@ -1,14 +1,31 @@
-"""Packed CKKS bootstrapping: schedule model and latency estimation.
+"""Packed CKKS bootstrapping: executable linear transforms + schedule model.
 
-The paper adopts the packed bootstrapping algorithm of MAD [3] and estimates
-its latency as (number of HE-kernel invocations) x (profiled per-kernel
-latency) -- the same worst-case methodology used for the ML workloads
-(paper section V-A).  We reproduce exactly that: ``BootstrappingSchedule``
-counts the rotations, multiplications, rescalings and additions of the four
-bootstrapping phases (ModRaise, CoeffToSlot, EvalMod, SlotToCoeff), and
-``estimate_bootstrapping`` prices that schedule with the CROSS compiler and
-the simulated device, yielding both the total latency and the per-kernel
-breakdown the paper reports in Table IX.
+Two layers live here.
+
+**Executable CoeffToSlot/SlotToCoeff.**  The encoder's Vandermonde embedding
+``W[j, k] = zeta^(5^j * k)`` (the map from the complex-packed coefficient
+vector ``u = c[:n] + i*c[n:]`` to the slot values, exact because
+``zeta^(5^j * n) = i`` for every slot index ``j``) factors into ``log2(n)``
+radix-2 special-FFT butterfly stages, each a 3-diagonal slot matrix, with a
+bit-reversal on the input.  The stages are collapsed into ``depth`` sparse
+factors (the standard level-collapsing trade-off) and each factor becomes a
+:class:`~repro.ckks.linear_transform.DiagonalLinearTransform`, so
+:func:`coeff_to_slot` / :func:`slot_to_coeff` *run homomorphically* on the
+exact CKKS stack: CoeffToSlot delivers the (bit-reversed, complex-packed)
+polynomial coefficients into the slots, SlotToCoeff is the exact inverse
+ladder, and their composition is the identity up to CKKS noise.  The
+bit-reversal permutations cancel in the round trip and EvalMod is slot-wise,
+so -- exactly as production bootstrappers do -- no permutation is ever
+evaluated homomorphically.
+
+**Schedule model.**  The paper estimates bootstrapping latency as (number of
+HE-kernel invocations) x (profiled per-kernel latency); we reproduce that
+with ``BootstrappingSchedule`` counting the operators of the four phases
+(ModRaise, CoeffToSlot, EvalMod, SlotToCoeff) and ``estimate_bootstrapping``
+pricing the counts on the simulated device (paper Table IX).  The analytic
+BSGS rotation counts are now per phase (CoeffToSlot and SlotToCoeff may use
+different depths) and :meth:`BootstrappingSchedule.from_transforms` grounds
+the model in the *measured* rotation counts of the real transform ladders.
 """
 
 from __future__ import annotations
@@ -16,11 +33,332 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import ceil, log2, sqrt
 
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoding import (
+    CkksEncoder,
+    matrix_diagonals,
+    matrix_from_diagonals,
+    slot_bit_reversal,
+)
+from repro.ckks.linear_transform import (
+    DiagonalLinearTransform,
+    required_rotation_steps,
+)
 from repro.core.compiler import CrossCompiler
-from repro.core.config import SecurityParams
 from repro.core.kernel_ir import KernelGraph
 from repro.tpu.device import TensorCoreDevice
 from repro.tpu.trace import ExecutionTrace
+
+# --------------------------------------------------------------------------
+# Special-FFT factorisation of the canonical embedding
+# --------------------------------------------------------------------------
+
+
+def special_fft_matrix(slots: int) -> np.ndarray:
+    """The packed embedding ``W[j, k] = zeta^(5^j * k)`` (``zeta = e^(i*pi/2n)``).
+
+    ``slots`` must be a power of two.  ``z = W @ u`` maps the complex-packed
+    coefficient vector ``u = c[:n] + i * c[n:]`` of a plaintext polynomial to
+    its slot values -- the single matrix CoeffToSlot inverts.
+    """
+    if slots < 2 or slots & (slots - 1):
+        raise ValueError("slot count must be a power of two >= 2")
+    order = 4 * slots  # 2N for degree N = 2 * slots
+    powers = np.array(
+        [pow(5, j, order) for j in range(slots)], dtype=np.int64
+    )
+    return np.exp(2j * np.pi * powers[:, None] * np.arange(slots)[None, :] / order)
+
+
+def special_fft_stage_diagonals(
+    slots: int, length: int, inverse: bool = False
+) -> dict[int, np.ndarray]:
+    """Generalized diagonals of one radix-2 special-FFT butterfly stage.
+
+    The decode-direction stage for block ``length`` (half-block ``h``) is the
+    classic decimation-in-time butterfly with twiddles
+    ``w_j = exp(2*pi*i * 5^j / (4*length))``::
+
+        out[t]     = in[t] + w_j * in[t + h]      (t = base + j, j < h)
+        out[t + h] = in[t] - w_j * in[t + h]
+
+    which touches exactly the diagonals ``{0, +h, -h}``; ``inverse=True``
+    returns the stage's inverse (also 3-diagonal).  At ``length == slots``
+    the ``+h`` and ``-h`` diagonals coincide and are summed.
+    """
+    if length < 2 or length > slots or length & (length - 1):
+        raise ValueError("stage length must be a power of two in [2, slots]")
+    half = length // 2
+    order = 4 * length
+    diagonals: dict[int, np.ndarray] = {}
+
+    def put(index: int, position: int, value: complex) -> None:
+        index %= slots
+        if index not in diagonals:
+            diagonals[index] = np.zeros(slots, dtype=np.complex128)
+        diagonals[index][position] += value
+
+    twiddles = [
+        np.exp(2j * np.pi * pow(5, j, order) / order) for j in range(half)
+    ]
+    for base in range(0, slots, length):
+        for j, twiddle in enumerate(twiddles):
+            top, bottom = base + j, base + j + half
+            if not inverse:
+                put(0, top, 1.0)
+                put(half, top, twiddle)
+                put(0, bottom, -twiddle)
+                put(-half, bottom, 1.0)
+            else:
+                put(0, top, 0.5)
+                put(half, top, 0.5)
+                put(0, bottom, -0.5 / twiddle)
+                put(-half, bottom, 0.5 / twiddle)
+    return diagonals
+
+
+def _dense(diagonals: dict[int, np.ndarray], slots: int) -> np.ndarray:
+    return matrix_from_diagonals(diagonals, slots)
+
+
+def collapsed_fft_factors(
+    slots: int,
+    depth: int,
+    inverse: bool = False,
+    tol: float = 1e-12,
+    normalised: bool = False,
+) -> list[dict[int, np.ndarray]]:
+    """The special FFT as ``depth`` sparse factors, in application order.
+
+    ``inverse=False`` is the SlotToCoeff direction (stages ``2 .. slots``
+    applied to a bit-reversed input); ``inverse=True`` is CoeffToSlot (the
+    stage inverses in reverse order).  Consecutive stages are merged by dense
+    composition until ``depth`` factors remain -- a factor made of ``r``
+    stages has at most ``2^(r+1) - 1`` diagonals, the classic radix-``2^r``
+    trade of depth against rotations.
+
+    ``normalised=True`` scales every stage by ``sqrt(2)**(+/-1)`` so each is
+    magnitude-preserving (butterfly rows of norm 1): the CoeffToSlot ladder
+    then carries ``sqrt(slots) * u`` instead of the geometrically shrinking
+    ``u``, keeping the signal-to-rescale-noise ratio flat across the ladder
+    (the constant cancels in the SlotToCoeff direction, which is scaled by
+    the reciprocal).  Production bootstrappers fold the same constant into
+    their matrices; homomorphic precision improves by ``~sqrt(slots)``.
+    """
+    stage_count = int(log2(slots))
+    if not 1 <= depth <= stage_count:
+        raise ValueError(f"depth must be in [1, {stage_count}] for {slots} slots")
+    lengths = [1 << (s + 1) for s in range(stage_count)]  # 2, 4, ..., slots
+    if inverse:
+        lengths = lengths[::-1]
+    stages = [
+        special_fft_stage_diagonals(slots, length, inverse=inverse)
+        for length in lengths
+    ]
+    if normalised:
+        gain = sqrt(2.0) if inverse else 1.0 / sqrt(2.0)
+        stages = [
+            {k: diagonal * gain for k, diagonal in stage.items()}
+            for stage in stages
+        ]
+    # Balanced contiguous grouping of the stages into `depth` factors.
+    bounds = [round(i * stage_count / depth) for i in range(depth + 1)]
+    factors = []
+    for lo, hi in zip(bounds, bounds[1:]):
+        composed = _dense(stages[lo], slots)
+        for stage in stages[lo + 1 : hi]:
+            composed = _dense(stage, slots) @ composed
+        factors.append(matrix_diagonals(composed, tol=tol))
+    return factors
+
+
+def composed_matrix(factors: list[DiagonalLinearTransform]) -> np.ndarray:
+    """Dense product of a transform ladder (factors in application order)."""
+    matrix = None
+    for factor in factors:
+        dense = factor.matrix()
+        matrix = dense if matrix is None else dense @ matrix
+    return matrix
+
+
+@dataclass
+class BootstrappingTransforms:
+    """The executable CoeffToSlot / SlotToCoeff ladders for one parameter set.
+
+    ``coeff_to_slot`` factors map slot values ``z`` to the bit-reversed
+    complex-packed coefficients ``u[bitrev]``; ``slot_to_coeff`` is the exact
+    inverse ladder.  Factors are listed in application order and encoded
+    level-matched (each plaintext carries the prime its rescale drops) so the
+    ciphertext scale is invariant across the ladders.
+    """
+
+    encoder: CkksEncoder
+    coeff_to_slot: list[DiagonalLinearTransform]
+    slot_to_coeff: list[DiagonalLinearTransform]
+    normalised: bool = True
+
+    @property
+    def coefficient_scaling(self) -> float:
+        """Constant ``CoeffToSlot`` multiplies the packed coefficients by.
+
+        Normalised ladders deliver ``sqrt(slots) * u[bitrev]`` into the slots
+        (the constant cancels in SlotToCoeff); un-normalised ladders deliver
+        ``u[bitrev]`` directly.
+        """
+        if self.normalised:
+            return sqrt(float(self.encoder.params.slot_count))
+        return 1.0
+
+    @property
+    def c2s_depth(self) -> int:
+        """Multiplicative levels CoeffToSlot consumes."""
+        return len(self.coeff_to_slot)
+
+    @property
+    def s2c_depth(self) -> int:
+        """Multiplicative levels SlotToCoeff consumes."""
+        return len(self.slot_to_coeff)
+
+    def rotation_steps(self) -> list[int]:
+        """Union of rotation offsets both ladders key-switch."""
+        return required_rotation_steps(*self.coeff_to_slot, *self.slot_to_coeff)
+
+    def c2s_rotation_count(self) -> int:
+        """Measured key-switched rotations of one CoeffToSlot invocation."""
+        return sum(factor.rotation_count() for factor in self.coeff_to_slot)
+
+    def s2c_rotation_count(self) -> int:
+        """Measured key-switched rotations of one SlotToCoeff invocation."""
+        return sum(factor.rotation_count() for factor in self.slot_to_coeff)
+
+    def plain_multiplication_count(self) -> int:
+        """Diagonal (plaintext) multiplications across both ladders."""
+        return sum(
+            factor.diagonal_count()
+            for factor in (*self.coeff_to_slot, *self.slot_to_coeff)
+        )
+
+
+def build_bootstrapping_transforms(
+    encoder: CkksEncoder,
+    c2s_depth: int = 3,
+    s2c_depth: int = 3,
+    *,
+    n1: int | None = None,
+    level_matched: bool = True,
+    normalised: bool = True,
+) -> BootstrappingTransforms:
+    """Factor the embedding and wrap each factor in the BSGS engine."""
+    slots = encoder.params.slot_count
+    c2s = [
+        DiagonalLinearTransform.from_diagonals(
+            encoder, diagonals, n1=n1, level_matched=level_matched
+        )
+        for diagonals in collapsed_fft_factors(
+            slots, c2s_depth, inverse=True, normalised=normalised
+        )
+    ]
+    s2c = [
+        DiagonalLinearTransform.from_diagonals(
+            encoder, diagonals, n1=n1, level_matched=level_matched
+        )
+        for diagonals in collapsed_fft_factors(
+            slots, s2c_depth, inverse=False, normalised=normalised
+        )
+    ]
+    return BootstrappingTransforms(
+        encoder=encoder, coeff_to_slot=c2s, slot_to_coeff=s2c, normalised=normalised
+    )
+
+
+def _apply_ladder(
+    evaluator, factors: list[DiagonalLinearTransform], ciphertext: Ciphertext
+) -> Ciphertext:
+    """Run a transform ladder, rescaling after every factor."""
+    result = ciphertext
+    for factor in factors:
+        result = evaluator.rescale(factor.apply(evaluator, result))
+    return result
+
+
+def coeff_to_slot(
+    evaluator, transforms: BootstrappingTransforms, ciphertext: Ciphertext
+) -> Ciphertext:
+    """Homomorphic CoeffToSlot: coefficients (bit-reversed, packed) into slots.
+
+    Consumes ``c2s_depth`` levels.  The output's slot ``t`` holds
+    ``K * (c[r(t)] + i * c[r(t) + n])`` where ``c`` are the input plaintext's
+    scaled coefficients, ``r`` is the slot bit-reversal and ``K`` is
+    ``transforms.coefficient_scaling`` -- the packing EvalMod consumes (it is
+    slot-wise, so the permutation is free, and ``K`` cancels in SlotToCoeff).
+    """
+    return _apply_ladder(evaluator, transforms.coeff_to_slot, ciphertext)
+
+
+def slot_to_coeff(
+    evaluator, transforms: BootstrappingTransforms, ciphertext: Ciphertext
+) -> Ciphertext:
+    """Homomorphic SlotToCoeff: the exact inverse ladder of CoeffToSlot."""
+    return _apply_ladder(evaluator, transforms.slot_to_coeff, ciphertext)
+
+
+def coeff_to_slot_split(
+    evaluator, transforms: BootstrappingTransforms, ciphertext: Ciphertext
+) -> tuple[Ciphertext, Ciphertext]:
+    """CoeffToSlot plus the conjugation split into real coefficient halves.
+
+    Returns ``(ct_lo, ct_hi)`` whose slots hold the *real* vectors
+    ``K * c[:n][bitrev]`` and ``K * c[n:][bitrev]`` respectively, with
+    ``K = transforms.coefficient_scaling`` (``sqrt(slots)`` for the default
+    normalised ladder) -- the form EvalMod wants when both halves are reduced
+    independently; size the reduction interval by ``K``.  Costs one extra
+    level for the ``1/2`` constants on top of ``c2s_depth``.
+    """
+    packed = coeff_to_slot(evaluator, transforms, ciphertext)
+    conjugated = evaluator.conjugate(packed)
+    plus = evaluator.add(packed, conjugated)  # 2 * Re(u)
+    minus = evaluator.sub(packed, conjugated)  # 2i * Im(u)
+    encoder = transforms.encoder
+    slots = encoder.params.slot_count
+    half = encoder.encode(np.full(slots, 0.5), level=plus.level, cache=True)
+    half_over_i = encoder.encode(
+        np.full(slots, -0.5j), level=minus.level, cache=True
+    )
+    lo = evaluator.rescale(evaluator.multiply_plain(plus, half))
+    hi = evaluator.rescale(evaluator.multiply_plain(minus, half_over_i))
+    return lo, hi
+
+
+def slot_to_coeff_merge(
+    evaluator,
+    transforms: BootstrappingTransforms,
+    ct_lo: Ciphertext,
+    ct_hi: Ciphertext,
+) -> Ciphertext:
+    """Repack split coefficient halves (``u = lo + i * hi``) and run SlotToCoeff.
+
+    The inverse of :func:`coeff_to_slot_split`; costs one extra level for the
+    repacking constants on top of ``s2c_depth``.
+    """
+    encoder = transforms.encoder
+    slots = encoder.params.slot_count
+    one = encoder.encode(np.full(slots, 1.0), level=ct_lo.level, cache=True)
+    i_vector = encoder.encode(np.full(slots, 1j), level=ct_hi.level, cache=True)
+    lo = evaluator.rescale(evaluator.multiply_plain(ct_lo, one))
+    hi = evaluator.rescale(evaluator.multiply_plain(ct_hi, i_vector))
+    return slot_to_coeff(evaluator, transforms, evaluator.add(lo, hi))
+
+
+def slot_permutation(transforms: BootstrappingTransforms) -> np.ndarray:
+    """The slot permutation CoeffToSlot leaves its output in (bit-reversal)."""
+    return slot_bit_reversal(transforms.encoder.params.slot_count)
+
+
+# --------------------------------------------------------------------------
+# Schedule model
+# --------------------------------------------------------------------------
 
 
 @dataclass(frozen=True)
@@ -29,9 +367,12 @@ class BootstrappingSchedule:
 
     The defaults follow the standard structure: CoeffToSlot and SlotToCoeff
     are each a product of ``depth`` sparse linear transforms realised with
-    baby-step/giant-step rotations (``~sqrt(N/2)`` rotations per level), and
-    EvalMod is a degree-~63 polynomial evaluated with ~2*sqrt(63) ciphertext
-    multiplications.
+    baby-step/giant-step rotations, and EvalMod is a degree-~63 polynomial
+    evaluated with ~2*sqrt(63) ciphertext multiplications.  The analytic
+    per-level rotation count is derived *per phase* (``c2s_levels`` and
+    ``s2c_levels`` may differ); measured counts from a real
+    :class:`BootstrappingTransforms` ladder override the analytic model via
+    :meth:`from_transforms`.
     """
 
     degree: int
@@ -39,25 +380,58 @@ class BootstrappingSchedule:
     s2c_levels: int = 3
     evalmod_multiplications: int = 16
     evalmod_additions: int = 32
+    c2s_rotations: int | None = None
+    s2c_rotations: int | None = None
+    plain_multiplications: int | None = None
 
     @property
     def slots(self) -> int:
         """Number of packed slots being bootstrapped."""
         return self.degree // 2
 
+    def rotations_per_level(self, levels: int) -> int:
+        """Analytic BSGS rotation count per linear-transform level.
+
+        A ``levels``-deep factorisation gives each factor about
+        ``slots**(1/levels)`` diagonals, evaluated with ``~2*sqrt(d)``
+        rotations by the baby-step/giant-step split.
+        """
+        per_factor = self.slots ** (1.0 / max(levels, 1))
+        return max(2, int(2 * ceil(sqrt(per_factor))))
+
     @property
     def rotations_per_linear_level(self) -> int:
-        """Baby-step/giant-step rotation count per linear-transform level."""
-        return max(2, int(2 * ceil(sqrt(self.slots ** (1.0 / max(self.c2s_levels, 1))))))
+        """Per-level rotation count of the CoeffToSlot phase (legacy alias)."""
+        return self.rotations_per_level(self.c2s_levels)
+
+    @property
+    def c2s_rotation_count(self) -> int:
+        """Rotations of the CoeffToSlot phase (measured when available)."""
+        if self.c2s_rotations is not None:
+            return self.c2s_rotations
+        return self.c2s_levels * self.rotations_per_level(self.c2s_levels)
+
+    @property
+    def s2c_rotation_count(self) -> int:
+        """Rotations of the SlotToCoeff phase (measured when available).
+
+        Derived from ``s2c_levels`` -- a schedule with ``s2c_levels !=
+        c2s_levels`` prices each phase with its own per-level BSGS count.
+        """
+        if self.s2c_rotations is not None:
+            return self.s2c_rotations
+        return self.s2c_levels * self.rotations_per_level(self.s2c_levels)
 
     @property
     def rotation_count(self) -> int:
         """Total HE-Rotate invocations."""
-        return (self.c2s_levels + self.s2c_levels) * self.rotations_per_linear_level
+        return self.c2s_rotation_count + self.s2c_rotation_count
 
     @property
     def plain_multiplication_count(self) -> int:
         """Plaintext (diagonal) multiplications inside the linear transforms."""
+        if self.plain_multiplications is not None:
+            return self.plain_multiplications
         return self.rotation_count
 
     @property
@@ -83,6 +457,27 @@ class BootstrappingSchedule:
             "rescale": self.rescale_count,
             "he_add": self.addition_count,
         }
+
+    @classmethod
+    def from_transforms(
+        cls,
+        degree: int,
+        transforms: BootstrappingTransforms,
+        *,
+        evalmod_multiplications: int = 16,
+        evalmod_additions: int = 32,
+    ) -> "BootstrappingSchedule":
+        """A schedule grounded in the measured counts of a real ladder pair."""
+        return cls(
+            degree=degree,
+            c2s_levels=transforms.c2s_depth,
+            s2c_levels=transforms.s2c_depth,
+            evalmod_multiplications=evalmod_multiplications,
+            evalmod_additions=evalmod_additions,
+            c2s_rotations=transforms.c2s_rotation_count(),
+            s2c_rotations=transforms.s2c_rotation_count(),
+            plain_multiplications=transforms.plain_multiplication_count(),
+        )
 
 
 @dataclass

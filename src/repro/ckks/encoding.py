@@ -10,6 +10,11 @@ The implementation builds the (unitary up to ``sqrt(N)``) Vandermonde matrix
 explicitly, which is exact and perfectly adequate for the library's functional
 parameter sizes (the performance path never encodes at runtime -- plaintext
 parameters are compiled offline, as the paper assumes).
+
+The module also hosts the slot-space utilities the diagonal linear-transform
+engine builds on: generalized-diagonal extraction, the slot-rotation
+convention, and the slot bit-reversal permutation the sparse FFT factors of
+bootstrapping produce their output in.
 """
 
 from __future__ import annotations
@@ -20,7 +25,67 @@ import numpy as np
 
 from repro.ckks.ciphertext import Plaintext
 from repro.ckks.params import CkksParameters
+from repro.numtheory.bitrev import bit_reverse_indices
 from repro.poly.rns_poly import RnsPolynomial
+
+#: Bound on cached plaintext encodings per encoder (each entry is one RNS
+#: polynomial); diagonal-heavy transforms stay far below it in practice.
+_ENCODE_CACHE_LIMIT = 4096
+
+
+def rotate_slots(vector: np.ndarray, steps: int) -> np.ndarray:
+    """Rotate a slot vector exactly as ``CkksEvaluator.rotate`` does.
+
+    ``rotate(ct, s)`` maps slot ``j`` to the value previously at slot
+    ``j + s`` (a left rotation), i.e. ``np.roll(z, -s)``.  Every plaintext
+    mirror of a homomorphic rotation must use this helper so the sign
+    convention lives in one place.
+    """
+    return np.roll(np.asarray(vector), -int(steps))
+
+
+def matrix_diagonals(
+    matrix: np.ndarray, tol: float = 1e-12
+) -> dict[int, np.ndarray]:
+    """Extract the non-zero generalized diagonals of a square slot matrix.
+
+    Diagonal ``k`` holds ``d_k[j] = M[j, (j + k) mod n]`` so that
+    ``M @ x == sum_k d_k * rotate_slots(x, k)`` -- the form the diagonal
+    linear-transform engine evaluates homomorphically.  Diagonals whose
+    largest entry magnitude is at most ``tol`` are dropped.
+    """
+    matrix = np.asarray(matrix, dtype=np.complex128)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+    size = matrix.shape[0]
+    rows = np.arange(size)
+    diagonals: dict[int, np.ndarray] = {}
+    for k in range(size):
+        diagonal = matrix[rows, (rows + k) % size]
+        if np.abs(diagonal).max() > tol:
+            diagonals[k] = diagonal
+    return diagonals
+
+
+def matrix_from_diagonals(
+    diagonals: dict[int, np.ndarray], size: int
+) -> np.ndarray:
+    """Rebuild the dense slot matrix from its generalized diagonals."""
+    matrix = np.zeros((size, size), dtype=np.complex128)
+    rows = np.arange(size)
+    for k, diagonal in diagonals.items():
+        matrix[rows, (rows + int(k)) % size] = np.asarray(diagonal, dtype=np.complex128)
+    return matrix
+
+
+def slot_bit_reversal(slots: int) -> np.ndarray:
+    """The bit-reversal permutation of the slot indices (read-only).
+
+    The radix-2 special-FFT factorisation of the canonical embedding consumes
+    its input in bit-reversed order; CoeffToSlot therefore delivers the
+    polynomial coefficients into slots permuted by this index array.
+    """
+    return bit_reverse_indices(slots)
 
 
 @dataclass
@@ -30,6 +95,7 @@ class CkksEncoder:
     params: CkksParameters
     _embedding: np.ndarray = field(init=False, repr=False)
     _slot_indices: np.ndarray = field(init=False, repr=False)
+    _encode_cache: dict = field(init=False, repr=False, default_factory=dict)
 
     def __post_init__(self) -> None:
         degree = self.params.degree
@@ -50,12 +116,23 @@ class CkksEncoder:
 
     # -------------------------------------------------------------- encoding
     def encode(
-        self, values: np.ndarray | list[complex], scale: float | None = None, level: int | None = None
+        self,
+        values: np.ndarray | list[complex],
+        scale: float | None = None,
+        level: int | None = None,
+        *,
+        cache: bool = False,
     ) -> Plaintext:
         """Encode up to ``N/2`` complex (or real) values into a plaintext.
 
         Shorter vectors are zero-padded; the result carries ``scale`` (default
         the parameter set's Delta) and lives at ``level`` limbs (default all).
+
+        ``cache=True`` memoises the encoded polynomial (returned read-only) on
+        the encoder, keyed by value bytes, scale and level.  Static plaintext
+        *parameters* -- diagonal vectors of linear transforms, bootstrapping
+        constants -- opt in so repeated applies skip the embedding and NTT
+        work; one-off *data* encodings keep the default and stay unretained.
         """
         scale = float(scale if scale is not None else self.params.scale)
         level = self.params.limbs if level is None else level
@@ -66,15 +143,40 @@ class CkksEncoder:
             raise ValueError(f"cannot pack {values.size} values into {slots} slots")
         vector[: values.size] = values
 
+        if not cache:
+            return Plaintext(
+                poly=self._encode_poly(vector, scale, level), scale=scale, level=level
+            )
+        cache_key = (vector.tobytes(), scale, level)
+        poly = self._encode_cache.get(cache_key)
+        if poly is None:
+            poly = self._encode_poly(vector, scale, level)
+            poly.residues.flags.writeable = False
+            if len(self._encode_cache) >= _ENCODE_CACHE_LIMIT:
+                self._encode_cache.pop(next(iter(self._encode_cache)))
+            self._encode_cache[cache_key] = poly
+        return Plaintext(poly=poly, scale=scale, level=level)
+
+    def _encode_poly(
+        self, vector: np.ndarray, scale: float, level: int
+    ) -> RnsPolynomial:
+        """Inverse-embed, scale, round and reduce one padded slot vector."""
         # Conjugate-extend so the inverse embedding produces real coefficients.
         full = np.concatenate([vector, np.conj(vector)])
         coeffs = np.conj(self._embedding.T) @ full / self.params.degree
-        scaled = np.round(np.real(coeffs) * scale).astype(object)
+        rounded = np.round(np.real(coeffs) * scale)
         basis = self.params.basis_at_level(level)
-        poly = RnsPolynomial.from_int_coefficients(
+        if np.all(np.abs(rounded) < float(1 << 62)):
+            # Every coefficient fits int64: reduce all limbs with one batched
+            # np.mod pass instead of the per-coefficient big-int loop (signed
+            # residues reduce identically to ``int(c) % Q`` limb-wise).
+            return RnsPolynomial.from_signed_coefficients(
+                rounded.astype(np.int64), basis
+            )
+        scaled = rounded.astype(object)
+        return RnsPolynomial.from_int_coefficients(
             [int(c) % basis.modulus_product for c in scaled], basis
         )
-        return Plaintext(poly=poly, scale=scale, level=level)
 
     def decode(self, plaintext: Plaintext, slots: int | None = None) -> np.ndarray:
         """Decode a plaintext back into its complex slot vector."""

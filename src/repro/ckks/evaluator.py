@@ -263,6 +263,46 @@ class CkksEvaluator:
             level=hoisted.level,
         )
 
+    def rotate_many(
+        self, ciphertext: Ciphertext, steps: list[int]
+    ) -> list[Ciphertext]:
+        """Rotate one ciphertext by a batch of offsets with grouped hoisting.
+
+        The key-switch decomposition of ``c1`` (digit split, stacked BConv,
+        batched forward NTT) is paid once and shared by every non-zero offset;
+        offset 0 returns the input ciphertext itself.  Duplicate offsets reuse
+        the already-computed rotation.  This is the primitive under
+        rotation-ladder workloads (BSGS baby steps, convolution taps, HELR
+        gradient trees).
+        """
+        steps = [int(s) for s in steps]
+        if not steps:
+            raise ValueError("rotation batch must not be empty")
+        hoisted: HoistedCiphertext | None = None
+        rotated: dict[int, Ciphertext] = {}
+        results = []
+        for s in steps:
+            if s == 0:
+                results.append(ciphertext)
+                continue
+            if s not in rotated:
+                if hoisted is None:
+                    hoisted = self.hoist(ciphertext)
+                rotated[s] = self.rotate_hoisted(hoisted, s)
+            results.append(rotated[s])
+        return results
+
+    def matvec(self, ciphertext: Ciphertext, transform, *, rescale: bool = False) -> Ciphertext:
+        """Apply a diagonal-encoded linear transform (BSGS + double hoisting).
+
+        ``transform`` is a :class:`repro.ckks.linear_transform.DiagonalLinearTransform`
+        (any object with an ``apply(evaluator, ciphertext)`` method works).
+        The result carries ``scale * transform scale``; pass ``rescale=True``
+        to drop the consumed level immediately.
+        """
+        result = transform.apply(self, ciphertext)
+        return self.rescale(result) if rescale else result
+
     def conjugate(self, ciphertext: Ciphertext) -> Ciphertext:
         """Complex-conjugate the packed slots."""
         if self.galois_keys is None:

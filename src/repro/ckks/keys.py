@@ -226,3 +226,23 @@ class KeyGenerator:
     def galois_keys(self, exponents: list[int]) -> GaloisKeySet:
         """Generate a set of Galois keys for the given automorphism exponents."""
         return GaloisKeySet(keys={e: self.galois_key(e) for e in exponents})
+
+    def galois_keys_for_steps(
+        self, steps, *, conjugation: bool = False
+    ) -> GaloisKeySet:
+        """Galois keys for exactly the given slot-rotation step set.
+
+        ``steps`` is any iterable of rotation offsets (for the BSGS engine,
+        :func:`repro.ckks.linear_transform.required_rotation_steps` of the
+        transforms to be applied).  Steps are deduplicated through their
+        Galois exponents ``5**step mod 2N`` and the identity is skipped, so
+        the key set is exactly what the rotations need -- no over-generation.
+        ``conjugation=True`` additionally includes the conjugation key
+        (exponent ``2N - 1``) that CoeffToSlot's real/imaginary split uses.
+        """
+        order = 2 * self.params.degree
+        exponents = {pow(5, int(step), order) for step in steps}
+        exponents.discard(1)  # rotation by zero never key-switches
+        if conjugation:
+            exponents.add(order - 1)
+        return self.galois_keys(sorted(exponents))

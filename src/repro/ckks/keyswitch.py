@@ -29,6 +29,7 @@ from repro.poly.basis_conversion import (
     stacked_conversion_for,
     _sub_basis,
 )
+from repro.poly.ring import automorphism_eval_indices
 from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial, stacked_ntt_forward
 
 
@@ -121,6 +122,41 @@ def switch_key(
     extended_digits = decompose_and_extend(poly, params, level)
     digits_eval = stacked_ntt_forward(params.extended_basis(level), extended_digits)
     return switch_extended_eval(digits_eval, key, params, level)
+
+
+def switch_galois_eval(
+    c0_eval: np.ndarray,
+    c1_eval: np.ndarray,
+    key: KeySwitchKey,
+    exponent: int,
+    params: CkksParameters,
+    level: int,
+) -> tuple[RnsPolynomial, RnsPolynomial]:
+    """Rotate an evaluation-domain accumulator pair by a Galois automorphism.
+
+    This is the giant-step primitive of the BSGS linear-transform engine: the
+    inner products over a giant step's baby rotations accumulate as raw
+    evaluation-domain ``(L, N)`` residue tensors (paying no intermediate
+    inverse NTTs), and this function is the single point where the
+    accumulator leaves that domain.  The automorphism is applied as the pure
+    evaluation-point gather (it commutes with the NTT), both components pay
+    exactly one inverse pass each, and the rotated ``c1`` goes through the
+    fused key switch -- one key-switch decomposition per giant step.
+
+    Returns the coefficient-domain ``(c0, c1)`` of the rotated ciphertext.
+    Bit-identical to converting the pair to the coefficient domain first and
+    rotating through :meth:`CkksEvaluator.apply_galois`.
+    """
+    basis = params.basis_at_level(level)
+    indices = automorphism_eval_indices(params.degree, exponent)
+    rotated0 = RnsPolynomial(
+        basis, np.take(c0_eval, indices, axis=-1), EVAL_DOMAIN
+    ).to_coeff()
+    rotated1 = RnsPolynomial(
+        basis, np.take(c1_eval, indices, axis=-1), EVAL_DOMAIN
+    ).to_coeff()
+    ks0, ks1 = switch_key(rotated1, key, params, level)
+    return rotated0.add(ks0), ks1
 
 
 def switch_key_unfused(

@@ -1,0 +1,379 @@
+"""Diagonal-encoded homomorphic linear transforms (BSGS + double hoisting).
+
+The system's linear-algebra backbone: an arbitrary slot-space matrix ``M`` is
+stored as its non-zero generalized diagonals (``M @ x = sum_k d_k * rot_k(x)``)
+and evaluated with the baby-step/giant-step decomposition the paper prices its
+CoeffToSlot/SlotToCoeff ladders with.  Writing ``k = g*n1 + b``::
+
+    M @ x = sum_g rot_{g*n1}( sum_b rot_{-g*n1}(d_{g*n1+b}) * rot_b(x) )
+
+so only ``~n1 + n2`` rotations are key-switched instead of one per diagonal.
+The execution reuses every amortisation layer below it:
+
+* the ``n1`` baby rotations share **one** hoisted key-switch decomposition
+  (:meth:`CkksEvaluator.hoist` -- digit split, stacked BConv, one batched
+  forward NTT);
+* the inner products accumulate in the **evaluation domain**: baby-rotated
+  ciphertexts are transformed once, the pre-rotated diagonal plaintexts are
+  cached as eval-domain residue tensors per level, and the ``n1 * n2``
+  multiply-adds are raw modular tensor ops paying no intermediate inverse
+  NTTs (extending the fused key switch's eval-domain accumulation); and
+* each giant step leaves the evaluation domain exactly once, through
+  :func:`repro.ckks.keyswitch.switch_galois_eval` -- an eval-domain
+  automorphism gather, two inverse NTTs and **one** key-switch decomposition
+  per giant step.
+
+Plaintext diagonals are encoded lazily per level (and memoised both here and
+in the encoder), so one transform instance serves ciphertexts at any level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.ckks.encoding import (
+    CkksEncoder,
+    matrix_diagonals,
+    matrix_from_diagonals,
+    rotate_slots,
+)
+from repro.ckks.keyswitch import switch_galois_eval
+from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial
+
+
+#: Bound on memoised transforms per encoder (each holds per-level
+#: eval-domain plaintext tensors, so entries are heavy).
+TRANSFORM_CACHE_LIMIT = 128
+
+
+def cached_transform(
+    encoder: CkksEncoder, key, factory
+) -> "DiagonalLinearTransform":
+    """Per-encoder get-or-build memo of constructed transforms.
+
+    Consumers that rebuild the same transform per call (convolution kernels,
+    fixed weight matrices) route construction through this helper so repeated
+    applications share one instance -- and therefore its cached eval-domain
+    plaintext tensors.  The memo lives on the encoder instance, whose
+    lifetime matches the parameter set the transforms are bound to, and
+    evicts FIFO past :data:`TRANSFORM_CACHE_LIMIT`.
+    """
+    cache = getattr(encoder, "_transform_cache", None)
+    if cache is None:
+        cache = {}
+        encoder._transform_cache = cache
+    transform = cache.get(key)
+    if transform is None:
+        transform = factory()
+        if len(cache) >= TRANSFORM_CACHE_LIMIT:
+            cache.pop(next(iter(cache)))
+        cache[key] = transform
+    return transform
+
+
+def required_rotation_steps(*transforms) -> list[int]:
+    """The union of rotation steps a sequence of transforms key-switches.
+
+    Feed the result to :meth:`KeyGenerator.galois_keys_for_steps` to generate
+    exactly the Galois keys the BSGS ladders need (baby and giant index sets,
+    deduplicated across transforms).
+    """
+    steps: set[int] = set()
+    for transform in transforms:
+        steps.update(transform.rotation_steps())
+    return sorted(steps)
+
+
+def _conditional_add(
+    accumulator: np.ndarray, term: np.ndarray, moduli: np.ndarray
+) -> np.ndarray:
+    """``(accumulator + term) mod q`` for reduced operands (no division)."""
+    total = accumulator + term
+    return np.where(total >= moduli, total - moduli, total)
+
+
+def _bsgs_cost(indices: list[int], n1: int) -> int:
+    """Key-switched rotations a BSGS split at ``n1`` pays for these diagonals."""
+    babies = {k % n1 for k in indices} - {0}
+    giants = {(k // n1) * n1 for k in indices} - {0}
+    return len(babies) + len(giants)
+
+
+def _default_baby_count(indices: list[int], slots: int) -> int:
+    """Pick the power-of-two baby count minimising key-switched rotations.
+
+    For a dense diagonal set this lands at ``~sqrt(n)`` (the classic BSGS
+    balance); for the sparse index sets of collapsed FFT factors the search
+    exploits their structure and often beats the square-root choice.
+    """
+    candidates = [1 << shift for shift in range(slots.bit_length())]
+    return min(candidates, key=lambda n1: (_bsgs_cost(indices, n1), n1))
+
+
+@dataclass
+class DiagonalLinearTransform:
+    """A slot-space linear map encoded as generalized diagonals.
+
+    Attributes
+    ----------
+    encoder:
+        The encoder whose parameter set the transform is bound to (plaintext
+        diagonals are encoded through it, hitting its memoisation cache).
+    diagonals:
+        Mapping from diagonal index ``k`` (normalised to ``[0, slots)``) to
+        the length-``slots`` complex diagonal vector ``d_k``.
+    n1:
+        Baby-step count of the BSGS split (``k = (k // n1) * n1 + k % n1``).
+    scale:
+        Encoding scale of the diagonal plaintexts.  ``None`` uses the
+        parameter set's default Delta; ``level_matched=True`` overrides it
+        per level with the prime the subsequent rescale drops, keeping the
+        ciphertext scale invariant across a transform ladder.
+    level_matched:
+        See ``scale``.
+    """
+
+    encoder: CkksEncoder
+    diagonals: dict[int, np.ndarray]
+    n1: int
+    scale: float | None = None
+    level_matched: bool = False
+    _groups: dict[int, list[int]] = field(init=False, repr=False)
+    _plain_cache: dict[int, dict[tuple[int, int], np.ndarray]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+
+    def __post_init__(self) -> None:
+        slots = self.slots
+        if not self.diagonals:
+            raise ValueError("transform needs at least one non-zero diagonal")
+        if not 1 <= self.n1 <= slots:
+            raise ValueError(f"baby count n1 must be in [1, {slots}]")
+        groups: dict[int, list[int]] = {}
+        for k in sorted(self.diagonals):
+            groups.setdefault(k // self.n1, []).append(k % self.n1)
+        self._groups = groups
+
+    # ---------------------------------------------------------- constructors
+    @classmethod
+    def from_diagonals(
+        cls,
+        encoder: CkksEncoder,
+        diagonals: Mapping[int, np.ndarray],
+        *,
+        n1: int | None = None,
+        scale: float | None = None,
+        level_matched: bool = False,
+    ) -> "DiagonalLinearTransform":
+        """Build a transform from a ``{diagonal index: vector}`` mapping.
+
+        Indices are normalised modulo the slot count, exactly-zero diagonals
+        are dropped, and (unless given) ``n1`` is chosen by a search over
+        power-of-two splits minimising the key-switched rotation count.
+        """
+        slots = encoder.params.slot_count
+        normalised: dict[int, np.ndarray] = {}
+        for k, vector in diagonals.items():
+            vector = np.asarray(vector, dtype=np.complex128).ravel()
+            if vector.size != slots:
+                raise ValueError(
+                    f"diagonal {k} has {vector.size} entries, expected {slots}"
+                )
+            if not np.any(vector):
+                continue
+            index = int(k) % slots
+            if index in normalised:
+                raise ValueError(f"duplicate diagonal index {index}")
+            normalised[index] = vector
+        if not normalised:
+            raise ValueError("transform needs at least one non-zero diagonal")
+        if n1 is None:
+            n1 = _default_baby_count(sorted(normalised), slots)
+        return cls(
+            encoder=encoder,
+            diagonals=normalised,
+            n1=int(n1),
+            scale=scale,
+            level_matched=level_matched,
+        )
+
+    @classmethod
+    def from_matrix(
+        cls,
+        encoder: CkksEncoder,
+        matrix: np.ndarray,
+        *,
+        tol: float = 1e-12,
+        n1: int | None = None,
+        scale: float | None = None,
+        level_matched: bool = False,
+    ) -> "DiagonalLinearTransform":
+        """Build a transform from a dense ``slots x slots`` matrix."""
+        return cls.from_diagonals(
+            encoder,
+            matrix_diagonals(matrix, tol=tol),
+            n1=n1,
+            scale=scale,
+            level_matched=level_matched,
+        )
+
+    # --------------------------------------------------------------- queries
+    @property
+    def slots(self) -> int:
+        """Slot count of the bound parameter set."""
+        return self.encoder.params.slot_count
+
+    @property
+    def baby_steps(self) -> list[int]:
+        """Distinct baby rotation offsets (including 0 if used)."""
+        return sorted({b for babies in self._groups.values() for b in babies})
+
+    @property
+    def giant_steps(self) -> list[int]:
+        """Distinct non-zero giant rotation offsets (multiples of ``n1``)."""
+        return sorted(g * self.n1 for g in self._groups if g != 0)
+
+    def rotation_steps(self) -> list[int]:
+        """All non-zero rotation offsets ``apply`` key-switches."""
+        steps = {b for b in self.baby_steps if b != 0}
+        steps.update(self.giant_steps)
+        return sorted(steps)
+
+    def rotation_count(self) -> int:
+        """Key-switched rotations per ``apply`` (baby + giant)."""
+        return len([b for b in self.baby_steps if b != 0]) + len(self.giant_steps)
+
+    def diagonal_count(self) -> int:
+        """Number of non-zero generalized diagonals (plaintext multiplies)."""
+        return len(self.diagonals)
+
+    def matrix(self) -> np.ndarray:
+        """The dense slot matrix this transform evaluates."""
+        return matrix_from_diagonals(self.diagonals, self.slots)
+
+    def apply_plain(self, vector: np.ndarray) -> np.ndarray:
+        """NumPy reference of the transform (the homomorphic oracle)."""
+        vector = np.asarray(vector, dtype=np.complex128).ravel()
+        result = np.zeros(self.slots, dtype=np.complex128)
+        for k, diagonal in self.diagonals.items():
+            result += diagonal * rotate_slots(vector, k)
+        return result
+
+    # ------------------------------------------------------------ evaluation
+    def plaintext_scale(self, level: int) -> float:
+        """Scale the diagonal plaintexts carry at ``level``."""
+        if self.level_matched:
+            return float(self.encoder.params.modulus_basis.moduli[level - 1])
+        if self.scale is not None:
+            return float(self.scale)
+        return float(self.encoder.params.scale)
+
+    def _plaintexts_at(self, level: int) -> dict[tuple[int, int], np.ndarray]:
+        """Eval-domain residue tensors of the pre-rotated diagonals, cached.
+
+        The BSGS identity needs diagonal ``k = g*n1 + b`` pre-rotated by
+        ``-g*n1`` so the giant rotation can be hoisted outside the inner sum;
+        the encoded plaintexts are static per level, so their forward NTTs
+        are paid once and the read-only tensors shared across applies.
+        """
+        cached = self._plain_cache.get(level)
+        if cached is None:
+            scale = self.plaintext_scale(level)
+            cached = {}
+            for g, babies in self._groups.items():
+                for b in babies:
+                    pre_rotated = np.roll(self.diagonals[g * self.n1 + b], g * self.n1)
+                    plain = self.encoder.encode(
+                        pre_rotated, scale=scale, level=level, cache=True
+                    )
+                    residues = plain.poly.to_eval().residues
+                    residues.flags.writeable = False
+                    cached[(g, b)] = residues
+            self._plain_cache[level] = cached
+        return cached
+
+    def apply(self, evaluator, ciphertext: Ciphertext) -> Ciphertext:
+        """Evaluate the transform on a ciphertext (BSGS + double hoisting).
+
+        Returns a ciphertext at the same level whose scale is multiplied by
+        the plaintext scale; callers rescale when they are ready to drop the
+        level.  Decrypts to ``matrix() @ slots`` up to CKKS noise.
+        """
+        params = evaluator.params
+        if params.slot_count != self.slots:
+            raise ValueError("transform and evaluator parameter sets differ")
+        level = ciphertext.level
+        basis = params.basis_at_level(level)
+        moduli = basis.moduli_array[:, None]
+        plaintexts = self._plaintexts_at(level)
+
+        # Baby rotations: one hoisted decomposition for the whole batch, then
+        # each rotated ciphertext enters the evaluation domain once.
+        baby_parts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        nonzero = [b for b in self.baby_steps if b != 0]
+        hoisted = evaluator.hoist(ciphertext) if nonzero else None
+        for b in self.baby_steps:
+            rotated = (
+                ciphertext if b == 0 else evaluator.rotate_hoisted(hoisted, b)
+            )
+            baby_parts[b] = (
+                rotated.c0.to_eval().residues,
+                rotated.c1.to_eval().residues,
+            )
+
+        output: Ciphertext | None = None
+        result_scale = ciphertext.scale * self.plaintext_scale(level)
+        for g in sorted(self._groups):
+            # Giant step g: the inner product over its baby rotations stays in
+            # the decomposed/eval domain -- raw modular multiply-adds only.
+            acc0: np.ndarray | None = None
+            acc1: np.ndarray | None = None
+            for b in self._groups[g]:
+                plain = plaintexts[(g, b)]
+                part0, part1 = baby_parts[b]
+                term0 = (part0 * plain) % moduli
+                term1 = (part1 * plain) % moduli
+                if acc0 is None:
+                    acc0, acc1 = term0, term1
+                else:
+                    acc0 = _conditional_add(acc0, term0, moduli)
+                    acc1 = _conditional_add(acc1, term1, moduli)
+            if g == 0:
+                term = Ciphertext(
+                    c0=RnsPolynomial(basis, acc0, EVAL_DOMAIN).to_coeff(),
+                    c1=RnsPolynomial(basis, acc1, EVAL_DOMAIN).to_coeff(),
+                    scale=result_scale,
+                    level=level,
+                )
+            else:
+                # One eval-domain gather + one key-switch decomposition for
+                # the whole giant step.
+                if evaluator.galois_keys is None:
+                    raise ValueError("giant-step rotation requires Galois keys")
+                exponent = self.encoder.slot_rotation_exponent(g * self.n1)
+                key = evaluator.galois_keys.key_for(exponent)
+                c0, c1 = switch_galois_eval(acc0, acc1, key, exponent, params, level)
+                term = Ciphertext(c0=c0, c1=c1, scale=result_scale, level=level)
+            output = term if output is None else evaluator.add(output, term)
+        return output
+
+
+def bsgs_rotation_counts(diagonal_indices, slots: int, n1: int | None = None):
+    """``(n1, baby count, giant count)`` for a diagonal index set.
+
+    The analytic mirror of :meth:`DiagonalLinearTransform.rotation_count`,
+    usable by cost models without building plaintexts: for a dense index set
+    this reproduces the classic ``~2*sqrt(n)`` BSGS rotation count.
+    """
+    indices = sorted({int(k) % slots for k in diagonal_indices})
+    if not indices:
+        raise ValueError("need at least one diagonal index")
+    if n1 is None:
+        n1 = _default_baby_count(indices, slots)
+    babies = {k % n1 for k in indices} - {0}
+    giants = {(k // n1) * n1 for k in indices} - {0}
+    return int(n1), len(babies), len(giants)

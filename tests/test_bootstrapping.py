@@ -1,11 +1,89 @@
-"""Tests for the packed-bootstrapping schedule model (paper Table IX)."""
+"""Tests for packed bootstrapping: executable C2S/S2C + the schedule model.
 
+The schedule-model tests mirror the paper's Table IX methodology; the
+executable-transform tests pin down the special-FFT factorisation of the
+encoder's Vandermonde embedding and the homomorphic
+CoeffToSlot -> SlotToCoeff round trip on the exact CKKS stack.
+"""
+
+import numpy as np
 import pytest
 
-from repro.ckks.bootstrapping import BootstrappingSchedule, estimate_bootstrapping
+from repro.ckks import (
+    CkksEncoder,
+    CkksEvaluator,
+    CkksParameters,
+    Decryptor,
+    Encryptor,
+    KeyGenerator,
+)
+from repro.ckks.bootstrapping import (
+    BootstrappingSchedule,
+    _dense,
+    build_bootstrapping_transforms,
+    coeff_to_slot,
+    coeff_to_slot_split,
+    collapsed_fft_factors,
+    composed_matrix,
+    estimate_bootstrapping,
+    slot_permutation,
+    slot_to_coeff,
+    slot_to_coeff_merge,
+    special_fft_matrix,
+    special_fft_stage_diagonals,
+)
 from repro.core.compiler import CompilerOptions, CrossCompiler
 from repro.core.config import PARAMETER_SETS
+from repro.numtheory.bitrev import bit_reverse_indices, permutation_matrix
 from repro.tpu import TensorCoreDevice
+
+#: Acceptance bar for the homomorphic round trip at the functional set.
+ROUNDTRIP_RELATIVE_ERROR = 2.0**-20
+
+
+@pytest.fixture(scope="module")
+def functional_env():
+    """The functional parameter set for executable-bootstrapping tests.
+
+    Ten 30-bit limbs at degree 64 (scale 2^29) leave enough level and
+    precision budget for a depth-(3+2) transform ladder; ``dnum = 5`` keeps
+    the per-digit modulus far below the special product so hoisted-BConv
+    noise stays out of the way, and the reduced error width is the standard
+    functional-rig concession (a 64-degree ring is insecure regardless -- the
+    suite tests arithmetic, not security).
+    """
+    params = CkksParameters.create(
+        degree=64, limbs=10, log_q=30, dnum=5, scale_bits=29, special_limbs=3
+    )
+    params.error_stddev = 1.0
+    keygen = KeyGenerator(params, rng=np.random.default_rng(3))
+    encoder = CkksEncoder(params)
+    transforms = build_bootstrapping_transforms(encoder, c2s_depth=3, s2c_depth=2)
+    galois_keys = keygen.galois_keys_for_steps(
+        transforms.rotation_steps(), conjugation=True
+    )
+    evaluator = CkksEvaluator(params, galois_keys=galois_keys)
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    decryptor = Decryptor(params, keygen.secret_key)
+    rng = np.random.default_rng(5)
+    z = rng.uniform(-1, 1, params.slot_count) + 1j * rng.uniform(
+        -1, 1, params.slot_count
+    )
+    ciphertext = encryptor.encrypt(encoder.encode(z))
+    return {
+        "params": params,
+        "encoder": encoder,
+        "transforms": transforms,
+        "evaluator": evaluator,
+        "encryptor": encryptor,
+        "decryptor": decryptor,
+        "z": z,
+        "ct": ciphertext,
+    }
+
+
+def decode(env, ciphertext):
+    return env["encoder"].decode(env["decryptor"].decrypt(ciphertext))
 
 
 @pytest.fixture(scope="module")
@@ -63,3 +141,236 @@ class TestEstimate:
         estimate = estimate_bootstrapping(compiler, device, tensor_cores=8)
         assert "VecModOps" in estimate.breakdown
         assert "Automorphism" in estimate.breakdown
+
+
+class TestPerPhaseScheduleCounts:
+    """The satellite fix: SlotToCoeff is priced from its own depth."""
+
+    def test_symmetric_schedule_unchanged(self):
+        schedule = BootstrappingSchedule(degree=2**16)
+        per_level = schedule.rotations_per_linear_level
+        assert schedule.rotation_count == 6 * per_level
+
+    def test_asymmetric_phases_priced_separately(self):
+        schedule = BootstrappingSchedule(degree=2**16, c2s_levels=3, s2c_levels=1)
+        assert schedule.c2s_rotation_count == 3 * schedule.rotations_per_level(3)
+        assert schedule.s2c_rotation_count == 1 * schedule.rotations_per_level(1)
+        # A depth-1 SlotToCoeff is one dense transform: far more rotations
+        # per level than the depth-3 factorisation.
+        assert schedule.rotations_per_level(1) > schedule.rotations_per_level(3)
+        assert (
+            schedule.rotation_count
+            == schedule.c2s_rotation_count + schedule.s2c_rotation_count
+        )
+
+    def test_s2c_levels_affect_total(self):
+        shallow = BootstrappingSchedule(degree=2**16, c2s_levels=3, s2c_levels=1)
+        deep = BootstrappingSchedule(degree=2**16, c2s_levels=3, s2c_levels=3)
+        assert shallow.s2c_rotation_count != deep.s2c_rotation_count
+        assert shallow.c2s_rotation_count == deep.c2s_rotation_count
+
+    def test_measured_overrides(self):
+        schedule = BootstrappingSchedule(
+            degree=2**16, c2s_rotations=100, s2c_rotations=50,
+            plain_multiplications=321,
+        )
+        assert schedule.rotation_count == 150
+        assert schedule.plain_multiplication_count == 321
+
+    def test_rescales_count_both_phases(self):
+        schedule = BootstrappingSchedule(degree=2**16, c2s_levels=4, s2c_levels=2)
+        assert schedule.rescale_count == 4 + 2 + schedule.evalmod_multiplications
+
+
+class TestSpecialFftFactorisation:
+    """The embedding ``W = F @ P`` factors into radix-2 butterfly stages."""
+
+    @pytest.mark.parametrize("slots", [4, 8, 32])
+    def test_stages_compose_to_embedding(self, slots):
+        stages = [
+            _dense(special_fft_stage_diagonals(slots, 1 << (s + 1)), slots)
+            for s in range(int(np.log2(slots)))
+        ]
+        product = np.eye(slots, dtype=complex)
+        for stage in stages:
+            product = stage @ product
+        bitrev = permutation_matrix(bit_reverse_indices(slots)).astype(float)
+        assert np.allclose(product @ bitrev, special_fft_matrix(slots))
+
+    @pytest.mark.parametrize("slots", [8, 32])
+    def test_stage_inverses(self, slots):
+        for s in range(int(np.log2(slots))):
+            length = 1 << (s + 1)
+            stage = _dense(special_fft_stage_diagonals(slots, length), slots)
+            inverse = _dense(
+                special_fft_stage_diagonals(slots, length, inverse=True), slots
+            )
+            assert np.allclose(inverse @ stage, np.eye(slots))
+
+    def test_stages_are_three_diagonal(self):
+        slots = 32
+        for s in range(int(np.log2(slots)) - 1):  # top stage merges +/-h
+            diagonals = special_fft_stage_diagonals(slots, 1 << (s + 1))
+            assert len(diagonals) == 3
+        top = special_fft_stage_diagonals(slots, slots)
+        assert set(top) == {0, slots // 2}
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 5])
+    def test_collapsed_factors_compose_exactly(self, depth):
+        slots = 32
+        forward = collapsed_fft_factors(slots, depth)
+        product = np.eye(slots, dtype=complex)
+        for factor in forward:
+            product = _dense(factor, slots) @ product
+        full = collapsed_fft_factors(slots, int(np.log2(slots)))
+        reference = np.eye(slots, dtype=complex)
+        for factor in full:
+            reference = _dense(factor, slots) @ reference
+        assert np.allclose(product, reference)
+        inverse = collapsed_fft_factors(slots, depth, inverse=True)
+        inv_product = np.eye(slots, dtype=complex)
+        for factor in inverse:
+            inv_product = _dense(factor, slots) @ inv_product
+        assert np.allclose(inv_product @ product, np.eye(slots))
+
+    def test_normalised_factors_scale_by_sqrt_slots(self):
+        slots = 32
+        plain = collapsed_fft_factors(slots, 3, inverse=True)
+        normalised = collapsed_fft_factors(slots, 3, inverse=True, normalised=True)
+        scale = np.sqrt(slots)
+        product_plain = np.eye(slots, dtype=complex)
+        for factor in plain:
+            product_plain = _dense(factor, slots) @ product_plain
+        product_norm = np.eye(slots, dtype=complex)
+        for factor in normalised:
+            product_norm = _dense(factor, slots) @ product_norm
+        assert np.allclose(product_norm, scale * product_plain)
+
+    def test_depth_bounds_enforced(self):
+        with pytest.raises(ValueError):
+            collapsed_fft_factors(32, 0)
+        with pytest.raises(ValueError):
+            collapsed_fft_factors(32, 6)
+
+
+class TestHomomorphicTransforms:
+    """CoeffToSlot / SlotToCoeff running on the exact CKKS stack."""
+
+    def test_c2s_matches_numpy_ladder(self, functional_env):
+        env = functional_env
+        result = coeff_to_slot(env["evaluator"], env["transforms"], env["ct"])
+        expected = composed_matrix(env["transforms"].coeff_to_slot) @ env["z"]
+        assert np.abs(decode(env, result) - expected).max() < 1e-4
+        assert result.level == env["ct"].level - env["transforms"].c2s_depth
+
+    def test_c2s_slots_hold_bit_reversed_coefficients(self, functional_env):
+        """The C2S output genuinely *is* the coefficient vector, packed."""
+        env = functional_env
+        encoder, params = env["encoder"], env["params"]
+        slots = params.slot_count
+        plain = encoder.encode(env["z"])
+        coefficients = (
+            np.array(
+                [float(c) for c in plain.poly.to_coeff().to_signed_coefficients()]
+            )
+            / plain.scale
+        )
+        packed = coefficients[:slots] + 1j * coefficients[slots:]
+        expected = env["transforms"].coefficient_scaling * packed[
+            slot_permutation(env["transforms"])
+        ]
+        result = coeff_to_slot(env["evaluator"], env["transforms"], env["ct"])
+        assert np.abs(decode(env, result) - expected).max() < 1e-4
+
+    def test_scale_invariant_across_ladder(self, functional_env):
+        """Level-matched plaintext scales keep the ciphertext scale fixed."""
+        env = functional_env
+        result = coeff_to_slot(env["evaluator"], env["transforms"], env["ct"])
+        assert result.scale == pytest.approx(env["ct"].scale, rel=1e-12)
+
+    def test_roundtrip_within_precision_bar(self, functional_env):
+        """S2C(C2S(ct)) decodes to the input within 2^-20 relative error."""
+        env = functional_env
+        mid = coeff_to_slot(env["evaluator"], env["transforms"], env["ct"])
+        back = slot_to_coeff(env["evaluator"], env["transforms"], mid)
+        decoded = decode(env, back)
+        relative = np.abs(decoded - env["z"]).max() / np.abs(env["z"]).max()
+        assert relative < ROUNDTRIP_RELATIVE_ERROR
+
+    def test_roundtrip_second_message(self, functional_env):
+        env = functional_env
+        rng = np.random.default_rng(23)
+        z = rng.uniform(-1, 1, env["params"].slot_count) + 1j * rng.uniform(
+            -1, 1, env["params"].slot_count
+        )
+        ct = env["encryptor"].encrypt(env["encoder"].encode(z))
+        back = slot_to_coeff(
+            env["evaluator"],
+            env["transforms"],
+            coeff_to_slot(env["evaluator"], env["transforms"], ct),
+        )
+        relative = np.abs(decode(env, back) - z).max() / np.abs(z).max()
+        assert relative < ROUNDTRIP_RELATIVE_ERROR
+
+    def test_conjugation_split_yields_real_halves(self, functional_env):
+        env = functional_env
+        lo, hi = coeff_to_slot_split(env["evaluator"], env["transforms"], env["ct"])
+        lo_slots, hi_slots = decode(env, lo), decode(env, hi)
+        assert np.abs(lo_slots.imag).max() < 1e-3
+        assert np.abs(hi_slots.imag).max() < 1e-3
+        packed = coeff_to_slot(env["evaluator"], env["transforms"], env["ct"])
+        packed_slots = decode(env, packed)
+        assert np.abs(lo_slots.real - packed_slots.real).max() < 1e-3
+        assert np.abs(hi_slots.real - packed_slots.imag).max() < 1e-3
+
+    def test_split_merge_roundtrip(self, functional_env):
+        env = functional_env
+        lo, hi = coeff_to_slot_split(env["evaluator"], env["transforms"], env["ct"])
+        back = slot_to_coeff_merge(env["evaluator"], env["transforms"], lo, hi)
+        relative = np.abs(decode(env, back) - env["z"]).max() / np.abs(
+            env["z"]
+        ).max()
+        # Two extra plaintext multiplications widen the error bar slightly.
+        assert relative < 2.0**-16
+
+
+class TestScheduleValidatedAgainstMeasurement:
+    """The analytic cost model vs the real ladders' rotation counts."""
+
+    def test_from_transforms_uses_measured_counts(self, functional_env):
+        env = functional_env
+        transforms = env["transforms"]
+        schedule = BootstrappingSchedule.from_transforms(
+            env["params"].degree, transforms
+        )
+        assert schedule.c2s_rotation_count == transforms.c2s_rotation_count()
+        assert schedule.s2c_rotation_count == transforms.s2c_rotation_count()
+        assert schedule.c2s_levels == transforms.c2s_depth
+        assert schedule.s2c_levels == transforms.s2c_depth
+        assert (
+            schedule.plain_multiplication_count
+            == transforms.plain_multiplication_count()
+        )
+
+    def test_analytic_model_within_factor_two_of_measured(self, functional_env):
+        env = functional_env
+        transforms = env["transforms"]
+        measured = BootstrappingSchedule.from_transforms(
+            env["params"].degree, transforms
+        )
+        analytic = BootstrappingSchedule(
+            degree=env["params"].degree,
+            c2s_levels=transforms.c2s_depth,
+            s2c_levels=transforms.s2c_depth,
+        )
+        for phase in ("c2s_rotation_count", "s2c_rotation_count"):
+            measured_count = getattr(measured, phase)
+            analytic_count = getattr(analytic, phase)
+            ratio = measured_count / analytic_count
+            assert 0.5 <= ratio <= 2.0, (phase, measured_count, analytic_count)
+
+    def test_transform_rotation_steps_cover_factors(self, functional_env):
+        transforms = functional_env["transforms"]
+        union = set(transforms.rotation_steps())
+        for factor in (*transforms.coeff_to_slot, *transforms.slot_to_coeff):
+            assert set(factor.rotation_steps()) <= union
