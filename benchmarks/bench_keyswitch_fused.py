@@ -27,6 +27,7 @@ NTTs and ModDown are not).
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -169,6 +170,9 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="fewer repeats for CI logs"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
     args = parser.parse_args()
     repeats = 3 if args.quick else 10
 
@@ -192,17 +196,36 @@ def main() -> int:
     print(header)
     print("-" * len(header))
     ok = True
+    json_rows, json_gates = [], []
     for name, row, gate in rows:
         speedup = row["loop_ms"] / row["fused_ms"]
+        json_rows.append({"kernel": name, "speedup": speedup, **row})
         verdict = ""
         if gate is not None:
             passed = speedup >= gate
             ok = ok and passed
+            json_gates.append(
+                {
+                    "name": name,
+                    "threshold": gate,
+                    "speedup": speedup,
+                    "passed": passed,
+                }
+            )
             verdict = f"  (gate {gate:.1f}x -> {'PASS' if passed else 'FAIL'})"
         print(
             f"{name:<32} {row['loop_ms']:>12.2f} {row['fused_ms']:>10.2f} "
             f"{speedup:>7.2f}x{verdict}"
         )
+    if args.json:
+        summary = {
+            "name": "keyswitch_fused",
+            "rows": json_rows,
+            "gates": json_gates,
+            "passed": ok,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
     return 0 if ok else 1
 
 

@@ -28,6 +28,7 @@ The CI gate requires the engine >= 2x on both workloads.
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -155,6 +156,9 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="fewer repeats for CI logs"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
     args = parser.parse_args()
     repeats = 3 if args.quick else 10
 
@@ -178,15 +182,29 @@ def main() -> int:
     print(header)
     print("-" * len(header))
     ok = True
+    json_rows, json_gates = [], []
     for name, row in rows:
         speedup = row["naive_ms"] / row["engine_ms"]
         passed = speedup >= GATE
         ok = ok and passed
+        json_rows.append({"workload": name, "speedup": speedup, **row})
+        json_gates.append(
+            {"name": name, "threshold": GATE, "speedup": speedup, "passed": passed}
+        )
         print(
             f"{name:<28} {row['diagonals']:>5} {row['rotations']:>4} "
             f"{row['naive_ms']:>10.2f} {row['engine_ms']:>10.2f} "
             f"{speedup:>7.2f}x  (gate {GATE:.1f}x -> {'PASS' if passed else 'FAIL'})"
         )
+    if args.json:
+        summary = {
+            "name": "linear_transform",
+            "rows": json_rows,
+            "gates": json_gates,
+            "passed": ok,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
     return 0 if ok else 1
 
 

@@ -24,6 +24,7 @@ alongside for transparency since the oracle itself got faster this cycle.
 from __future__ import annotations
 
 import argparse
+import json
 import time
 
 import numpy as np
@@ -149,6 +150,9 @@ def main() -> int:
     parser.add_argument(
         "--quick", action="store_true", help="fewer repeats / configs for CI logs"
     )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
     args = parser.parse_args()
 
     if args.quick:
@@ -166,8 +170,10 @@ def main() -> int:
     print(header)
     print("-" * len(header))
     acceptance_ok = True
+    rows = []
     for limbs, degree in configs:
         row = run_config(limbs, degree, repeats, seed_repeats)
+        rows.append(row)
         print(
             f"{row['limbs']:>3} {row['degree']:>6} {row['seed_ms']:>9.2f} "
             f"{row['oracle_ms']:>10.2f} {row['engine_ms']:>10.3f} "
@@ -183,6 +189,22 @@ def main() -> int:
         f"{headline['speedup_vs_seed']:.1f}x vs seed path "
         f"(threshold {ACCEPTANCE_SPEEDUP:.0f}x) -> {'PASS' if acceptance_ok else 'FAIL'}"
     )
+    if args.json:
+        summary = {
+            "name": "ntt_engine",
+            "rows": rows,
+            "gates": [
+                {
+                    "name": "engine_vs_seed",
+                    "threshold": ACCEPTANCE_SPEEDUP,
+                    "speedup": headline["speedup_vs_seed"],
+                    "passed": acceptance_ok,
+                }
+            ],
+            "passed": acceptance_ok,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
     return 0 if acceptance_ok else 1
 
 

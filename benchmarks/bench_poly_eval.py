@@ -1,0 +1,207 @@
+"""Microbenchmark: Paterson-Stockmeyer vs Horner polynomial evaluation.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_poly_eval.py [--quick] [--json PATH]
+
+One workload at ``N = 2**10``: a degree-63 Chebyshev series (the EvalMod
+shape) evaluated homomorphically two ways:
+
+* **horner** -- the sequential Clenshaw recurrence (the Chebyshev analogue of
+  Horner's rule): one non-scalar multiplication *and one level* per degree,
+  so the ciphertext must enter at ~66 limbs and every multiplication runs on
+  a deep modulus;
+* **ps** -- ``evaluate_chebyshev``: ``~2 sqrt(63) = 16`` non-scalar
+  multiplications through the shared Chebyshev power cache and ``O(log d)``
+  depth, so the input is first dropped to the shallow level the evaluation
+  actually needs (levels are time: that drop *is* the algorithmic win).
+
+Both paths decode against ``numpy.polynomial.chebyshev.chebval`` before
+timing.  The CI gate requires PS >= 2x over Horner.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParameters
+from repro.ckks.poly_eval import (
+    ChebyshevSeries,
+    evaluate_chebyshev,
+    evaluate_chebyshev_horner,
+    ps_operation_counts,
+)
+
+DEGREE = 2**10
+POLY_DEGREE = 63
+LIMBS = POLY_DEGREE + 3  # Clenshaw: one level per degree + affine + headroom
+DNUM = 6
+GATE = 2.0
+#: Levels the PS path drops to before evaluating (plan depth + slack).
+PS_LEVELS = 16
+
+
+def best_of(fn, repeats: int) -> float:
+    fn()  # warm-up (populates plan / conversion / key caches)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def build_instance() -> dict:
+    params = CkksParameters.create(
+        degree=DEGREE, limbs=LIMBS, log_q=28, dnum=DNUM, scale_bits=28
+    )
+    keygen = KeyGenerator(params, rng=np.random.default_rng(17))
+    encoder = CkksEncoder(params)
+    evaluator = CkksEvaluator(params, relin_key=keygen.relinearization_key())
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    decryptor = Decryptor(params, keygen.secret_key)
+
+    rng = np.random.default_rng(23)
+    coefficients = rng.normal(size=POLY_DEGREE + 1) / np.sqrt(
+        np.arange(1, POLY_DEGREE + 2)
+    )
+    series = ChebyshevSeries(coefficients, (-1.0, 1.0))
+    x = rng.uniform(-1.0, 1.0, params.slot_count)
+    ciphertext = encryptor.encrypt(encoder.encode(x))
+    return {
+        "params": params,
+        "encoder": encoder,
+        "evaluator": evaluator,
+        "decryptor": decryptor,
+        "series": series,
+        "x": x,
+        "ct": ciphertext,
+    }
+
+
+def run_ps(instance: dict):
+    """Drop to the shallow PS level, then evaluate (the drop is timed)."""
+    evaluator = instance["evaluator"]
+    shallow = evaluator.rescale_to(
+        instance["ct"], PS_LEVELS, float(instance["params"].scale)
+    )
+    return evaluate_chebyshev(evaluator, instance["series"], shallow)
+
+
+def run_horner(instance: dict):
+    return evaluate_chebyshev_horner(
+        instance["evaluator"], instance["series"], instance["ct"]
+    )
+
+
+def check_correctness(instance: dict) -> dict:
+    """Both paths must decode to NumPy's chebval before being timed."""
+    encoder, decryptor = instance["encoder"], instance["decryptor"]
+    series, x = instance["series"], instance["x"]
+    expected = series(x)
+    scale_tol = max(1.0, np.abs(expected).max())
+    drifts = {}
+    for label, runner in (("ps", run_ps), ("horner", run_horner)):
+        result = runner(instance)
+        decoded = encoder.decode(decryptor.decrypt(result)).real
+        drift = np.abs(decoded - expected).max() / scale_tol
+        # Degree-63 evaluation amplifies input noise by the basis derivative
+        # (|T_n'| ~ n^2 near the edges), so the bar matches the other HE
+        # benches' 1e-2 rather than the shallow-circuit test tolerances.
+        assert drift < 1e-2, f"{label} drifted from NumPy chebval: {drift}"
+        drifts[label] = float(drift)
+    return drifts
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="fewer repeats for CI logs"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
+    args = parser.parse_args()
+    repeats = 1 if args.quick else 3
+
+    plan = ps_operation_counts(POLY_DEGREE)
+    print(
+        f"Polynomial-evaluation microbenchmark (N=2^{DEGREE.bit_length() - 1}, "
+        f"L={LIMBS}, degree {POLY_DEGREE} Chebyshev)"
+    )
+    instance = build_instance()
+    drifts = check_correctness(instance)
+
+    t_horner = best_of(lambda: run_horner(instance), repeats)
+    t_ps = best_of(lambda: run_ps(instance), repeats)
+    speedup = t_horner / t_ps
+    passed = speedup >= GATE
+
+    header = (
+        f"{'path':<22} {'he_mult':>8} {'depth':>6} {'time ms':>10} "
+        f"{'drift':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{'horner (Clenshaw)':<22} {POLY_DEGREE - 1:>8} {POLY_DEGREE + 1:>6} "
+        f"{t_horner * 1e3:>10.1f} {drifts['horner']:>10.2e}"
+    )
+    print(
+        f"{'paterson-stockmeyer':<22} {plan['he_mult']:>8} {PS_LEVELS:>6} "
+        f"{t_ps * 1e3:>10.1f} {drifts['ps']:>10.2e}"
+    )
+    print()
+    print(
+        f"speedup {speedup:.2f}x (gate {GATE:.1f}x -> "
+        f"{'PASS' if passed else 'FAIL'})"
+    )
+
+    if args.json:
+        summary = {
+            "name": "poly_eval",
+            "config": {
+                "degree": DEGREE,
+                "limbs": LIMBS,
+                "poly_degree": POLY_DEGREE,
+                "ps_levels": PS_LEVELS,
+            },
+            "rows": [
+                {
+                    "path": "horner",
+                    "time_ms": t_horner * 1e3,
+                    "he_mult": POLY_DEGREE - 1,
+                    "drift": drifts["horner"],
+                },
+                {
+                    "path": "ps",
+                    "time_ms": t_ps * 1e3,
+                    "he_mult": plan["he_mult"],
+                    "drift": drifts["ps"],
+                },
+            ],
+            "gates": [
+                {
+                    "name": "ps_vs_horner",
+                    "threshold": GATE,
+                    "speedup": speedup,
+                    "passed": passed,
+                }
+            ],
+            "passed": passed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

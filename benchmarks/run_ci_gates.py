@@ -1,0 +1,140 @@
+"""Unified CI benchmark driver: run every quick-mode perf gate, emit JSON.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/run_ci_gates.py [--output bench_summary.json]
+                                                     [--only GATE] [--full]
+
+Replaces the copy-pasted per-benchmark CI steps: each gate script is executed
+as a subprocess with ``--quick --json <tmp>``, its machine-readable summary
+is collected, and one ``bench_summary.json`` is written with the per-gate
+speedups, thresholds, pass/fail verdicts and wall-clock times.  CI uploads
+the file as a workflow artifact, so the perf trajectory of every gate is
+recorded per commit instead of living only in job logs.
+
+The driver runs *all* gates even after a failure (one regression must not
+mask another) and exits non-zero if any gate failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+
+#: The quick-mode perf gates, in dependency-free execution order.
+GATES = [
+    ("ntt_engine", "benchmarks/bench_ntt_engine.py"),
+    ("keyswitch_fused", "benchmarks/bench_keyswitch_fused.py"),
+    ("linear_transform", "benchmarks/bench_linear_transform.py"),
+    ("poly_eval", "benchmarks/bench_poly_eval.py"),
+]
+
+
+def run_gate(name: str, script: str, repo_root: str, quick: bool) -> dict:
+    """Run one gate script and collect its JSON summary + exit status."""
+    with tempfile.NamedTemporaryFile(
+        suffix=f"-{name}.json", delete=False
+    ) as handle:
+        json_path = handle.name
+    command = [sys.executable, script, "--json", json_path]
+    if quick:
+        command.insert(2, "--quick")
+    environment = dict(os.environ)
+    src = os.path.join(repo_root, "src")
+    environment["PYTHONPATH"] = (
+        src + os.pathsep + environment["PYTHONPATH"]
+        if environment.get("PYTHONPATH")
+        else src
+    )
+    started = time.perf_counter()
+    completed = subprocess.run(
+        command, cwd=repo_root, env=environment, capture_output=True, text=True
+    )
+    elapsed = time.perf_counter() - started
+    sys.stdout.write(completed.stdout)
+    sys.stderr.write(completed.stderr)
+    summary = None
+    try:
+        with open(json_path) as handle:
+            summary = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        pass
+    finally:
+        try:
+            os.unlink(json_path)
+        except OSError:
+            pass
+    passed = completed.returncode == 0 and bool(
+        summary.get("passed") if summary else False
+    )
+    return {
+        "gate": name,
+        "script": script,
+        "exit_code": completed.returncode,
+        "elapsed_s": round(elapsed, 3),
+        "passed": passed,
+        "summary": summary,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default="bench_summary.json",
+        help="path of the aggregated machine-readable summary",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=[name for name, _ in GATES],
+        help="run only the named gate(s); repeatable",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the full (non --quick) benchmark configurations",
+    )
+    args = parser.parse_args()
+
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    selected = [
+        (name, script)
+        for name, script in GATES
+        if not args.only or name in args.only
+    ]
+
+    results = []
+    for name, script in selected:
+        print(f"=== gate: {name} ({script}) ===", flush=True)
+        results.append(run_gate(name, script, repo_root, quick=not args.full))
+        print(flush=True)
+
+    all_passed = all(result["passed"] for result in results)
+    aggregate = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "mode": "full" if args.full else "quick",
+        "gates": results,
+        "passed": all_passed,
+    }
+    with open(args.output, "w") as handle:
+        json.dump(aggregate, handle, indent=2)
+
+    print(f"{'gate':<20} {'elapsed':>9} {'verdict':>8}")
+    print("-" * 39)
+    for result in results:
+        verdict = "PASS" if result["passed"] else "FAIL"
+        print(f"{result['gate']:<20} {result['elapsed_s']:>8.1f}s {verdict:>8}")
+    print(f"\nsummary written to {args.output}")
+    return 0 if all_passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

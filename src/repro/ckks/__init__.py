@@ -13,10 +13,12 @@ from repro.ckks.bootstrapping import (
     BootstrappingEstimate,
     BootstrappingSchedule,
     BootstrappingTransforms,
+    CkksBootstrapper,
     build_bootstrapping_transforms,
     coeff_to_slot,
     coeff_to_slot_split,
     estimate_bootstrapping,
+    mod_raise,
     slot_to_coeff,
     slot_to_coeff_merge,
 )
@@ -52,18 +54,31 @@ from repro.ckks.keyswitch import (
     switch_key_unfused,
 )
 from repro.ckks.params import CkksParameters
+from repro.ckks.poly_eval import (
+    ChebyshevPowerBasis,
+    ChebyshevSeries,
+    EvalModPoly,
+    eval_mod,
+    evaluate_chebyshev,
+    evaluate_chebyshev_horner,
+    ps_operation_counts,
+)
 
 __all__ = [
     "BootstrappingEstimate",
     "BootstrappingSchedule",
     "BootstrappingTransforms",
+    "ChebyshevPowerBasis",
+    "ChebyshevSeries",
     "Ciphertext",
+    "CkksBootstrapper",
     "CkksEncoder",
     "CkksEvaluator",
     "CkksParameters",
     "Decryptor",
     "DiagonalLinearTransform",
     "Encryptor",
+    "EvalModPoly",
     "GaloisKey",
     "GaloisKeySet",
     "HoistedCiphertext",
@@ -78,9 +93,14 @@ __all__ = [
     "coeff_to_slot_split",
     "decompose_and_extend",
     "estimate_bootstrapping",
+    "eval_mod",
+    "evaluate_chebyshev",
+    "evaluate_chebyshev_horner",
     "matrix_diagonals",
     "matrix_from_diagonals",
     "mod_down",
+    "mod_raise",
+    "ps_operation_counts",
     "required_rotation_steps",
     "rotate_slots",
     "slot_bit_reversal",

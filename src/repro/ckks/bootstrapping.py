@@ -1,6 +1,6 @@
-"""Packed CKKS bootstrapping: executable linear transforms + schedule model.
+"""Packed CKKS bootstrapping: the executable pipeline + schedule model.
 
-Two layers live here.
+Three layers live here.
 
 **Executable CoeffToSlot/SlotToCoeff.**  The encoder's Vandermonde embedding
 ``W[j, k] = zeta^(5^j * k)`` (the map from the complex-packed coefficient
@@ -17,6 +17,15 @@ ladder, and their composition is the identity up to CKKS noise.  The
 bit-reversal permutations cancel in the round trip and EvalMod is slot-wise,
 so -- exactly as production bootstrappers do -- no permutation is ever
 evaluated homomorphically.
+
+**End-to-end bootstrapping.**  :func:`mod_raise` re-embeds an exhausted
+level-1 ciphertext into the full modulus chain (decrypting to ``m + q_0 I``
+for a small overflow vector ``I``), and :class:`CkksBootstrapper` drives the
+full pipeline ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff: the
+conjugation split turns the packed coefficients into two real slot vectors,
+each is reduced modulo ``q_0/Delta`` by the scaled-sine Paterson-Stockmeyer
+evaluation (:mod:`repro.ckks.poly_eval`), and the merge + inverse ladder
+restore a *fresh* ciphertext with multiplicative budget again.
 
 **Schedule model.**  The paper estimates bootstrapping latency as (number of
 HE-kernel invocations) x (profiled per-kernel latency); we reproduce that
@@ -46,8 +55,10 @@ from repro.ckks.linear_transform import (
     DiagonalLinearTransform,
     required_rotation_steps,
 )
+from repro.ckks.poly_eval import EvalModPoly, eval_mod, ps_operation_counts
 from repro.core.compiler import CrossCompiler
 from repro.core.kernel_ir import KernelGraph
+from repro.poly.rns_poly import RnsPolynomial
 from repro.tpu.device import TensorCoreDevice
 from repro.tpu.trace import ExecutionTrace
 
@@ -357,6 +368,142 @@ def slot_permutation(transforms: BootstrappingTransforms) -> np.ndarray:
 
 
 # --------------------------------------------------------------------------
+# ModRaise + the end-to-end pipeline
+# --------------------------------------------------------------------------
+
+
+def mod_raise(ciphertext: Ciphertext, params, level: int | None = None) -> Ciphertext:
+    """Re-embed an exhausted ciphertext into a larger modulus chain.
+
+    Each residue of the (level-1) input is lifted to its centered signed
+    representative in ``[-q_0/2, q_0/2)`` and re-reduced against the first
+    ``level`` primes (default: the whole chain).  Decryption of the result is
+    ``m + q_0 * I`` where the overflow ``I`` is bounded by
+    ``(||s||_1 + 1)/2`` -- the quantity EvalMod removes.  The scale is
+    unchanged: the raised ciphertext carries the message at the original
+    ``Delta`` plus the ``(q_0/Delta)``-spaced overflow ladder.
+    """
+    if ciphertext.level != 1:
+        raise ValueError(
+            f"ModRaise expects an exhausted level-1 ciphertext, got level "
+            f"{ciphertext.level}"
+        )
+    target = params.basis_at_level(params.limbs if level is None else level)
+    q0 = ciphertext.c0.basis.moduli[0]
+    half = q0 // 2
+
+    def raise_poly(poly: RnsPolynomial) -> RnsPolynomial:
+        residues = poly.to_coeff().residues[0].astype(np.int64)
+        centered = np.where(residues >= half, residues - q0, residues)
+        return RnsPolynomial.from_signed_coefficients(centered, target)
+
+    return Ciphertext(
+        c0=raise_poly(ciphertext.c0),
+        c1=raise_poly(ciphertext.c1),
+        scale=ciphertext.scale,
+        level=target.size,
+    )
+
+
+@dataclass
+class CkksBootstrapper:
+    """The executable pipeline ModRaise -> C2S -> EvalMod -> S2C.
+
+    Bundles the transform ladders with the EvalMod approximation sized for
+    the parameter set: the normalised CoeffToSlot ladder delivers
+    ``K * (m + q_0 I)/Delta`` into the slots (``K = sqrt(slots)``), the
+    conjugation split yields the two real coefficient halves, each half is
+    reduced modulo the slot-space period ``K * q_0/Delta`` by the
+    Paterson-Stockmeyer sine evaluation, and merge + SlotToCoeff restore the
+    message into a fresh ciphertext carrying every level the pipeline did not
+    consume.
+
+    ``k_bound`` must cover the ModRaise overflow ``|I| <= (||s||_1 + 1)/2``
+    -- pair with a sparse secret (``KeyGenerator(hamming_weight=...)``)
+    exactly as production bootstrappers do.  ``message_ratio`` bounds
+    ``max |coeff| / q_0`` of messages this instance can refresh: the sine
+    approximation's relative error is ``(2 pi * message_ratio)^2 / 6``, so
+    the default ``1/128`` stays comfortably under ``2^-10``.
+    """
+
+    encoder: CkksEncoder
+    transforms: BootstrappingTransforms
+    evalmod: EvalModPoly
+
+    @classmethod
+    def create(
+        cls,
+        encoder: CkksEncoder,
+        *,
+        c2s_depth: int = 2,
+        s2c_depth: int = 2,
+        k_bound: int = 3,
+        evalmod_degree: int = 31,
+        double_angle: int = 1,
+        message_ratio: float = 1.0 / 128.0,
+        n1: int | None = None,
+    ) -> "CkksBootstrapper":
+        """Build the ladders and fit EvalMod for one parameter set."""
+        params = encoder.params
+        transforms = build_bootstrapping_transforms(
+            encoder, c2s_depth=c2s_depth, s2c_depth=s2c_depth, n1=n1,
+            normalised=True,
+        )
+        scaling = transforms.coefficient_scaling
+        period = scaling * float(params.modulus_basis.moduli[0]) / params.scale
+        evalmod = EvalModPoly.create(
+            period,
+            k_bound=k_bound,
+            degree=evalmod_degree,
+            double_angle=double_angle,
+            message_width=period * float(message_ratio),
+        )
+        return cls(encoder=encoder, transforms=transforms, evalmod=evalmod)
+
+    def rotation_steps(self) -> list[int]:
+        """Rotation offsets the pipeline key-switches (conjugation excluded).
+
+        Generate keys with ``galois_keys_for_steps(steps, conjugation=True)``
+        -- the conjugation split needs the conjugation key as well.
+        """
+        return self.transforms.rotation_steps()
+
+    def minimum_level(self) -> int:
+        """Limbs the parameter set must provide for one bootstrap."""
+        return (
+            1  # the refreshed output must keep at least one level
+            + self.transforms.c2s_depth
+            + 1  # conjugation split constants
+            + self.evalmod.depth()
+            + 1  # merge constants
+            + self.transforms.s2c_depth
+        )
+
+    def bootstrap(self, evaluator, ciphertext: Ciphertext) -> Ciphertext:
+        """Refresh an exhausted level-1 ciphertext.
+
+        Returns a ciphertext decrypting to the same slots with the
+        multiplicative budget the pipeline left over; the decode error is
+        bounded by the sine approximation (``(2 pi * message_ratio)^2 / 6``
+        relative) plus CKKS noise.
+        """
+        params = self.encoder.params
+        raised = mod_raise(ciphertext, params)
+        lo, hi = coeff_to_slot_split(evaluator, self.transforms, raised)
+        lo = eval_mod(evaluator, lo, self.evalmod)
+        hi = eval_mod(evaluator, hi, self.evalmod)
+        return slot_to_coeff_merge(evaluator, self.transforms, lo, hi)
+
+    def schedule(self, degree: int | None = None) -> "BootstrappingSchedule":
+        """A measured-count schedule for this pipeline (paper Table IX)."""
+        return BootstrappingSchedule.from_transforms(
+            self.encoder.params.degree if degree is None else degree,
+            self.transforms,
+            evalmod=self.evalmod,
+        )
+
+
+# --------------------------------------------------------------------------
 # Schedule model
 # --------------------------------------------------------------------------
 
@@ -367,19 +514,23 @@ class BootstrappingSchedule:
 
     The defaults follow the standard structure: CoeffToSlot and SlotToCoeff
     are each a product of ``depth`` sparse linear transforms realised with
-    baby-step/giant-step rotations, and EvalMod is a degree-~63 polynomial
-    evaluated with ~2*sqrt(63) ciphertext multiplications.  The analytic
+    baby-step/giant-step rotations, and EvalMod is a degree-``evalmod_degree``
+    Chebyshev polynomial evaluated with ``~2*sqrt(d)`` ciphertext
+    multiplications.  No operator count is a hard-coded guess: the analytic
     per-level rotation count is derived *per phase* (``c2s_levels`` and
-    ``s2c_levels`` may differ); measured counts from a real
-    :class:`BootstrappingTransforms` ladder override the analytic model via
-    :meth:`from_transforms`.
+    ``s2c_levels`` may differ), the analytic EvalMod counts come from the
+    actual Paterson-Stockmeyer plan
+    (:func:`repro.ckks.poly_eval.ps_operation_counts`), and measured counts
+    from a real ladder pair / :class:`EvalModPoly` override the analytic
+    model via :meth:`from_transforms`.
     """
 
     degree: int
     c2s_levels: int = 3
     s2c_levels: int = 3
-    evalmod_multiplications: int = 16
-    evalmod_additions: int = 32
+    evalmod_degree: int = 63
+    evalmod_multiplications: int | None = None
+    evalmod_additions: int | None = None
     c2s_rotations: int | None = None
     s2c_rotations: int | None = None
     plain_multiplications: int | None = None
@@ -436,18 +587,33 @@ class BootstrappingSchedule:
 
     @property
     def multiplication_count(self) -> int:
-        """Ciphertext-ciphertext multiplications (EvalMod polynomial)."""
-        return self.evalmod_multiplications
+        """Ciphertext-ciphertext multiplications (EvalMod polynomial).
+
+        Measured when available, otherwise the Paterson-Stockmeyer plan's
+        non-scalar multiplication count for ``evalmod_degree`` -- the
+        ``~2*sqrt(d)`` the paper's methodology assumes, computed instead of
+        guessed.
+        """
+        if self.evalmod_multiplications is not None:
+            return self.evalmod_multiplications
+        return ps_operation_counts(self.evalmod_degree)["he_mult"]
+
+    @property
+    def evalmod_addition_count(self) -> int:
+        """Homomorphic additions of the EvalMod phase."""
+        if self.evalmod_additions is not None:
+            return self.evalmod_additions
+        return ps_operation_counts(self.evalmod_degree)["he_add"]
 
     @property
     def rescale_count(self) -> int:
         """Rescalings: one per consumed multiplicative level."""
-        return self.c2s_levels + self.s2c_levels + self.evalmod_multiplications
+        return self.c2s_levels + self.s2c_levels + self.multiplication_count
 
     @property
     def addition_count(self) -> int:
         """Ciphertext additions across all phases."""
-        return self.rotation_count + self.evalmod_additions
+        return self.rotation_count + self.evalmod_addition_count
 
     def operator_counts(self) -> dict[str, int]:
         """Mapping from HE-operator name to invocation count."""
@@ -464,14 +630,32 @@ class BootstrappingSchedule:
         degree: int,
         transforms: BootstrappingTransforms,
         *,
-        evalmod_multiplications: int = 16,
-        evalmod_additions: int = 32,
+        evalmod: EvalModPoly | None = None,
+        evalmod_multiplications: int | None = None,
+        evalmod_additions: int | None = None,
     ) -> "BootstrappingSchedule":
-        """A schedule grounded in the measured counts of a real ladder pair."""
+        """A schedule grounded in the measured counts of a real pipeline.
+
+        Rotation and plaintext-multiplication counts come from the ladder
+        pair; EvalMod counts come from the fitted :class:`EvalModPoly`'s
+        evaluation plan (or explicit measurements, e.g. the evaluator's
+        ``he_mult`` operation counter after an :func:`eval_mod` run) -- the
+        pipeline runs EvalMod once per coefficient half, hence the factor
+        two.  With neither given, the analytic Paterson-Stockmeyer plan for
+        ``evalmod_degree`` prices the phase.
+        """
+        evalmod_degree = 63
+        if evalmod is not None:
+            evalmod_degree = evalmod.series.degree
+            if evalmod_multiplications is None:
+                evalmod_multiplications = 2 * evalmod.multiplication_count()
+            if evalmod_additions is None:
+                evalmod_additions = 2 * evalmod.addition_count()
         return cls(
             degree=degree,
             c2s_levels=transforms.c2s_depth,
             s2c_levels=transforms.s2c_depth,
+            evalmod_degree=evalmod_degree,
             evalmod_multiplications=evalmod_multiplications,
             evalmod_additions=evalmod_additions,
             c2s_rotations=transforms.c2s_rotation_count(),

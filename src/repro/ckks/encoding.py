@@ -78,6 +78,23 @@ def matrix_from_diagonals(
     return matrix
 
 
+def constant_coefficients(value: complex, scale: float, degree: int) -> np.ndarray:
+    """Signed plaintext coefficients encoding ``value`` into every slot.
+
+    A constant ``a + ib`` corresponds to ``round(a * scale)`` in coefficient
+    0 and ``round(b * scale)`` in coefficient ``N/2``: ``x^(N/2)`` evaluates
+    to ``+i`` at every slot point ``zeta^(5^j)`` because ``5^j = 1 mod 4``.
+    Shared by :meth:`CkksEncoder.encode_constant` and
+    :meth:`repro.ckks.evaluator.CkksEvaluator.add_scalar` so the convention
+    lives in one place.
+    """
+    value = complex(value)
+    coefficients = np.zeros(degree, dtype=np.int64)
+    coefficients[0] = int(round(value.real * scale))
+    coefficients[degree // 2] = int(round(value.imag * scale))
+    return coefficients
+
+
 def slot_bit_reversal(slots: int) -> np.ndarray:
     """The bit-reversal permutation of the slot indices (read-only).
 
@@ -151,6 +168,43 @@ class CkksEncoder:
         poly = self._encode_cache.get(cache_key)
         if poly is None:
             poly = self._encode_poly(vector, scale, level)
+            poly.residues.flags.writeable = False
+            if len(self._encode_cache) >= _ENCODE_CACHE_LIMIT:
+                self._encode_cache.pop(next(iter(self._encode_cache)))
+            self._encode_cache[cache_key] = poly
+        return Plaintext(poly=poly, scale=scale, level=level)
+
+    def encode_constant(
+        self,
+        value: complex,
+        scale: float | None = None,
+        level: int | None = None,
+        *,
+        cache: bool = False,
+    ) -> Plaintext:
+        """Encode the constant ``value`` in every slot without the embedding.
+
+        A constant ``a + ib`` corresponds to the polynomial with
+        ``round(a * scale)`` in coefficient 0 and ``round(b * scale)`` in
+        coefficient ``N/2`` (``x^(N/2)`` evaluates to ``+i`` at every slot
+        point ``zeta^(5^j)`` since ``5^j = 1 mod 4``), so the dense ``O(N^2)``
+        inverse embedding is skipped entirely.  Matches
+        ``encode(np.full(slots, value), ...)`` up to the dense path's float
+        rounding and is memoised under the same cache when ``cache=True`` --
+        the path bootstrapping's split/merge constants use.
+        """
+        scale = float(scale if scale is not None else self.params.scale)
+        level = self.params.limbs if level is None else level
+        value = complex(value)
+        cache_key = ("constant", value, scale, level)
+        if cache:
+            poly = self._encode_cache.get(cache_key)
+            if poly is not None:
+                return Plaintext(poly=poly, scale=scale, level=level)
+        coefficients = constant_coefficients(value, scale, self.params.degree)
+        basis = self.params.basis_at_level(level)
+        poly = RnsPolynomial.from_signed_coefficients(coefficients, basis)
+        if cache:
             poly.residues.flags.writeable = False
             if len(self._encode_cache) >= _ENCODE_CACHE_LIMIT:
                 self._encode_cache.pop(next(iter(self._encode_cache)))

@@ -16,6 +16,7 @@ from functools import lru_cache
 import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
+from repro.ckks.encoding import constant_coefficients
 from repro.ckks.keys import GaloisKey, GaloisKeySet, RelinearizationKey
 from repro.ckks.keyswitch import (
     decompose_and_extend,
@@ -55,16 +56,51 @@ class HoistedCiphertext:
 
 @dataclass
 class CkksEvaluator:
-    """Homomorphic operator implementations for one parameter set."""
+    """Homomorphic operator implementations for one parameter set.
+
+    Every HE operator increments a per-instance operation counter (keyed by
+    the schedule-model operator names: ``he_add``, ``he_mult``, ``plain_mult``,
+    ``scalar_mult``, ``rotate``, ``rescale``), so cost models can be grounded
+    in *measured* counts instead of analytic guesses -- the same pattern the
+    NTT engine uses for its transform-pass counters.
+    """
 
     params: CkksParameters
     relin_key: RelinearizationKey | None = None
     galois_keys: GaloisKeySet | None = None
+    operation_counts: dict = None
+
+    def __post_init__(self) -> None:
+        if self.operation_counts is None:
+            self.operation_counts = {}
+
+    def _count(self, operator: str) -> None:
+        self.operation_counts[operator] = self.operation_counts.get(operator, 0) + 1
+
+    def count_operation(self, operator: str) -> None:
+        """Record an operator executed outside the evaluator's own methods.
+
+        The BSGS engine key-switches its giant steps through
+        :func:`repro.ckks.keyswitch.switch_galois_eval` directly; it reports
+        them here so measured rotation counts cover the whole transform.
+        """
+        self._count(operator)
+
+    def _galois_operator(self, exponent: int) -> str:
+        """Counter bucket for an automorphism (conjugation is not a rotation)."""
+        if exponent == 2 * self.params.degree - 1:
+            return "conjugate"
+        return "rotate"
+
+    def reset_operation_counts(self) -> None:
+        """Zero the measured operator counters."""
+        self.operation_counts.clear()
 
     # ------------------------------------------------------------------- add
     def add(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
         """HE-Add: limb-wise addition of two ciphertexts at the same level."""
         self._check_compatible(lhs, rhs)
+        self._count("he_add")
         return Ciphertext(
             c0=lhs.c0.add(rhs.c0),
             c1=lhs.c1.add(rhs.c1),
@@ -75,6 +111,7 @@ class CkksEvaluator:
     def sub(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
         """Ciphertext subtraction."""
         self._check_compatible(lhs, rhs)
+        self._count("he_add")
         return Ciphertext(
             c0=lhs.c0.sub(rhs.c0),
             c1=lhs.c1.sub(rhs.c1),
@@ -103,6 +140,7 @@ class CkksEvaluator:
         eight forward passes where four suffice).
         """
         self._check_compatible(lhs, rhs, check_scale=False)
+        self._count("he_mult")
         a0, a1 = lhs.c0.to_eval(), lhs.c1.to_eval()
         b0, b1 = rhs.c0.to_eval(), rhs.c1.to_eval()
         d0 = a0.multiply(b0).to_coeff()
@@ -121,6 +159,7 @@ class CkksEvaluator:
 
     def multiply_plain(self, ciphertext: Ciphertext, plaintext: Plaintext) -> Ciphertext:
         """Multiply a ciphertext by an encoded plaintext (one plaintext NTT)."""
+        self._count("plain_mult")
         poly = _match_level(plaintext.poly, ciphertext.level).to_eval()
         return Ciphertext(
             c0=ciphertext.c0.multiply(poly).to_coeff(),
@@ -138,6 +177,7 @@ class CkksEvaluator:
         ``d1 = 2 * c0 * c1``, a doubling add -- over operands transformed
         once.  Bit-identical to ``multiply(ct, ct)``.
         """
+        self._count("he_mult")
         c0_eval = ciphertext.c0.to_eval()
         c1_eval = ciphertext.c1.to_eval()
         d0 = c0_eval.multiply(c0_eval).to_coeff()
@@ -175,6 +215,7 @@ class CkksEvaluator:
         level = ciphertext.level
         if level <= 1:
             raise ValueError("cannot rescale a ciphertext at the last level")
+        self._count("rescale")
         new_level = level - 1
         last_modulus = self.params.modulus_basis.moduli[level - 1]
         c0 = _rescale_poly(ciphertext.c0, self.params, level)
@@ -196,6 +237,163 @@ class CkksEvaluator:
             c1=ciphertext.c1.to_coeff().keep_limbs(new_level),
             scale=ciphertext.scale,
             level=new_level,
+        )
+
+    # ----------------------------------------------- scalar + alignment ops
+    def mul_plain_scalar(
+        self,
+        ciphertext: Ciphertext,
+        scalar: float,
+        *,
+        plain_scale: float | None = None,
+    ) -> Ciphertext:
+        """Multiply by a real scalar encoded as a single integer (no NTT).
+
+        The scalar is carried as ``round(scalar * plain_scale)`` and the
+        result's scale becomes ``scale * plain_scale``, so a subsequent
+        :meth:`rescale` restores the original scale when ``plain_scale`` is
+        the level's prime (the default for ``level > 1``).  This is the cheap
+        path polynomial evaluation uses for its coefficient multiplications:
+        one batched limb-wise multiply, no encoding and no transform.
+        """
+        if plain_scale is None:
+            if ciphertext.level > 1:
+                plain_scale = float(
+                    self.params.modulus_basis.moduli[ciphertext.level - 1]
+                )
+            else:
+                plain_scale = self.params.scale
+        self._count("scalar_mult")
+        integer = int(round(float(scalar) * plain_scale))
+        return Ciphertext(
+            c0=ciphertext.c0.scalar_mul(integer),
+            c1=ciphertext.c1.scalar_mul(integer),
+            scale=ciphertext.scale * plain_scale,
+            level=ciphertext.level,
+        )
+
+    def add_scalar(self, ciphertext: Ciphertext, scalar: complex) -> Ciphertext:
+        """Add a constant to every slot (exact, no encoder round trip).
+
+        The constant plaintext is built directly in coefficient space
+        (:func:`repro.ckks.encoding.constant_coefficients`) instead of
+        running the encoder's dense embedding.
+        """
+        coefficients = constant_coefficients(
+            scalar, ciphertext.scale, self.params.degree
+        )
+        basis = self.params.basis_at_level(ciphertext.level)
+        poly = RnsPolynomial.from_signed_coefficients(coefficients, basis)
+        self._count("he_add")
+        return Ciphertext(
+            c0=ciphertext.c0.to_coeff().add(poly),
+            c1=ciphertext.c1.copy(),
+            scale=ciphertext.scale,
+            level=ciphertext.level,
+        )
+
+    def sub_scalar(self, ciphertext: Ciphertext, scalar: complex) -> Ciphertext:
+        """Subtract a constant from every slot."""
+        return self.add_scalar(ciphertext, -complex(scalar))
+
+    def rescale_to(
+        self, ciphertext: Ciphertext, level: int, scale: float | None = None
+    ) -> Ciphertext:
+        """Bring a ciphertext to ``(level, scale)`` exactly.
+
+        Multiplies by the integer constant ``round(f)`` with
+        ``f = scale * (dropped primes) / ciphertext.scale`` and rescales the
+        level gap away, then stamps the target scale (the float-rounding
+        mismatch between the stamped and carried scale is ``< 2^-29``
+        relative, far below the noise floor).  This is the alignment
+        primitive that lets polynomial evaluation add and multiply
+        ciphertexts from different depths of the computation.
+        """
+        scale = ciphertext.scale if scale is None else float(scale)
+        if not 1 <= level <= ciphertext.level:
+            raise ValueError(
+                f"cannot raise level {ciphertext.level} to {level}"
+            )
+        if level < ciphertext.level - 1:
+            # Truncating limbs is a value-preserving modulus switch, so all
+            # but the last dropped level is plain truncation and only the
+            # final level pays the scale-fixing multiply (this also keeps the
+            # adjustment factor a small float for arbitrarily deep drops).
+            ciphertext = self.level_down(ciphertext, ciphertext.level - 1 - level)
+        dropped = 1.0
+        for index in range(level, ciphertext.level):
+            dropped *= float(self.params.modulus_basis.moduli[index])
+        factor = scale * dropped / ciphertext.scale
+        if abs(factor - 1.0) < 1e-12 and level == ciphertext.level:
+            return ciphertext
+        if factor < 0.5:
+            raise ValueError(
+                f"scale adjustment factor {factor} too small to carry exactly"
+            )
+        if level == ciphertext.level:
+            # No level to spend: only a bookkeeping stamp is possible.
+            if abs(factor - 1.0) > 1e-9:
+                raise ValueError(
+                    "same-level scale adjustment would change the value; "
+                    f"relative mismatch {abs(factor - 1.0):.3e}"
+                )
+            return Ciphertext(
+                c0=ciphertext.c0, c1=ciphertext.c1, scale=scale,
+                level=ciphertext.level,
+            )
+        result = self.mul_plain_scalar(ciphertext, 1.0, plain_scale=factor)
+        for _ in range(ciphertext.level - level):
+            result = self.rescale(result)
+        return Ciphertext(c0=result.c0, c1=result.c1, scale=scale, level=level)
+
+    def align_for_multiply(
+        self, lhs: Ciphertext, rhs: Ciphertext
+    ) -> tuple[Ciphertext, Ciphertext]:
+        """Align two operands so their product rescales back to ``Delta``.
+
+        Deep multiplication chains are where naive scale tracking explodes:
+        after ``rescale`` a product carries ``s^2/q`` and the relative drift
+        from ``Delta`` *squares* at every level -- doubly exponential.  This
+        helper pins the chain: both operands are brought to the common level
+        and whichever has level headroom is retargeted to scale
+        ``Delta * q_level / partner.scale``, so the product's post-rescale
+        scale is exactly ``Delta`` again.  When neither operand has headroom
+        the (singly bounded) drift of one product is accepted -- the next
+        aligned multiplication corrects it.
+        """
+        level = min(lhs.level, rhs.level)
+        if level < 2:
+            raise ValueError("multiplication needs a level to rescale into")
+        target_product = self.params.scale * float(
+            self.params.modulus_basis.moduli[level - 1]
+        )
+        if lhs.level > level:
+            lhs = self.rescale_to(lhs, level, target_product / rhs.scale)
+        elif rhs.level > level:
+            rhs = self.rescale_to(rhs, level, target_product / lhs.scale)
+        return lhs, rhs
+
+    def align_pair(
+        self, lhs: Ciphertext, rhs: Ciphertext
+    ) -> tuple[Ciphertext, Ciphertext]:
+        """Bring two ciphertexts to a common ``(level, scale)`` for add/mult.
+
+        The deeper operand's coordinates win; when both sit at the same level
+        with (beyond float rounding) different scales, both are dropped one
+        level onto the parameter set's default scale.
+        """
+        if lhs.level > rhs.level:
+            return self.rescale_to(lhs, rhs.level, rhs.scale), rhs
+        if rhs.level > lhs.level:
+            return lhs, self.rescale_to(rhs, lhs.level, lhs.scale)
+        if abs(lhs.scale / rhs.scale - 1.0) < 1e-9:
+            return lhs, self.rescale_to(rhs, lhs.level, lhs.scale)
+        if lhs.level <= 1:
+            raise ValueError("cannot reconcile scales at the last level")
+        target = self.params.scale
+        return (
+            self.rescale_to(lhs, lhs.level - 1, target),
+            self.rescale_to(rhs, rhs.level - 1, target),
         )
 
     # ---------------------------------------------------------------- rotate
@@ -246,6 +444,7 @@ class CkksEvaluator:
         """Automorphism + key switch, reusing the hoisted digit tensor."""
         if self.galois_keys is None:
             raise ValueError("rotation requires Galois keys")
+        self._count(self._galois_operator(exponent))
         key: GaloisKey = self.galois_keys.key_for(exponent)
         ciphertext = hoisted.ciphertext
         # The automorphism acts on the NTT domain as a pure evaluation-point
@@ -311,6 +510,7 @@ class CkksEvaluator:
 
     def apply_galois(self, ciphertext: Ciphertext, exponent: int) -> Ciphertext:
         """Apply an automorphism followed by the matching key switch."""
+        self._count(self._galois_operator(exponent))
         key: GaloisKey = self.galois_keys.key_for(exponent)
         rotated_c0 = ciphertext.c0.automorphism(exponent)
         rotated_c1 = ciphertext.c1.automorphism(exponent)

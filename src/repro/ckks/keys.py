@@ -131,14 +131,34 @@ def digit_partition(level: int, dnum: int) -> list[tuple[int, int]]:
 
 @dataclass
 class KeyGenerator:
-    """Samples the secret and derives public, relinearisation and Galois keys."""
+    """Samples the secret and derives public, relinearisation and Galois keys.
+
+    ``hamming_weight`` caps the number of non-zero coefficients of the ternary
+    secret (the sparse-secret variant bootstrapping assumes): ModRaise's
+    overflow count ``I`` is bounded by ``(||s||_1 + 1) / 2``, so a sparse
+    secret directly bounds the interval EvalMod's sine approximation must
+    cover.  ``None`` keeps the dense uniform-ternary default.
+    """
 
     params: CkksParameters
     rng: np.random.Generator = field(default_factory=lambda: np.random.default_rng(2024))
+    hamming_weight: int | None = None
     secret_key: SecretKey = field(init=False)
 
     def __post_init__(self) -> None:
-        coefficients = self.rng.integers(-1, 2, size=self.params.degree, dtype=np.int64)
+        degree = self.params.degree
+        if self.hamming_weight is None:
+            coefficients = self.rng.integers(-1, 2, size=degree, dtype=np.int64)
+        else:
+            if not 1 <= self.hamming_weight <= degree:
+                raise ValueError(
+                    f"hamming weight must be in [1, {degree}]"
+                )
+            coefficients = np.zeros(degree, dtype=np.int64)
+            support = self.rng.choice(degree, size=self.hamming_weight, replace=False)
+            coefficients[support] = self.rng.choice(
+                np.array([-1, 1], dtype=np.int64), size=self.hamming_weight
+            )
         self.secret_key = SecretKey(params=self.params, coefficients=coefficients)
 
     # --------------------------------------------------------------- sampling

@@ -356,6 +356,7 @@ class DiagonalLinearTransform:
                     raise ValueError("giant-step rotation requires Galois keys")
                 exponent = self.encoder.slot_rotation_exponent(g * self.n1)
                 key = evaluator.galois_keys.key_for(exponent)
+                evaluator.count_operation("rotate")
                 c0, c1 = switch_galois_eval(acc0, acc1, key, exponent, params, level)
                 term = Ciphertext(c0=c0, c1=c1, scale=result_scale, level=level)
             output = term if output is None else evaluator.add(output, term)

@@ -6,6 +6,8 @@ encoder's Vandermonde embedding and the homomorphic
 CoeffToSlot -> SlotToCoeff round trip on the exact CKKS stack.
 """
 
+from math import sqrt
+
 import numpy as np
 import pytest
 
@@ -19,6 +21,7 @@ from repro.ckks import (
 )
 from repro.ckks.bootstrapping import (
     BootstrappingSchedule,
+    CkksBootstrapper,
     _dense,
     build_bootstrapping_transforms,
     coeff_to_slot,
@@ -26,12 +29,14 @@ from repro.ckks.bootstrapping import (
     collapsed_fft_factors,
     composed_matrix,
     estimate_bootstrapping,
+    mod_raise,
     slot_permutation,
     slot_to_coeff,
     slot_to_coeff_merge,
     special_fft_matrix,
     special_fft_stage_diagonals,
 )
+from repro.ckks.poly_eval import ps_operation_counts
 from repro.core.compiler import CompilerOptions, CrossCompiler
 from repro.core.config import PARAMETER_SETS
 from repro.numtheory.bitrev import bit_reverse_indices, permutation_matrix
@@ -179,7 +184,26 @@ class TestPerPhaseScheduleCounts:
 
     def test_rescales_count_both_phases(self):
         schedule = BootstrappingSchedule(degree=2**16, c2s_levels=4, s2c_levels=2)
-        assert schedule.rescale_count == 4 + 2 + schedule.evalmod_multiplications
+        assert schedule.rescale_count == 4 + 2 + schedule.multiplication_count
+
+    def test_evalmod_counts_come_from_ps_plan(self):
+        """The bugfix: no hard-coded EvalMod guesses in the analytic model."""
+        schedule = BootstrappingSchedule(degree=2**16)
+        plan = ps_operation_counts(schedule.evalmod_degree)
+        assert schedule.evalmod_multiplications is None
+        assert schedule.multiplication_count == plan["he_mult"]
+        assert schedule.evalmod_addition_count == plan["he_add"]
+        # The degree-63 plan lands at ~2*sqrt(63), where the old guess of 16
+        # happened to sit -- now computed, not asserted.
+        assert abs(schedule.multiplication_count - 2 * sqrt(63)) <= 4
+
+    def test_evalmod_measured_overrides(self):
+        schedule = BootstrappingSchedule(
+            degree=2**16, evalmod_multiplications=40, evalmod_additions=80
+        )
+        assert schedule.multiplication_count == 40
+        assert schedule.evalmod_addition_count == 80
+        assert schedule.rescale_count == 3 + 3 + 40
 
 
 class TestSpecialFftFactorisation:
@@ -374,3 +398,195 @@ class TestScheduleValidatedAgainstMeasurement:
         union = set(transforms.rotation_steps())
         for factor in (*transforms.coeff_to_slot, *transforms.slot_to_coeff):
             assert set(factor.rotation_steps()) <= union
+
+
+# ---------------------------------------------------------------------------
+# End-to-end bootstrapping: ModRaise -> C2S -> EvalMod -> S2C
+# ---------------------------------------------------------------------------
+
+#: Acceptance bar for the full pipeline at the functional set (ISSUE 4).
+BOOTSTRAP_RELATIVE_ERROR = 2.0**-10
+
+
+@pytest.fixture(scope="module")
+def bootstrap_env():
+    """A full bootstrapping rig at the functional parameter set.
+
+    Twenty 29-bit limbs at degree 64 cover the pipeline's minimum level
+    (1 + c2s 2 + split 1 + EvalMod ~10 + merge 1 + s2c 2); ``scale_bits =
+    log_q`` keeps the scale stationary under the deep rescale chain, and the
+    sparse secret (``hamming_weight=4``) bounds ModRaise's overflow by
+    ``(||s||_1 + 1)/2 <= 2.5`` so EvalMod's ``k_bound=3`` sine fit covers it
+    -- the standard sparse-secret bootstrapping assumption.
+    """
+    params = CkksParameters.create(
+        degree=64, limbs=20, log_q=29, dnum=10, scale_bits=29, special_limbs=3
+    )
+    params.error_stddev = 1.0
+    keygen = KeyGenerator(params, rng=np.random.default_rng(11), hamming_weight=4)
+    encoder = CkksEncoder(params)
+    bootstrapper = CkksBootstrapper.create(encoder)
+    assert bootstrapper.minimum_level() <= params.limbs
+    galois_keys = keygen.galois_keys_for_steps(
+        bootstrapper.rotation_steps(), conjugation=True
+    )
+    evaluator = CkksEvaluator(
+        params, relin_key=keygen.relinearization_key(), galois_keys=galois_keys
+    )
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    decryptor = Decryptor(params, keygen.secret_key)
+    rng = np.random.default_rng(13)
+    amplitude = 0.01
+    z = amplitude * (
+        rng.uniform(-1, 1, params.slot_count)
+        + 1j * rng.uniform(-1, 1, params.slot_count)
+    )
+    exhausted = encryptor.encrypt(encoder.encode(z, level=1))
+    return {
+        "params": params,
+        "encoder": encoder,
+        "bootstrapper": bootstrapper,
+        "evaluator": evaluator,
+        "encryptor": encryptor,
+        "decryptor": decryptor,
+        "z": z,
+        "ct": exhausted,
+    }
+
+
+class TestModRaise:
+    def test_requires_exhausted_ciphertext(self, bootstrap_env):
+        env = bootstrap_env
+        fresh = env["encryptor"].encrypt(env["encoder"].encode(env["z"]))
+        with pytest.raises(ValueError):
+            mod_raise(fresh, env["params"])
+
+    def test_raised_decryption_is_message_plus_q0_ladder(self, bootstrap_env):
+        """decrypt(ModRaise(ct)) = m + q_0 * I with small integer I."""
+        env = bootstrap_env
+        params = env["params"]
+        q0 = params.modulus_basis.moduli[0]
+        raised = mod_raise(env["ct"], params)
+        assert raised.level == params.limbs
+        assert raised.scale == env["ct"].scale
+        base = np.array(
+            [
+                int(c)
+                for c in env["decryptor"].decrypt(env["ct"]).poly.to_signed_coefficients()
+            ],
+            dtype=object,
+        )
+        lifted = np.array(
+            [
+                int(c)
+                for c in env["decryptor"]
+                .decrypt(raised)
+                .poly.to_signed_coefficients()
+            ],
+            dtype=object,
+        )
+        overflow = lifted - base
+        assert all(int(v) % q0 == 0 for v in overflow)
+        ladder = np.array([int(v) // q0 for v in overflow], dtype=np.int64)
+        # Sparse secret (h=4): |I| <= (||s||_1 + 1)/2 + 1 slack.
+        assert np.abs(ladder).max() <= 3
+
+    def test_raise_to_partial_chain(self, bootstrap_env):
+        env = bootstrap_env
+        raised = mod_raise(env["ct"], env["params"], level=5)
+        assert raised.level == 5
+
+
+class TestEndToEndBootstrap:
+    def test_bootstrap_refreshes_exhausted_ciphertext(self, bootstrap_env):
+        """The acceptance criterion: full pipeline, <= 2^-10 relative error."""
+        env = bootstrap_env
+        refreshed = env["bootstrapper"].bootstrap(env["evaluator"], env["ct"])
+        assert refreshed.level > env["ct"].level
+        decoded = env["encoder"].decode(env["decryptor"].decrypt(refreshed))
+        relative = np.abs(decoded - env["z"]).max() / np.abs(env["z"]).max()
+        assert relative < BOOTSTRAP_RELATIVE_ERROR
+
+    def test_refreshed_ciphertext_has_multiplicative_budget(self, bootstrap_env):
+        """The point of bootstrapping: the output supports further levels."""
+        env = bootstrap_env
+        refreshed = env["bootstrapper"].bootstrap(env["evaluator"], env["ct"])
+        assert refreshed.level >= 3
+        # Spend one of the regained levels on a plaintext multiplication.
+        two = env["encoder"].encode_constant(
+            2.0, level=refreshed.level, scale=env["params"].scale
+        )
+        doubled = env["evaluator"].rescale(
+            env["evaluator"].multiply_plain(refreshed, two)
+        )
+        decoded = env["encoder"].decode(env["decryptor"].decrypt(doubled))
+        relative = np.abs(decoded - 2.0 * env["z"]).max() / np.abs(
+            2.0 * env["z"]
+        ).max()
+        assert relative < 2.0**-8
+
+    @pytest.mark.slow
+    def test_bootstrap_second_message(self, bootstrap_env):
+        env = bootstrap_env
+        rng = np.random.default_rng(29)
+        z = 0.005 * (
+            rng.uniform(-1, 1, env["params"].slot_count)
+            + 1j * rng.uniform(-1, 1, env["params"].slot_count)
+        )
+        ct = env["encryptor"].encrypt(env["encoder"].encode(z, level=1))
+        refreshed = env["bootstrapper"].bootstrap(env["evaluator"], ct)
+        decoded = env["encoder"].decode(env["decryptor"].decrypt(refreshed))
+        relative = np.abs(decoded - z).max() / np.abs(z).max()
+        assert relative < BOOTSTRAP_RELATIVE_ERROR
+
+    def test_bootstrap_real_message(self, bootstrap_env):
+        """A purely real message exercises the hi-half zero path."""
+        env = bootstrap_env
+        rng = np.random.default_rng(31)
+        z = 0.01 * rng.uniform(-1, 1, env["params"].slot_count)
+        ct = env["encryptor"].encrypt(env["encoder"].encode(z, level=1))
+        refreshed = env["bootstrapper"].bootstrap(env["evaluator"], ct)
+        decoded = env["encoder"].decode(env["decryptor"].decrypt(refreshed))
+        assert np.abs(decoded - z).max() / np.abs(z).max() < BOOTSTRAP_RELATIVE_ERROR
+
+
+class TestScheduleGroundedInMeasurement:
+    """The satellite bugfix: EvalMod counts measured, not guessed."""
+
+    def test_measured_he_mults_match_schedule(self, bootstrap_env):
+        """Run the real pipeline under the operation counter and compare."""
+        env = bootstrap_env
+        evaluator = env["evaluator"]
+        bootstrapper = env["bootstrapper"]
+        evaluator.reset_operation_counts()
+        bootstrapper.bootstrap(evaluator, env["ct"])
+        measured = dict(evaluator.operation_counts)
+        evaluator.reset_operation_counts()
+        schedule = bootstrapper.schedule()
+        # Ciphertext x ciphertext multiplications come only from the two
+        # EvalMod halves, and the schedule takes them from the PS plan.
+        assert measured["he_mult"] == schedule.multiplication_count
+        assert measured["rotate"] == schedule.rotation_count
+
+    def test_analytic_vs_planned_evalmod_within_factor_two(self, bootstrap_env):
+        """The ~2*sqrt(d) analytic model vs the exact plan of the real fit."""
+        env = bootstrap_env
+        evalmod = env["bootstrapper"].evalmod
+        planned = evalmod.multiplication_count()
+        analytic = 2 * sqrt(evalmod.series.degree)
+        assert 0.5 <= planned / analytic <= 2.0
+
+    def test_from_transforms_with_evalmod(self, bootstrap_env):
+        env = bootstrap_env
+        bootstrapper = env["bootstrapper"]
+        schedule = BootstrappingSchedule.from_transforms(
+            env["params"].degree,
+            bootstrapper.transforms,
+            evalmod=bootstrapper.evalmod,
+        )
+        assert (
+            schedule.multiplication_count
+            == 2 * bootstrapper.evalmod.multiplication_count()
+        )
+        assert schedule.evalmod_degree == bootstrapper.evalmod.series.degree
+        assert schedule.c2s_levels == bootstrapper.transforms.c2s_depth
