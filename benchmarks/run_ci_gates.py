@@ -9,8 +9,15 @@ Replaces the copy-pasted per-benchmark CI steps: each gate script is executed
 as a subprocess with ``--quick --json <tmp>``, its machine-readable summary
 is collected, and one ``bench_summary.json`` is written with the per-gate
 speedups, thresholds, pass/fail verdicts and wall-clock times.  CI uploads
-the file as a workflow artifact, so the perf trajectory of every gate is
-recorded per commit instead of living only in job logs.
+the file as a workflow artifact.
+
+The driver also maintains the **perf trajectory**: unless ``--no-trajectory``
+is passed, the aggregate (plus git commit metadata) is snapshotted as
+``BENCH_<index>.json`` under ``--trajectory-dir`` (default
+``benchmarks/trajectory/``, committed in-repo), with ``<index>`` taken from
+``--pr-index`` or auto-incremented past the existing snapshots.  That turns
+the per-PR perf history into data the next session can diff instead of
+something buried in CI job logs; ``BENCH_5.json`` seeds the series.
 
 The driver runs *all* gates even after a failure (one regression must not
 mask another) and exits non-zero if any gate failed.
@@ -22,6 +29,7 @@ import argparse
 import json
 import os
 import platform
+import re
 import subprocess
 import sys
 import tempfile
@@ -30,6 +38,7 @@ import time
 #: The quick-mode perf gates, in dependency-free execution order.
 GATES = [
     ("ntt_engine", "benchmarks/bench_ntt_engine.py"),
+    ("ntt_fourstep", "benchmarks/bench_ntt_fourstep.py"),
     ("keyswitch_fused", "benchmarks/bench_keyswitch_fused.py"),
     ("linear_transform", "benchmarks/bench_linear_transform.py"),
     ("poly_eval", "benchmarks/bench_poly_eval.py"),
@@ -83,6 +92,52 @@ def run_gate(name: str, script: str, repo_root: str, quick: bool) -> dict:
     }
 
 
+def _git_metadata(repo_root: str) -> dict:
+    """Best-effort commit identification for trajectory snapshots."""
+    metadata = {}
+    for key, command in [
+        ("commit", ["git", "rev-parse", "--short", "HEAD"]),
+        ("subject", ["git", "log", "-1", "--format=%s"]),
+    ]:
+        try:
+            completed = subprocess.run(
+                command, cwd=repo_root, capture_output=True, text=True, timeout=10
+            )
+            if completed.returncode == 0:
+                metadata[key] = completed.stdout.strip()
+        except (OSError, subprocess.SubprocessError):
+            pass
+    return metadata
+
+
+def _next_trajectory_index(directory: str) -> int:
+    """One past the highest existing ``BENCH_<n>.json`` snapshot index."""
+    highest = -1
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def write_trajectory_snapshot(
+    aggregate: dict, directory: str, repo_root: str, pr_index: int | None
+) -> str:
+    """Write ``BENCH_<index>.json`` into the trajectory directory."""
+    os.makedirs(directory, exist_ok=True)
+    index = pr_index if pr_index is not None else _next_trajectory_index(directory)
+    snapshot = {
+        "pr_index": index,
+        "git": _git_metadata(repo_root),
+        **aggregate,
+    }
+    path = os.path.join(directory, f"BENCH_{index}.json")
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2)
+    return path
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -100,6 +155,22 @@ def main() -> int:
         "--full",
         action="store_true",
         help="run the full (non --quick) benchmark configurations",
+    )
+    parser.add_argument(
+        "--trajectory-dir",
+        default="benchmarks/trajectory",
+        help="directory holding the per-PR BENCH_<n>.json perf snapshots",
+    )
+    parser.add_argument(
+        "--pr-index",
+        type=int,
+        default=None,
+        help="snapshot index (defaults to one past the highest existing)",
+    )
+    parser.add_argument(
+        "--no-trajectory",
+        action="store_true",
+        help="skip writing the trajectory snapshot",
     )
     args = parser.parse_args()
 
@@ -120,6 +191,7 @@ def main() -> int:
     aggregate = {
         "python": platform.python_version(),
         "platform": platform.platform(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "mode": "full" if args.full else "quick",
         "gates": results,
         "passed": all_passed,
@@ -133,6 +205,16 @@ def main() -> int:
         verdict = "PASS" if result["passed"] else "FAIL"
         print(f"{result['gate']:<20} {result['elapsed_s']:>8.1f}s {verdict:>8}")
     print(f"\nsummary written to {args.output}")
+    if not args.no_trajectory:
+        trajectory_dir = (
+            args.trajectory_dir
+            if os.path.isabs(args.trajectory_dir)
+            else os.path.join(repo_root, args.trajectory_dir)
+        )
+        snapshot_path = write_trajectory_snapshot(
+            aggregate, trajectory_dir, repo_root, args.pr_index
+        )
+        print(f"trajectory snapshot written to {snapshot_path}")
     return 0 if all_passed else 1
 
 

@@ -48,6 +48,7 @@ from repro.ckks.keys import (
 from repro.ckks.keyswitch import (
     decompose_and_extend,
     mod_down,
+    mod_down_stacked,
     switch_extended_eval,
     switch_galois_eval,
     switch_key,
@@ -99,6 +100,7 @@ __all__ = [
     "matrix_diagonals",
     "matrix_from_diagonals",
     "mod_down",
+    "mod_down_stacked",
     "mod_raise",
     "ps_operation_counts",
     "required_rotation_steps",

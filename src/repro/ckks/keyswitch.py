@@ -8,13 +8,20 @@ under the canonical secret ``s`` such that ``ks0 + ks1 * s ~= d * s_source``.
 The pipeline is *fused* the way the paper's compiler fuses the Decomposing
 layer: a single stacked BConv extends all ``dnum`` digits to the level +
 special basis in one block matmul, one batched forward NTT transforms the
-whole ``(dnum, L', N)`` digit tensor, the digit/key inner products accumulate
-in the evaluation domain, and only the two accumulators come back to the
-coefficient domain -- so a switch costs exactly one forward and two inverse
-transform passes regardless of ``dnum``, instead of the ``3*dnum`` forward
-and ``2*dnum`` inverse passes of the per-digit loop.  The loop survives as
-:func:`switch_key_unfused`, the bit-exact oracle the fused path is tested
-against.
+whole ``(dnum, L', N)`` digit tensor, and the digit/key inner products
+accumulate in the evaluation domain.  ModDown is *lazy* (PR 5): both
+accumulators stay in the evaluation domain until they ride a **single**
+stacked ``(2, L', N)`` inverse pass together, and the ModDown correction --
+basis-converted from the special limbs of the stacked tensor in one batched
+BConv -- folds its subtract-and-divide into one vectorized kernel over the
+same stacked tensor.  A switch therefore costs exactly one batched forward
+and one batched inverse transform pass regardless of ``dnum`` (counters
+assert both the pass counts and the per-limb row counts), trimming one full
+inverse-NTT stack invocation per switch versus the per-accumulator pipeline
+-- which matters doubly for the four-step GEMM backend, where a ``(2, L',
+N)`` pass batches into larger matmuls than two ``(L', N)`` passes.  The
+per-digit loop survives as :func:`switch_key_unfused`, the bit-exact oracle
+the fused path is tested against.
 """
 
 from __future__ import annotations
@@ -30,7 +37,13 @@ from repro.poly.basis_conversion import (
     _sub_basis,
 )
 from repro.poly.ring import automorphism_eval_indices
-from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial, stacked_ntt_forward
+from repro.poly.rns_poly import (
+    COEFF_DOMAIN,
+    EVAL_DOMAIN,
+    RnsPolynomial,
+    stacked_ntt_forward,
+    stacked_ntt_inverse,
+)
 
 
 def decompose_and_extend(
@@ -60,21 +73,28 @@ def switch_extended_eval(
     params: CkksParameters,
     level: int,
 ) -> tuple[RnsPolynomial, RnsPolynomial]:
-    """Finish a key switch from eval-domain extended digits.
+    """Finish a key switch from eval-domain extended digits (lazy ModDown).
 
     ``digits_eval`` is the ``(dnum, level + alpha, N)`` evaluation-domain
     digit tensor.  The inner products with the key digits accumulate in the
-    evaluation domain; each accumulator pays one inverse NTT before ModDown.
+    evaluation domain, where both accumulators *stay* until they share one
+    stacked ``(2, L', N)`` inverse pass; the ModDown correction and divide
+    then run once over the stacked coefficient tensor
+    (:func:`mod_down_stacked`).
     """
+    level_basis = params.basis_at_level(level)
     extended = params.extended_basis(level)
     b_stack, a_stack = key.stacked_eval_digits(level)
     if digits_eval.shape != b_stack.shape:
         raise ValueError("key material does not match the digit partition")
     acc0 = _modular_inner_product(digits_eval, b_stack, extended)
     acc1 = _modular_inner_product(digits_eval, a_stack, extended)
-    ks0 = RnsPolynomial(extended, acc0, EVAL_DOMAIN).to_coeff()
-    ks1 = RnsPolynomial(extended, acc1, EVAL_DOMAIN).to_coeff()
-    return mod_down(ks0, params, level), mod_down(ks1, params, level)
+    stacked = stacked_ntt_inverse(extended, np.stack([acc0, acc1]))
+    down = mod_down_stacked(stacked, params, level)
+    return (
+        RnsPolynomial(level_basis, down[0], COEFF_DOMAIN),
+        RnsPolynomial(level_basis, down[1], COEFF_DOMAIN),
+    )
 
 
 def _modular_inner_product(
@@ -117,7 +137,7 @@ def switch_key(
     Returns ``(ks0, ks1)`` over the ``level``-limb ciphertext basis, in the
     coefficient domain.  Bit-identical to :func:`switch_key_unfused`; for a
     coefficient-domain input the whole switch runs exactly one batched
-    forward and two inverse transform passes.
+    forward and one batched inverse transform pass (lazy ModDown).
     """
     extended_digits = decompose_and_extend(poly, params, level)
     digits_eval = stacked_ntt_forward(params.extended_basis(level), extended_digits)
@@ -149,12 +169,19 @@ def switch_galois_eval(
     """
     basis = params.basis_at_level(level)
     indices = automorphism_eval_indices(params.degree, exponent)
-    rotated0 = RnsPolynomial(
-        basis, np.take(c0_eval, indices, axis=-1), EVAL_DOMAIN
-    ).to_coeff()
-    rotated1 = RnsPolynomial(
-        basis, np.take(c1_eval, indices, axis=-1), EVAL_DOMAIN
-    ).to_coeff()
+    # Both rotated components share one stacked (2, L, N) inverse pass --
+    # the same lazy-domain-exit batching the key switch's ModDown uses.
+    rotated_pair = stacked_ntt_inverse(
+        basis,
+        np.stack(
+            [
+                np.take(c0_eval, indices, axis=-1),
+                np.take(c1_eval, indices, axis=-1),
+            ]
+        ),
+    )
+    rotated0 = RnsPolynomial(basis, rotated_pair[0], COEFF_DOMAIN)
+    rotated1 = RnsPolynomial(basis, rotated_pair[1], COEFF_DOMAIN)
     ks0, ks1 = switch_key(rotated1, key, params, level)
     return rotated0.add(ks0), ks1
 
@@ -203,30 +230,46 @@ def switch_key_unfused(
     return ks0, ks1
 
 
+def mod_down_stacked(
+    stacked: np.ndarray, params: CkksParameters, level: int
+) -> np.ndarray:
+    """Vectorized RNS ModDown of a stacked ``(..., level + alpha, N)`` tensor.
+
+    Standard ModDown algebra -- basis-convert the special-prime residues to
+    the ciphertext basis, subtract, multiply by ``P^{-1}`` limb-wise -- but
+    run once over every stacked operand: the BConv correction for all leading
+    operands is one batched matmul (the generalized
+    :meth:`BasisConversion.convert_residues`) and the subtract+divide is one
+    :func:`subtract_and_divide` broadcast.  Returns the ``(..., level, N)``
+    coefficient-domain result tensor.
+    """
+    level_basis = params.basis_at_level(level)
+    special = params.special_basis
+    if stacked.shape[-2] != level + special.size:
+        raise ValueError("ModDown input must live in the extended basis")
+    conversion = conversion_for(special, level_basis)
+    correction = conversion.convert_residues(stacked[..., level:, :])
+    return subtract_and_divide(
+        stacked[..., :level, :],
+        correction,
+        special.modulus_product,
+        level_basis,
+    )
+
+
 def mod_down(
     poly: RnsPolynomial, params: CkksParameters, level: int
 ) -> RnsPolynomial:
     """Divide a (level + special)-basis polynomial by ``P`` with rounding.
 
-    Standard RNS ModDown: take the special-prime residues, basis-convert them
-    to the ciphertext basis, subtract, and multiply by ``P^{-1}`` limb-wise
-    (the shared :func:`subtract_and_divide` kernel).
+    The single-polynomial entry point over :func:`mod_down_stacked` (the
+    fused key switch uses the stacked kernel directly on its accumulator
+    pair).
     """
     level_basis = params.basis_at_level(level)
-    special = params.special_basis
-    expected = level_basis.moduli + special.moduli
+    expected = level_basis.moduli + params.special_basis.moduli
     if poly.basis.moduli != expected:
         raise ValueError("ModDown input must live in the extended basis")
     poly = poly.to_coeff()
-
-    special_part = RnsPolynomial(special, poly.residues[level:], "coeff")
-    conversion = conversion_for(special, level_basis)
-    correction = conversion.convert(special_part)
-
-    residues = subtract_and_divide(
-        poly.residues[:level],
-        correction.residues,
-        special.modulus_product,
-        level_basis,
-    )
+    residues = mod_down_stacked(poly.residues, params, level)
     return RnsPolynomial(level_basis, residues, "coeff")

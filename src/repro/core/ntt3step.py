@@ -16,7 +16,10 @@ documented permutation of natural evaluation order (`evaluation_permutation`).
 
 With ``use_bat=True`` the two matrix multiplications run through the BAT
 int8 path (:mod:`repro.core.bat`), which is what the MXU executes on a real
-TPU; the element-wise stage stays on the VPU.  Every configuration is exact
+TPU; the element-wise stage stays on the VPU.  Without BAT they run through
+`repro.poly.gemm_mod.modular_matmul` -- the same split-float64 kernel behind
+the production engine's ``four_step`` backend, so the TPU model and the
+executable path share one GEMM implementation.  Every configuration is exact
 and is tested against :func:`repro.poly.ntt_reference.ntt_forward_negacyclic`.
 """
 
@@ -37,7 +40,7 @@ from repro.core.bat import (
 from repro.core.mat import embed_permutation_into_cols, embed_permutation_into_rows
 from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
 from repro.numtheory.modular import mod_inv
-from repro.poly.modmat import modmatmul
+from repro.poly.gemm_mod import modular_matmul
 from repro.poly.ntt_fourstep import _modular_matrix_inverse
 
 OutputOrder = Literal["cross", "bitrev"]
@@ -186,14 +189,14 @@ class ThreeStepNttPlan:
         plan = self._bat_inv_step1 if inverse else self._bat_step1
         if self.use_bat and plan is not None:
             return bat_modmatmul_left_known(plan, data)
-        return modmatmul(matrix, data, self.modulus)
+        return modular_matmul(matrix, data, self.modulus)
 
     def _matmul_step3(self, data: np.ndarray, inverse: bool) -> np.ndarray:
         matrix = self.inv_step3_matrix if inverse else self.step3_matrix
         plan = self._bat_inv_step3 if inverse else self._bat_step3
         if self.use_bat and plan is not None:
             return bat_modmatmul_right_known(data, plan)
-        return modmatmul(data, matrix, self.modulus)
+        return modular_matmul(data, matrix, self.modulus)
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward NTT: natural coefficient order in, layout-invariant order out."""

@@ -15,11 +15,25 @@ The CKKS scheme computes in ``R_Q = Z_Q[x]/(x^N + 1)``.  This package provides
 * ``ring`` -- a ``PolyRing`` bundling modulus, roots of unity and NTT plans,
 * ``rns_poly`` -- limb-parallel RNS polynomials over an ``RnsBasis``,
 * ``basis_conversion`` -- the fast basis conversion (BConv) kernel whose
-  step-2 modular matrix multiplication BAT accelerates (paper Table VI).
+  step-2 modular matrix multiplication BAT accelerates (paper Table VI),
+* ``gemm_mod`` -- the shared exact split-float64 modular GEMM kernel behind
+  BConv and the engine's ``four_step`` backend.
 """
 
 from repro.poly.basis_conversion import BasisConversion, conversion_for
-from repro.poly.ntt_engine import NttPlan, NttPlanStack, plan_for, plan_stack_for
+from repro.poly.gemm_mod import as_blas_operand, modular_matmul
+from repro.poly.ntt_engine import (
+    BACKEND_BUTTERFLY,
+    BACKEND_FOUR_STEP,
+    BACKEND_REFERENCE,
+    FourStepTables,
+    NttPlan,
+    NttPlanStack,
+    plan_for,
+    plan_stack_for,
+    resolve_backend,
+    set_default_backend,
+)
 from repro.poly.negacyclic import (
     negacyclic_convolve,
     poly_add,
@@ -37,15 +51,23 @@ from repro.poly.ring import PolyRing
 from repro.poly.rns_poly import RnsPolynomial
 
 __all__ = [
+    "BACKEND_BUTTERFLY",
+    "BACKEND_FOUR_STEP",
+    "BACKEND_REFERENCE",
     "BasisConversion",
     "FourStepNttPlan",
+    "FourStepTables",
     "NttPlan",
     "NttPlanStack",
     "PolyRing",
     "RnsPolynomial",
+    "as_blas_operand",
     "conversion_for",
+    "modular_matmul",
     "plan_for",
     "plan_stack_for",
+    "resolve_backend",
+    "set_default_backend",
     "negacyclic_convolve",
     "negacyclic_evaluate_direct",
     "ntt_forward_negacyclic",

@@ -27,49 +27,9 @@ from functools import lru_cache
 import numpy as np
 
 from repro.numtheory.crt import RnsBasis
+from repro.poly.gemm_mod import split_matmul as _split_matmul
+from repro.poly.gemm_mod import split_matrix as _split_matrix
 from repro.poly.rns_poly import COEFF_DOMAIN, RnsPolynomial
-
-
-def _split_matrix(
-    matrix: np.ndarray, source_moduli: tuple[int, ...], target_moduli: tuple[int, ...]
-) -> tuple[int | None, np.ndarray | None, np.ndarray | None]:
-    """Hi/lo float64 halves of a constant matrix for exact split GEMMs.
-
-    The modular matmul ``matrix @ scaled`` runs as two BLAS float64 GEMMs
-    over the halves ``matrix = hi * 2**shift + lo`` whenever every dot
-    product is guaranteed below ``2**53`` (float64's exact-integer range);
-    returns ``(None, None, None)`` when the moduli are too wide, in which
-    case callers keep their chunked integer paths.
-    """
-    source_bits = max((int(q) - 1).bit_length() for q in source_moduli)
-    target_bits = max((int(p) - 1).bit_length() for p in target_moduli)
-    shift = (target_bits + 1) // 2
-    length_bits = max(1, len(source_moduli) - 1).bit_length()
-    if source_bits + max(shift, target_bits - shift) + length_bits > 53:
-        return None, None, None
-    hi = (matrix >> np.uint64(shift)).astype(np.float64)
-    lo = (matrix & np.uint64((1 << shift) - 1)).astype(np.float64)
-    return shift, hi, lo
-
-
-def _split_matmul(
-    shift: int,
-    matrix_hi: np.ndarray,
-    matrix_lo: np.ndarray,
-    scaled: np.ndarray,
-    target_col: np.ndarray,
-) -> np.ndarray:
-    """Exact modular matmul via the two float64 GEMMs of a split matrix.
-
-    Both GEMM results are < 2**53 integers (guaranteed by
-    :func:`_split_matrix`), so the uint64 round trip is lossless and the
-    recombination ``(hi % p) * 2**shift + lo`` stays below 2**63 before the
-    final reduction.
-    """
-    scaled_f = scaled.astype(np.float64)
-    hi = (matrix_hi @ scaled_f).astype(np.uint64) % target_col
-    lo = (matrix_lo @ scaled_f).astype(np.uint64)
-    return ((hi << np.uint64(shift)) + lo) % target_col
 
 
 @dataclass
@@ -111,7 +71,11 @@ class BasisConversion:
 
     # ----------------------------------------------------------------- step 1
     def step1(self, residues: np.ndarray) -> np.ndarray:
-        """Per-limb scaling ``b_i = a_i * qhat_i^{-1} mod q_i`` (L x N)."""
+        """Per-limb scaling ``b_i = a_i * qhat_i^{-1} mod q_i`` over (..., L, N).
+
+        Leading batch axes (e.g. the stacked ModDown's ``(2, alpha, N)``
+        accumulator pair) broadcast through the per-limb constants.
+        """
         residues = np.asarray(residues, dtype=np.uint64)
         moduli = self.source.moduli_array[:, None]
         return (residues * self.hat_inverses[:, None]) % moduli
@@ -120,11 +84,12 @@ class BasisConversion:
     def step2(self, scaled: np.ndarray) -> np.ndarray:
         """Modular matrix multiplication against the conversion matrix.
 
-        ``scaled`` is the (L, N) output of step 1; the result is the (L', N)
-        residue matrix in the target basis.  Word-sized moduli take the exact
-        split-GEMM fast path; otherwise accumulation is chunked so the uint64
-        partial sums never overflow (products are < 2**60 for 28-bit sources
-        and 32-bit targets).
+        ``scaled`` is the (..., L, N) output of step 1; the result is the
+        (..., L', N) residue tensor in the target basis (leading batch axes
+        ride through ``np.matmul`` broadcasting).  Word-sized moduli take the
+        exact split-GEMM fast path; otherwise accumulation is chunked so the
+        uint64 partial sums never overflow (products are < 2**60 for 28-bit
+        sources and 32-bit targets).
         """
         scaled = np.asarray(scaled, dtype=np.uint64)
         if self._split_shift is not None:
@@ -135,24 +100,28 @@ class BasisConversion:
                 scaled,
                 self.target.moduli_array[:, None],
             )
-        out = np.empty((self.target.size, scaled.shape[1]), dtype=np.uint64)
+        out = np.empty(
+            (*scaled.shape[:-2], self.target.size, scaled.shape[-1]), dtype=np.uint64
+        )
         for j, p_j in enumerate(self.target.moduli):
             row = self.conversion_matrix[j] % np.uint64(p_j)
             product_bits = (int(p_j) - 1).bit_length() + max(
                 (int(q) - 1).bit_length() for q in self.source.moduli
             )
             chunk = max(1, 1 << max(0, 63 - product_bits))
-            accumulator = np.zeros(scaled.shape[1], dtype=np.uint64)
+            accumulator = np.zeros(out.shape[:-2] + out.shape[-1:], dtype=np.uint64)
             for start in range(0, self.source.size, chunk):
                 stop = min(start + chunk, self.source.size)
-                partial = (row[start:stop, None] * scaled[start:stop]).sum(axis=0)
+                partial = (row[start:stop, None] * scaled[..., start:stop, :]).sum(
+                    axis=-2
+                )
                 accumulator = (accumulator + partial % np.uint64(p_j)) % np.uint64(p_j)
-            out[j] = accumulator
+            out[..., j, :] = accumulator
         return out
 
     # ------------------------------------------------------------------- API
     def convert_residues(self, residues: np.ndarray) -> np.ndarray:
-        """Fast (approximate) conversion of an (L, N) residue matrix."""
+        """Fast (approximate) conversion of an (..., L, N) residue tensor."""
         return self.step2(self.step1(residues))
 
     def convert(self, polynomial: RnsPolynomial) -> RnsPolynomial:

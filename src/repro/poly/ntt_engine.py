@@ -32,21 +32,55 @@ single transform pass.  Plans and stacks are memoised process-wide via
 :func:`plan_for` and :func:`plan_stack_for`.  Oversized moduli (``>= 2**30``)
 are not planned; callers fall back to the big-int-safe reference path.
 
-Every ``forward``/``inverse`` entry point increments a process-wide pass
-counter (:func:`transform_counts` / :func:`reset_transform_counts`), which is
-how the test suite asserts dataflow claims such as "fused key switching runs
-exactly two inverse passes regardless of ``dnum``".
+Backends
+--------
+Since PR 5 the butterfly cascade is one of three interchangeable, bit-exact
+backends behind every plan (the paper's thesis is that the NTT *is* a block
+matmul, so it should run on the matrix engine):
+
+* ``butterfly`` -- the Harvey lazy-butterfly cascade described above;
+* ``four_step`` -- the transform factored as ``N = n1 * n2``: column NTTs as
+  a precomputed ``(n1, n1)`` twiddle-matrix matmul, a cached mod-``q`` twist,
+  and row NTTs as an ``(n2, n2)`` matmul, both matmuls executed by the exact
+  hi/lo split-float64 BLAS GEMM kernel shared with BConv
+  (`repro.poly.gemm_mod`); and
+* ``reference`` -- the per-call table-building oracle
+  (`repro.poly.ntt_reference`).
+
+``NttPlan.backend`` / ``NttPlanStack.backend`` pin a backend explicitly; the
+default (``None``) defers to :func:`resolve_backend`, i.e. the
+``REPRO_NTT_BACKEND`` environment override, :func:`set_default_backend`, or
+the memoised one-shot per-ring calibration (keyed on ``(N, L, modulus
+bits)``; set ``REPRO_NTT_CALIBRATE=measure`` to time the two fast backends on
+the actual shape instead of using the closed-form heuristic).  Dispatch never
+selects a backend that would be inexact for the ring's modulus width.
+
+Every ``forward``/``inverse`` entry point counts one *pass* plus the number
+of length-``N`` limb rows it transformed (:func:`transform_counts` /
+:func:`reset_transform_counts`), which is how the test suite asserts dataflow
+claims such as "fused key switching runs exactly one batched forward and one
+inverse pass" without a stacked call hiding per-limb work.
 """
 
 from __future__ import annotations
 
+import os
 import threading
+import time
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
 from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
+from repro.poly.gemm_mod import (
+    as_blas_operand,
+    canonical_from_lazy,
+    lazy_mod_reduce,
+    split_halves,
+    split_shift,
+)
+from repro.poly.ntt_reference import ntt_forward_negacyclic, ntt_inverse_negacyclic
 
 #: Lazy (Harvey-style) butterflies need ``4q < 2**32`` so every intermediate
 #: fits the 32-bit Shoup precision and uint64 products never overflow.
@@ -54,21 +88,54 @@ MAX_PLAN_MODULUS = 1 << 30
 
 _SHIFT32 = np.uint64(32)
 
-#: Process-wide transform-pass counters (one increment per ``forward`` /
-#: ``inverse`` call on a plan or plan stack, however many limbs or stacked
-#: operands that call batches).  Tests use these to pin down dataflow claims.
-_TRANSFORM_COUNTS = {"forward": 0, "inverse": 0}
+#: Backend identifiers (``NttPlan.backend`` / ``REPRO_NTT_BACKEND`` values).
+BACKEND_BUTTERFLY = "butterfly"
+BACKEND_FOUR_STEP = "four_step"
+BACKEND_REFERENCE = "reference"
+BACKEND_AUTO = "auto"
+BACKENDS = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_REFERENCE)
+
+_BACKEND_ENV = "REPRO_NTT_BACKEND"
+_CALIBRATE_ENV = "REPRO_NTT_CALIBRATE"
+
+#: Closed-form calibration threshold: below this degree the butterfly cascade
+#: wins, at and above it the four-step GEMM backend wins.  Measured on the
+#: benchmark shapes (see ``benchmarks/bench_ntt_fourstep.py``): on the CI
+#: hardware the GEMM cascade wins at *every* exact shape (its pass count is
+#: ``O(1)`` vs the butterfly's ``O(log N)`` stages), so the threshold sits at
+#: the smallest factorable degree; ``REPRO_NTT_CALIBRATE=measure`` retimes the
+#: two backends per ring shape on platforms where the crossover differs.
+FOUR_STEP_MIN_DEGREE = 4
+
+#: Process-wide transform counters.  ``forward``/``inverse`` count *passes*
+#: (one increment per ``forward``/``inverse`` call on a plan or plan stack,
+#: however many limbs or stacked operands that call batches);
+#: ``forward_limbs``/``inverse_limbs`` count the length-``N`` rows actually
+#: transformed, so a stacked ``(B, L, N)`` call books ``B * L`` limb passes.
+#: Tests use both views to pin down dataflow claims.
+_TRANSFORM_COUNTS = {
+    "forward": 0,
+    "inverse": 0,
+    "forward_limbs": 0,
+    "inverse_limbs": 0,
+}
 
 
 def transform_counts() -> dict[str, int]:
-    """Snapshot of the process-wide forward/inverse pass counters."""
+    """Snapshot of the process-wide pass and limb-pass counters."""
     return dict(_TRANSFORM_COUNTS)
 
 
 def reset_transform_counts() -> None:
-    """Reset the transform-pass counters (test instrumentation)."""
-    _TRANSFORM_COUNTS["forward"] = 0
-    _TRANSFORM_COUNTS["inverse"] = 0
+    """Reset the transform counters (test instrumentation)."""
+    for key in _TRANSFORM_COUNTS:
+        _TRANSFORM_COUNTS[key] = 0
+
+
+def _count_pass(direction: str, limb_rows: int) -> None:
+    """Book one counted pass that transformed ``limb_rows`` length-N rows."""
+    _TRANSFORM_COUNTS[direction] += 1
+    _TRANSFORM_COUNTS[direction + "_limbs"] += limb_rows
 
 
 def _shoup_quotients(values: np.ndarray, modulus: int) -> np.ndarray:
@@ -227,6 +294,563 @@ def _lazy_butterflies(data, stages: tuple[_Stage, ...], q, two_q, scratch=None) 
         np.subtract(tmp, twisted, out=lower)
 
 
+# ------------------------------------------------------------------ four-step
+def four_step_split(degree: int) -> tuple[int, int]:
+    """The near-square ``(n1, n2)`` factorisation the GEMM backend uses.
+
+    ``n1 = 2**ceil(log2(N)/2) >= n2``: the column transform gets the larger
+    matrix, which keeps the two GEMM tiles as square as possible (the shape
+    the matrix engine likes) while ``n1 * n2 = N`` exactly.
+    """
+    if not is_power_of_two(degree):
+        raise ValueError("NTT length must be a power of two")
+    log2n = degree.bit_length() - 1
+    rows = 1 << ((log2n + 1) // 2)
+    return rows, degree // rows
+
+
+def _outer_power_matrix(
+    base: int, rows: int, cols: int, modulus: int, degree: int
+) -> np.ndarray:
+    """``M[i, j] = base**(i*j) mod q`` via one power table + an index gather.
+
+    ``base`` must satisfy ``base**degree == 1`` (all four-step bases are
+    powers of ``omega``), so exponents reduce modulo ``degree`` and the whole
+    matrix is a fancy-index into a single length-``degree`` power table --
+    no per-entry ``pow`` calls.
+    """
+    table = _power_table(base, degree, modulus)
+    exponents = np.outer(np.arange(rows), np.arange(cols)) % degree
+    return table[exponents]
+
+
+def _scaled_matrix(
+    matrix: np.ndarray,
+    scale: np.ndarray | None,
+    modulus: int,
+    *,
+    axis: int = 0,
+) -> np.ndarray:
+    """``matrix * scale mod q`` with ``scale`` broadcast along ``axis``."""
+    if scale is None:
+        return matrix
+    scale = scale[:, None] if axis == 0 else scale[None, :]
+    return (matrix * scale) % np.uint64(modulus)
+
+
+def _cat_split(matrix: np.ndarray, shift: int) -> np.ndarray:
+    """Float ``[hi; lo]`` halves of a constant matrix, concatenated row-wise.
+
+    Both halves of the split GEMM then run as a single doubled-height BLAS
+    call, halving kernel dispatches on the small tiles the four-step
+    factorisation produces.
+    """
+    hi, lo = split_halves(matrix, shift)
+    return np.ascontiguousarray(np.concatenate([hi, lo], axis=-2))
+
+
+#: Marker for the two element-wise twist implementations (see _FourStepExec).
+_TWIST_SHOUP = "shoup"
+_TWIST_SPLIT = "split"
+
+
+def _lazy_reduce_into(values: np.ndarray, q_f, inv_q, scratch: np.ndarray) -> None:
+    """`gemm_mod.lazy_mod_reduce` with an explicit scratch (allocation-free).
+
+    ``inv_q`` is the underestimating reciprocal (:func:`_under_inverse`), so
+    non-negative inputs land in ``[0, 2q)``.
+    """
+    np.multiply(values, inv_q, out=scratch)
+    np.floor(scratch, out=scratch)
+    np.multiply(scratch, q_f, out=scratch)
+    np.subtract(values, scratch, out=values)
+
+
+class _FourStepExec:
+    """Shared executor for the four-step GEMM cascade (plan and stack layouts).
+
+    Subclasses provide per-direction constant packs via ``_pack`` plus the
+    modulus columns; this base runs the cascade through a per-thread buffer
+    pool so the hot loop performs **zero** element-wise allocations and the
+    whole working set (two tile buffers, one double-height GEMM buffer, one
+    scratch) stays cache-resident.  Operands with extra leading axes (e.g.
+    the fused key switch's ``(dnum, L', N)`` digit tensor) are tiled one
+    base-rank slice at a time for the same reason.
+
+    Value ranges: the reciprocal reductions use an *underestimating* inverse
+    (``_under_inv``), so every intermediate stays non-negative in ``[0, 2q)``
+    -- which is what makes the integer Shoup twist applicable and lets the
+    final canonicalisation get away with a single conditional subtract.
+    """
+
+    rows: int
+    cols: int
+    _lead: tuple[int, ...]
+
+    def _buffers(self, lead: tuple[int, ...], a: int, b: int) -> dict:
+        local = self._local
+        if not hasattr(local, "pools"):
+            local.pools = {}
+        key = (lead, a, b)
+        pool = local.pools.get(key)
+        if pool is None:
+            tile = np.empty((*lead, a, b))
+            gemm = np.empty((*lead, 2 * a, b))
+            scratch = np.empty((*lead, a, b))
+            pool = {
+                "tile": tile,
+                "tile_t": tile.reshape(*lead, b, a),
+                "gemm": gemm,
+                "gemm_t": gemm.reshape(*lead, 2 * b, a),
+                "scratch_t": scratch.reshape(*lead, b, a),
+                "twist": np.empty((*lead, b, a)),
+            }
+            local.pools[key] = pool
+        return pool
+
+    def transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
+        """Transform a ``(..., [L,] N)`` operand, tiling extra leading axes."""
+        matrix = np.asarray(matrix, dtype=np.uint64)
+        base_rank = len(self._lead) + 1
+        if matrix.ndim == base_rank:
+            return self._cascade(matrix, forward)
+        flat = matrix.reshape(-1, *matrix.shape[-base_rank:])
+        out = np.empty_like(flat)
+        for index in range(flat.shape[0]):
+            out[index] = self._cascade(flat[index], forward)
+        return out.reshape(matrix.shape)
+
+    def _cascade(self, data: np.ndarray, forward: bool) -> np.ndarray:
+        first_cat, scale_first, twist, second_cat, scale_second, a, b = (
+            self._fwd_pack if forward else self._inv_pack
+        )
+        q_f, q_u, inv_q = self._q_f, self._q_u, self._under_inv
+        pool = self._buffers(self._lead, a, b)
+        tile, gemm = pool["tile"], pool["gemm"]
+        scratch = pool["scratch_t"].reshape(tile.shape)
+
+        # First GEMM: both split halves in one doubled-height BLAS call.
+        np.copyto(tile, data.reshape(tile.shape), casting="unsafe")
+        np.matmul(first_cat, tile, out=gemm)
+        hi, lo = gemm[..., :a, :], gemm[..., a:, :]
+        _lazy_reduce_into(hi, q_f, inv_q, scratch)
+        np.multiply(hi, scale_first, out=hi)
+        np.add(hi, lo, out=hi)
+        _lazy_reduce_into(hi, q_f, inv_q, scratch)
+
+        # Fused runtime transpose + twist: the ufuncs walk the transposed view
+        # and write C-contiguous tiles, so the second GEMM always gets a
+        # BLAS-ready operand (`gemm_mod.as_blas_operand` asserts this in
+        # strict mode).
+        transposed = hi.swapaxes(-1, -2)
+        operand = pool["twist"]
+        scratch_t = pool["scratch_t"]
+        if twist[0] == _TWIST_SHOUP:
+            # Integer lazy Shoup multiply (q < 2**30, inputs < 2**31).
+            _, tw_w, tw_shoup = twist
+            t_u = operand.view(np.uint64)
+            s_u = scratch_t.view(np.uint64)
+            np.copyto(t_u, transposed, casting="unsafe")
+            np.multiply(t_u, tw_shoup, out=s_u)
+            s_u >>= _SHIFT32
+            s_u *= q_u
+            t_u *= tw_w
+            t_u -= s_u
+            twisted = pool["tile_t"]
+            np.copyto(twisted, t_u, casting="unsafe")
+        else:
+            # Float split twist (wide moduli): tw = hi * 2**s + lo with f32
+            # halves (entries < 2**17 are f32-exact; products stay f64).
+            _, tw_hi, tw_lo, scale_tw = twist
+            tile_t = pool["tile_t"]
+            np.multiply(transposed, tw_hi, out=operand)
+            _lazy_reduce_into(operand, q_f, inv_q, scratch_t)
+            np.multiply(operand, scale_tw, out=operand)
+            np.multiply(transposed, tw_lo, out=tile_t)
+            np.add(operand, tile_t, out=operand)
+            _lazy_reduce_into(operand, q_f, inv_q, scratch_t)
+            twisted = operand
+
+        # Second GEMM + canonicalisation into a fresh caller-owned array.
+        gemm_t = pool["gemm_t"]
+        np.matmul(second_cat, twisted, out=gemm_t)
+        hi2, lo2 = gemm_t[..., :b, :], gemm_t[..., b:, :]
+        _lazy_reduce_into(hi2, q_f, inv_q, scratch_t)
+        np.multiply(hi2, scale_second, out=hi2)
+        np.add(hi2, lo2, out=hi2)
+        _lazy_reduce_into(hi2, q_f, inv_q, scratch_t)
+        out = np.empty(hi2.shape, dtype=np.uint64)
+        np.copyto(out, hi2, casting="unsafe")
+        s_u = scratch_t.view(np.uint64)
+        np.subtract(out, q_u, out=s_u)
+        np.minimum(out, s_u, out=out)
+        return out.reshape(data.shape)
+
+
+def _under_inverse(q_f: np.ndarray) -> np.ndarray:
+    """A reciprocal of ``q`` guaranteed to *underestimate* ``1/q``.
+
+    With ``p = fl(v * inv)`` for non-negative integer ``v`` (``v < 2**52``),
+    ``floor(p)`` is then ``floor(v/q)`` or one less, never more, so the lazy
+    reductions land in ``[0, 2q)`` -- non-negative, which the integer twist
+    and the single-subtract canonicalisation rely on.
+    """
+    exact = np.float64(1.0) / np.asarray(q_f, dtype=np.float64)
+    return np.nextafter(np.nextafter(exact, 0.0), 0.0)
+
+
+class FourStepTables(_FourStepExec):
+    """Per-ring constants for the four-step GEMM NTT backend.
+
+    The length-``N`` negacyclic transform is factored over the ``(n1, n2)``
+    tile ``a[j1 * n2 + j2]`` (natural order in, natural order out):
+
+    * **columns** -- an ``(n1, n1)`` matmul with
+      ``M1[k1, j1] = omega**(n2*k1*j1) * psi**(n2*j1)`` (the negacyclic twist
+      contribution that depends only on ``j1`` is folded in offline),
+    * **twist** -- the runtime transpose fused with the cached element-wise
+      twiddle ``TW[j2, k1] = omega**(k1*j2) * psi**j2``, and
+    * **rows** -- an ``(n2, n2)`` matmul with ``M4[k2, j2] = omega**(n1*k2*j2)``,
+
+    after which the ``(n2, n1)`` tile flattened row-major is the NTT in
+    natural evaluation order (position ``k2 * n1 + k1`` holds evaluation
+    ``k1 + n1 * k2`` -- the same algebra `repro.poly.ntt_fourstep` keeps with
+    an explicit transpose step).  The inverse runs the mirrored cascade with
+    ``omega^{-1}``/``psi^{-1}`` and ``N^{-1}`` folded into the final column
+    matrix.  Both matmuls execute as exact hi/lo split-float64 GEMMs sharing
+    `repro.poly.gemm_mod`'s split tables and reduction algebra; :attr:`exact`
+    reports whether the ring's modulus width admits the split at this
+    factorisation, and inexact tables refuse to transform (the dispatch layer
+    never selects them).
+    """
+
+    def __init__(self, degree: int, modulus: int, psi: int):
+        self.degree, self.modulus, self.psi = degree, modulus, psi
+        self.rows, self.cols = four_step_split(degree)
+        q, rows, cols = modulus, self.rows, self.cols
+        bits = (modulus - 1).bit_length()
+        # The second GEMM of either direction consumes lazily reduced
+        # operands in [0, 2q), hence the one-bit operand allowance.
+        self._shift1 = split_shift(bits + 1, bits, rows)
+        self._shift4 = split_shift(bits + 1, bits, cols)
+        self.exact = (
+            self._shift1 is not None
+            and self._shift4 is not None
+            and 1 < modulus < (1 << 32)
+        )
+        if not self.exact:
+            return
+        self._lead = ()
+        self._local = threading.local()
+        self._q_u = np.uint64(q)
+        self._q_f = np.float64(q)
+        self._under_inv = _under_inverse(self._q_f)
+        self._shift_tw = (bits + 1) // 2
+
+        omega = pow(psi, 2, q)
+        omega_inv = mod_inv(omega, q)
+        psi_inv = mod_inv(psi, q)
+
+        # Offline parameter compilation (all entries canonical residues).
+        self.m1 = _scaled_matrix(
+            _outer_power_matrix(pow(omega, cols, q), rows, rows, q, degree),
+            _power_table(pow(psi, cols, q), rows, q),
+            q,
+            axis=1,
+        )
+        self.m4 = _outer_power_matrix(pow(omega, rows, q), cols, cols, q, degree)
+        self.tw_fwd = _scaled_matrix(
+            _outer_power_matrix(omega, cols, rows, q, degree),
+            _power_table(psi, cols, q),
+            q,
+            axis=0,
+        )
+        self.m4_inv = _outer_power_matrix(
+            pow(omega_inv, rows, q), cols, cols, q, degree
+        )
+        # The inverse's element-wise stage runs after its transpose, so the
+        # cached table is stored pre-transposed to (n1, n2); N^{-1} rides the
+        # final column matrix's row scale.
+        self.tw_inv = np.ascontiguousarray(
+            _scaled_matrix(
+                _outer_power_matrix(omega_inv, cols, rows, q, degree),
+                _power_table(psi_inv, cols, q),
+                q,
+                axis=0,
+            ).T
+        )
+        self.m1_inv = _scaled_matrix(
+            _outer_power_matrix(pow(omega_inv, cols, q), rows, rows, q, degree),
+            _power_table(pow(psi_inv, cols, q), rows, q, first=mod_inv(degree, q)),
+            q,
+            axis=0,
+        )
+        self._fwd_pack = _build_pack(
+            self.m1, self.tw_fwd, self.m4, self, rows, cols
+        )
+        self._inv_pack = _build_pack(
+            self.m4_inv, self.tw_inv, self.m1_inv, self, cols, rows
+        )
+
+    # ------------------------------------------------------------------ exec
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT over the last axis (natural order in/out)."""
+        return self.transform(coeffs, forward=True)
+
+    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT over the last axis (natural order in/out)."""
+        return self.transform(evaluations, forward=False)
+
+
+def _twist_pack(twist: np.ndarray, moduli, shift_tw: int, scale_col) -> tuple:
+    """Compile an element-wise twist table into its fastest exact form.
+
+    Lazy-reduced inputs are in ``[0, 2q)``; when every modulus is below the
+    32-bit Shoup precision bound the twist runs as an integer lazy Shoup
+    multiply (5 passes, no reduction needed after).  Wider moduli use the
+    float hi/lo split (f32 tables -- entries < 2**17 are f32-exact).
+    """
+    if all(int(q) < MAX_PLAN_MODULUS for q in moduli):
+        # twist < 2**30, so the << 32 stays inside uint64 (build-time only).
+        # Tables are stored uint32 (both fit) to halve their cache footprint;
+        # uint64-operand multiplies promote back to uint64 losslessly.
+        shoup = (twist << np.uint64(32)) // np.asarray(scale_col, dtype=np.uint64)
+        return (
+            _TWIST_SHOUP,
+            np.ascontiguousarray(twist.astype(np.uint32)),
+            np.ascontiguousarray(shoup.astype(np.uint32)),
+        )
+    hi, lo = split_halves(twist, shift_tw)
+    return (
+        _TWIST_SPLIT,
+        np.ascontiguousarray(hi.astype(np.float32)),
+        np.ascontiguousarray(lo.astype(np.float32)),
+        np.float64(1 << shift_tw),
+    )
+
+
+def _build_pack(first, twist, second, tables, a: int, b: int) -> tuple:
+    """One direction's executable constants for :class:`_FourStepExec`."""
+    shift_first = tables._shift1 if a == tables.rows else tables._shift4
+    shift_second = tables._shift4 if a == tables.rows else tables._shift1
+    moduli = (tables.modulus,)
+    return (
+        _cat_split(first, shift_first),
+        np.float64(1 << shift_first),
+        _twist_pack(twist, moduli, tables._shift_tw, tables._q_u),
+        _cat_split(second, shift_second),
+        np.float64(1 << shift_second),
+        a,
+        b,
+    )
+
+
+class _FourStepStack(_FourStepExec):
+    """Limb-stacked four-step tables: one GEMM cascade for all ``L`` limbs.
+
+    The per-limb ``[hi; lo]`` matrices stack into ``(L, 2n, n)`` float64
+    tensors, so a whole ``(L, N)`` operand rides two *batched* BLAS GEMMs;
+    leading stacked-operand axes are tiled per slice for cache residency
+    (see :class:`_FourStepExec`).
+    """
+
+    def __init__(self, tables: tuple[FourStepTables, ...]):
+        first = tables[0]
+        self.rows, self.cols = first.rows, first.cols
+        self._lead = (len(tables),)
+        self._local = threading.local()
+        moduli = tuple(t.modulus for t in tables)
+        self._q_u = np.array(moduli, dtype=np.uint64)[:, None, None]
+        self._q_f = self._q_u.astype(np.float64)
+        self._under_inv = _under_inverse(self._q_f)
+        # The split shifts must be derived from the *widest* limb: a stack
+        # may mix modulus widths, and re-splitting every limb's raw matrices
+        # at the stack-wide shift keeps each limb's GEMM halves inside the
+        # float64 budget (a narrow limb's shift applied to a wide limb's
+        # matrices would not -- see test_mixed_width_stack_bit_exact).
+        bits = max((int(q) - 1).bit_length() for q in moduli)
+        shift1 = split_shift(bits + 1, bits, self.rows)
+        shift4 = split_shift(bits + 1, bits, self.cols)
+        if shift1 is None or shift4 is None:
+            raise ValueError(
+                "four-step split is not exact for this stack's modulus widths"
+            )
+        shift_tw = (bits + 1) // 2
+
+        def stack(pick) -> np.ndarray:
+            return np.ascontiguousarray(np.stack([pick(t) for t in tables]))
+
+        def pack(first_name, tw_name, second_name, sh_first, sh_second, a, b):
+            return (
+                stack(lambda t: _cat_split(getattr(t, first_name), sh_first)),
+                np.float64(1 << sh_first),
+                _twist_pack(
+                    stack(lambda t: getattr(t, tw_name)), moduli, shift_tw, self._q_u
+                ),
+                stack(lambda t: _cat_split(getattr(t, second_name), sh_second)),
+                np.float64(1 << sh_second),
+                a,
+                b,
+            )
+
+        self._fwd_pack = pack(
+            "m1", "tw_fwd", "m4", shift1, shift4, self.rows, self.cols
+        )
+        self._inv_pack = pack(
+            "m4_inv", "tw_inv", "m1_inv", shift4, shift1, self.cols, self.rows
+        )
+
+
+# ------------------------------------------------------------------ dispatch
+_DEFAULT_BACKEND = BACKEND_AUTO
+_CALIBRATION: dict[tuple[int, int, int], str] = {}
+#: Bumped whenever a dispatch input outside the per-call cache key changes
+#: (calibration resets); plans memoise their resolved backend against it.
+_DISPATCH_EPOCH = 0
+
+
+def set_default_backend(name: str) -> str:
+    """Set the process default backend (``auto`` or a member of ``BACKENDS``).
+
+    Returns the previous default.  The ``REPRO_NTT_BACKEND`` environment
+    variable, when set, takes precedence over this value.
+    """
+    global _DEFAULT_BACKEND
+    if name not in BACKENDS + (BACKEND_AUTO,):
+        raise ValueError(f"unknown NTT backend {name!r}")
+    previous = _DEFAULT_BACKEND
+    _DEFAULT_BACKEND = name
+    return previous
+
+
+def requested_backend() -> str:
+    """The configured backend request: env override, else the process default."""
+    value = os.environ.get(_BACKEND_ENV, "").strip().lower()
+    if value and value not in BACKENDS + (BACKEND_AUTO,):
+        raise ValueError(
+            f"{_BACKEND_ENV}={value!r} is not one of {BACKENDS + (BACKEND_AUTO,)}"
+        )
+    return value or _DEFAULT_BACKEND
+
+
+def four_step_supported(degree: int, moduli: tuple[int, ...]) -> bool:
+    """True when the four-step GEMM split is exact for every modulus.
+
+    The split bound depends on the modulus width and the ``(n1, n2)``
+    factorisation (inner GEMM length); dispatch uses this to guarantee an
+    inexact backend is never selected.  Independently of the float64 bound,
+    the twist stage and table construction do single-product mod arithmetic
+    in uint64, so ``q < 2**32`` is required (``q**2`` must fit the word).
+    Note this admits moduli *above* the butterfly's ``2**30`` lazy-reduction
+    bound at small degrees -- the GEMM backend is the only planned path there.
+    """
+    if not is_power_of_two(degree) or degree < 4:
+        return False
+    if any(not 1 < int(q) < (1 << 32) for q in moduli):
+        return False
+    rows, cols = four_step_split(degree)
+    bits = max((int(q) - 1).bit_length() for q in moduli)
+    # The +1 operand allowance mirrors FourStepTables: the second GEMM of
+    # either direction consumes lazily reduced operands in (-q, 2q).
+    return (
+        split_shift(bits + 1, bits, rows) is not None
+        and split_shift(bits + 1, bits, cols) is not None
+    )
+
+
+def resolve_backend(
+    degree: int,
+    moduli: tuple[int, ...],
+    *,
+    requested: str | None = None,
+    calibrate=None,
+) -> str:
+    """Pick the executable backend for a ring, never an inexact one.
+
+    ``requested`` defaults to :func:`requested_backend`.  An explicit request
+    is honoured only when exact for the ring (``four_step`` falls back to
+    ``butterfly``, ``butterfly`` to ``reference`` for oversized moduli).
+    ``auto`` consults the memoised one-shot calibration: the closed-form
+    ``N >= FOUR_STEP_MIN_DEGREE`` heuristic, or -- when
+    ``REPRO_NTT_CALIBRATE=measure`` and the caller supplies a ``calibrate``
+    thunk -- a timed trial of the two fast backends on the actual shape,
+    cached per ``(N, L, modulus bits)``.
+    """
+    choice = requested if requested is not None else requested_backend()
+    butterfly_ok = all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)
+    four_step_ok = four_step_supported(degree, moduli)
+    if choice == BACKEND_AUTO:
+        if not (butterfly_ok and four_step_ok):
+            choice = BACKEND_FOUR_STEP if four_step_ok else BACKEND_BUTTERFLY
+        else:
+            bits = max((int(q) - 1).bit_length() for q in moduli)
+            key = (degree, len(moduli), bits)
+            cached = _CALIBRATION.get(key)
+            if cached is None:
+                if os.environ.get(_CALIBRATE_ENV, "") == "measure" and calibrate:
+                    cached = calibrate()
+                else:
+                    cached = (
+                        BACKEND_FOUR_STEP
+                        if degree >= FOUR_STEP_MIN_DEGREE
+                        else BACKEND_BUTTERFLY
+                    )
+                _CALIBRATION[key] = cached
+            choice = cached
+    if choice == BACKEND_FOUR_STEP and not four_step_ok:
+        choice = BACKEND_BUTTERFLY
+    if choice == BACKEND_BUTTERFLY and not butterfly_ok:
+        choice = BACKEND_REFERENCE
+    return choice
+
+
+def calibration_cache() -> dict[tuple[int, int, int], str]:
+    """Snapshot of the one-shot per-ring calibration decisions (tests)."""
+    return dict(_CALIBRATION)
+
+
+def reset_calibration() -> None:
+    """Drop the memoised calibration decisions (test instrumentation)."""
+    global _DISPATCH_EPOCH
+    _CALIBRATION.clear()
+    _DISPATCH_EPOCH += 1
+
+
+def _resolve_memoised(owner, degree, moduli, requested, calibrate) -> str:
+    """Per-plan memoised :func:`resolve_backend`.
+
+    The hot path would otherwise re-derive ``four_step_supported`` (a
+    per-modulus loop) on every transform of rings that are memoised exactly
+    because they are hit millions of times.  The cache key carries every
+    dispatch input that can change between calls -- the requested backend
+    (env override included) and the calibration mode -- plus the global
+    epoch, which calibration resets bump.
+    """
+    key = (requested, os.environ.get(_CALIBRATE_ENV, ""), _DISPATCH_EPOCH)
+    cache = owner._dispatch_cache
+    choice = cache.get(key)
+    if choice is None:
+        choice = resolve_backend(
+            degree, moduli, requested=requested, calibrate=calibrate
+        )
+        cache[key] = choice
+    return choice
+
+
+def _timed_best(candidates: dict[str, "callable"], probe: np.ndarray) -> str:
+    """One-shot calibration: fastest backend on a representative probe."""
+    timings: dict[str, float] = {}
+    for name, fn in candidates.items():
+        fn(probe)  # warm-up (builds lazy tables, touches caches)
+        best = float("inf")
+        for _ in range(3):
+            started = time.perf_counter()
+            fn(probe)
+            best = min(best, time.perf_counter() - started)
+        timings[name] = best
+    return min(timings, key=timings.get)
+
+
 @dataclass
 class NttPlan:
     """Precomputed negacyclic NTT machinery for one ``(degree, modulus)`` ring.
@@ -234,22 +858,42 @@ class NttPlan:
     ``forward``/``inverse`` accept any ``(..., N)`` array of *reduced*
     residues and transform every row in one vectorized pass; outputs are in
     ``[0, q)`` and bit-exact with the `repro.poly.ntt_reference` functions for
-    the same ``psi``.
+    the same ``psi``, whichever backend executes the call.
+
+    ``backend`` pins the execution backend (a member of :data:`BACKENDS`);
+    the default ``None`` defers to :func:`resolve_backend` on every call, so
+    cached plans honour environment/default overrides and the one-shot
+    calibration without rebuilding.  Moduli must fit *some* planned backend:
+    ``q < 2**30`` (butterfly lazy-reduction bound) or a ring whose four-step
+    GEMM split is exact (which admits ``q`` up to ``2**32`` at small
+    degrees); anything wider stays on the caller-side reference fallback.
     """
 
     degree: int
     modulus: int
     psi: int
+    backend: str | None = None
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.degree):
             raise ValueError("NTT length must be a power of two")
-        if not 1 < self.modulus < MAX_PLAN_MODULUS:
-            raise ValueError("NttPlan requires 1 < q < 2**30 (lazy-reduction bound)")
+        if self.backend is not None and self.backend not in BACKENDS:
+            raise ValueError(f"unknown NTT backend {self.backend!r}")
         n, q = self.degree, self.modulus
+        self.butterfly_ok = 1 < q < MAX_PLAN_MODULUS
+        self.four_step_ok = four_step_supported(n, (q,))
+        if not (self.butterfly_ok or self.four_step_ok):
+            raise ValueError(
+                "NttPlan requires q < 2**30 (lazy-reduction bound) or an "
+                "exact four-step GEMM split for (degree, q)"
+            )
         self._q = np.uint64(q)
         self._two_q = np.uint64(2 * q)
         self.bitrev = bit_reverse_indices(n)
+        self._four_step: FourStepTables | None = None
+        self._dispatch_cache: dict = {}
+        if not self.butterfly_ok:
+            return
         omega = pow(self.psi, 2, q)
         self.fwd_stages = _build_stages(omega, n, q)
         self.inv_stages = _build_stages(mod_inv(omega, q), n, q)
@@ -263,11 +907,34 @@ class NttPlan:
         self.untwist = _power_table(mod_inv(self.psi, q), n, q, first=mod_inv(n, q))
         self.untwist_shoup = _shoup_quotients(self.untwist, q)
 
-    # ---------------------------------------------------------------- entry
-    def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Forward negacyclic NTT over the last axis (natural order in/out)."""
-        _TRANSFORM_COUNTS["forward"] += 1
-        coeffs = np.asarray(coeffs, dtype=np.uint64)
+    # ------------------------------------------------------------- backends
+    def four_step_tables(self) -> FourStepTables:
+        """The lazily built four-step GEMM tables for this ring."""
+        if self._four_step is None:
+            self._four_step = FourStepTables(self.degree, self.modulus, self.psi)
+        return self._four_step
+
+    def _calibrate(self) -> str:
+        probe = np.zeros((1, self.degree), dtype=np.uint64)
+        return _timed_best(
+            {
+                BACKEND_BUTTERFLY: self._forward_butterfly,
+                BACKEND_FOUR_STEP: self.four_step_tables().forward,
+            },
+            probe,
+        )
+
+    def resolve_backend(self) -> str:
+        """The backend a call dispatched right now would execute (memoised)."""
+        return _resolve_memoised(
+            self,
+            self.degree,
+            (self.modulus,),
+            self.backend or requested_backend(),
+            self._calibrate,
+        )
+
+    def _forward_butterfly(self, coeffs: np.ndarray) -> np.ndarray:
         data = np.take(coeffs, self.bitrev, axis=-1)
         _twist_in_place(data, self.twist_br, self.twist_br_shoup, self._q, np.empty_like(data))
         _lazy_butterflies(data, self.fwd_stages, self._q, self._two_q)
@@ -275,15 +942,35 @@ class NttPlan:
         _reduce_once(data, self._q)
         return data
 
-    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
-        """Inverse negacyclic NTT over the last axis (natural order in/out)."""
-        _TRANSFORM_COUNTS["inverse"] += 1
-        evaluations = np.asarray(evaluations, dtype=np.uint64)
+    def _inverse_butterfly(self, evaluations: np.ndarray) -> np.ndarray:
         data = np.take(evaluations, self.bitrev, axis=-1)
         _lazy_butterflies(data, self.inv_stages, self._q, self._two_q)
         _twist_in_place(data, self.untwist, self.untwist_shoup, self._q, np.empty_like(data))
         _reduce_once(data, self._q)
         return data
+
+    # ---------------------------------------------------------------- entry
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward negacyclic NTT over the last axis (natural order in/out)."""
+        coeffs = np.asarray(coeffs, dtype=np.uint64)
+        _count_pass("forward", coeffs.size // self.degree)
+        backend = self.resolve_backend()
+        if backend == BACKEND_FOUR_STEP:
+            return self.four_step_tables().forward(coeffs)
+        if backend == BACKEND_REFERENCE:
+            return ntt_forward_negacyclic(coeffs, self.modulus, self.psi)
+        return self._forward_butterfly(coeffs)
+
+    def inverse(self, evaluations: np.ndarray) -> np.ndarray:
+        """Inverse negacyclic NTT over the last axis (natural order in/out)."""
+        evaluations = np.asarray(evaluations, dtype=np.uint64)
+        _count_pass("inverse", evaluations.size // self.degree)
+        backend = self.resolve_backend()
+        if backend == BACKEND_FOUR_STEP:
+            return self.four_step_tables().inverse(evaluations)
+        if backend == BACKEND_REFERENCE:
+            return ntt_inverse_negacyclic(evaluations, self.modulus, self.psi)
+        return self._inverse_butterfly(evaluations)
 
     def pointwise(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
         """Evaluation-domain product of reduced operands."""
@@ -305,16 +992,20 @@ class NttPlanStack:
     with per-row moduli.
     """
 
-    def __init__(self, plans: tuple[NttPlan, ...]):
+    def __init__(self, plans: tuple[NttPlan, ...], backend: str | None = None):
         if not plans:
             raise ValueError("plan stack needs at least one limb")
         degrees = {plan.degree for plan in plans}
         if len(degrees) != 1:
             raise ValueError("all limbs of a plan stack must share the ring degree")
+        if backend is not None and backend not in BACKENDS:
+            raise ValueError(f"unknown NTT backend {backend!r}")
         self.plans = plans
+        self.backend = backend
         self.degree = plans[0].degree
         self.moduli = tuple(plan.modulus for plan in plans)
         self.bitrev = plans[0].bitrev
+        self.butterfly_ok = all(plan.butterfly_ok for plan in plans)
         q_col = np.array(self.moduli, dtype=np.uint64)[:, None]
         self._q_col, self._two_q_col = q_col, q_col * np.uint64(2)
         self._q_cube, self._two_q_cube = q_col[:, :, None], self._two_q_col[:, :, None]
@@ -322,6 +1013,10 @@ class NttPlanStack:
         # cached process-wide, so buffers are per-thread to stay reentrant
         # (NumPy releases the GIL inside ufunc loops).
         self._thread_local = threading.local()
+        self._four_step_stack: _FourStepStack | None = None
+        self._dispatch_cache: dict = {}
+        if not self.butterfly_ok:
+            return
 
         def stack(per_plan) -> np.ndarray:
             return np.stack([per_plan(p) for p in plans], axis=0)
@@ -376,18 +1071,67 @@ class NttPlanStack:
             )
         return matrix
 
+    def four_step_stack(self) -> _FourStepStack:
+        """The lazily built limb-stacked four-step GEMM tables."""
+        if self._four_step_stack is None:
+            self._four_step_stack = _FourStepStack(
+                tuple(plan.four_step_tables() for plan in self.plans)
+            )
+        return self._four_step_stack
+
+    def _calibrate(self) -> str:
+        probe = np.zeros((self.limb_count, self.degree), dtype=np.uint64)
+        stack = self.four_step_stack()
+        return _timed_best(
+            {
+                BACKEND_BUTTERFLY: lambda m: self._butterfly_tiled(m, True),
+                BACKEND_FOUR_STEP: lambda m: stack.transform(m, True),
+            },
+            probe,
+        )
+
+    def resolve_backend(self) -> str:
+        """The backend a call dispatched right now would execute (memoised)."""
+        return _resolve_memoised(
+            self,
+            self.degree,
+            self.moduli,
+            self.backend or requested_backend(),
+            self._calibrate,
+        )
+
     def _transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
         """One counted pass over a ``(..., L, N)`` matrix.
 
-        Stacked operands (leading batch axes, e.g. the fused key switch's
-        ``(dnum, L', N)`` digit tensor) are tiled internally one ``(L, N)``
-        slice at a time: a slice's working set stays cache-resident where the
-        monolithic broadcast walk would stream every stage through memory.
-        Still a single batched pass from the caller's (and the transform
-        counter's) point of view -- the tiling is an engine scheduling detail.
+        On the butterfly backend, stacked operands (leading batch axes, e.g.
+        the fused key switch's ``(dnum, L', N)`` digit tensor) are tiled
+        internally one ``(L, N)`` slice at a time: a slice's working set
+        stays cache-resident where the monolithic broadcast walk would stream
+        every stage through memory.  The four-step GEMM backend instead feeds
+        the whole stacked tensor to batched BLAS in one cascade (bigger GEMMs
+        amortise better than cache-tiled butterflies).  Either way it is a
+        single batched pass from the caller's point of view; the counters
+        additionally book one limb pass per length-``N`` row transformed.
         """
         matrix = self._check_shape(matrix)
-        _TRANSFORM_COUNTS["forward" if forward else "inverse"] += 1
+        _count_pass(
+            "forward" if forward else "inverse", matrix.size // self.degree
+        )
+        backend = self.resolve_backend()
+        if backend == BACKEND_FOUR_STEP:
+            return self.four_step_stack().transform(matrix, forward)
+        if backend == BACKEND_REFERENCE:
+            return self._reference_transform(matrix, forward)
+        return self._butterfly_tiled(matrix, forward)
+
+    def _reference_transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
+        out = np.empty_like(matrix)
+        for i, plan in enumerate(self.plans):
+            transform = ntt_forward_negacyclic if forward else ntt_inverse_negacyclic
+            out[..., i, :] = transform(matrix[..., i, :], plan.modulus, plan.psi)
+        return out
+
+    def _butterfly_tiled(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
         if matrix.ndim == 2:
             return self._transform_2d(matrix, forward)
         flat = matrix.reshape(-1, self.limb_count, self.degree)
@@ -459,6 +1203,14 @@ def plan_stack_for(moduli: tuple[int, ...], degree: int) -> NttPlanStack:
     return stack
 
 
-def supports(moduli: tuple[int, ...]) -> bool:
-    """True when every modulus fits the engine's lazy-reduction word bound."""
-    return all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)
+def supports(moduli: tuple[int, ...], degree: int | None = None) -> bool:
+    """True when the engine can plan every modulus exactly.
+
+    Butterfly covers any ``q`` below the lazy-reduction word bound; with the
+    ring ``degree`` supplied, the four-step GEMM backend additionally covers
+    wider moduli whose split stays exact at that degree's factorisation.
+    Moduli beyond both stay on the caller-side big-int reference path.
+    """
+    if all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli):
+        return True
+    return degree is not None and four_step_supported(degree, tuple(moduli))

@@ -18,6 +18,13 @@ transpose.
 The negacyclic twist ``psi^j`` is folded into the offline twiddle matrices for
 both the baseline and the MAT variant, so the two differ only in the runtime
 reordering, exactly as in the paper.
+
+Since PR 5 the numerics are shared with the production engine: the twiddle
+matrices come from `repro.poly.ntt_engine`'s four-step builders (this module
+keeps only the explicit-transpose *schedule*), and the modular matmuls run
+through `repro.poly.gemm_mod.modular_matmul` -- the same split-float64 kernel
+backing BConv and the engine's ``four_step`` backend -- so the TPU model and
+the executable path exercise one factorisation and one GEMM implementation.
 """
 
 from __future__ import annotations
@@ -27,22 +34,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.numtheory.modular import mod_inv
-from repro.poly.modmat import modmatmul
-
-
-def _power_matrix(base: int, rows: int, cols: int, modulus: int, *, row_scale=None):
-    """Matrix M[i, j] = base^(i*j) * row_scale[j] mod q as uint64."""
-    matrix = np.empty((rows, cols), dtype=np.uint64)
-    for i in range(rows):
-        entry = 1
-        step = pow(base, i, modulus)
-        for j in range(cols):
-            value = entry
-            if row_scale is not None:
-                value = (value * int(row_scale[j])) % modulus
-            matrix[i, j] = value
-            entry = (entry * step) % modulus
-    return matrix
+from repro.poly.gemm_mod import modular_matmul
+from repro.poly.ntt_engine import _outer_power_matrix, _power_table, _scaled_matrix
 
 
 @dataclass
@@ -77,35 +70,53 @@ class FourStepNttPlan:
     def __post_init__(self) -> None:
         if self.rows * self.cols != self.degree:
             raise ValueError("rows * cols must equal the transform length")
-        q = self.modulus
+        q, n = self.modulus, self.degree
         omega = pow(self.psi, 2, q)
+        omega_inv = mod_inv(omega, q)
+        psi_inv = mod_inv(self.psi, q)
 
         # Step 1: column-wise R-point NTT.  The negacyclic twist contribution
         # psi^(C*j1) depends only on the column index j1 of the R x R matrix,
         # so it is folded into that matrix offline.
-        psi_col_scale = [pow(self.psi, self.cols * j1, q) for j1 in range(self.rows)]
-        self.step1_matrix = _power_matrix(
-            pow(omega, self.cols, q), self.rows, self.rows, q, row_scale=psi_col_scale
+        self.step1_matrix = _scaled_matrix(
+            _outer_power_matrix(pow(omega, self.cols, q), self.rows, self.rows, q, n),
+            _power_table(pow(self.psi, self.cols, q), self.rows, q),
+            q,
+            axis=1,
         )
         # Step 3 twiddles (applied after the transpose, so indexed [j2, k1]):
         # omega^(k1*j2) * psi^(j2).
-        twiddle = np.empty((self.cols, self.rows), dtype=np.uint64)
-        for j2 in range(self.cols):
-            scale = pow(self.psi, j2, q)
-            for k1 in range(self.rows):
-                twiddle[j2, k1] = (pow(omega, k1 * j2, q) * scale) % q
-        self.step3_twiddle = twiddle
+        self.step3_twiddle = _scaled_matrix(
+            _outer_power_matrix(omega, self.cols, self.rows, q, n),
+            _power_table(self.psi, self.cols, q),
+            q,
+            axis=0,
+        )
         # Step 4: column-wise C-point NTT of the transposed matrix.
-        self.step4_matrix = _power_matrix(pow(omega, self.rows, q), self.cols, self.cols, q)
+        self.step4_matrix = _outer_power_matrix(
+            pow(omega, self.rows, q), self.cols, self.cols, q, n
+        )
 
-        # Inverse-plan matrices (exact modular inverses of the forward ones).
-        self.inv_step1_matrix = _modular_matrix_inverse(self.step1_matrix, q)
-        self.inv_step4_matrix = _modular_matrix_inverse(self.step4_matrix, q)
-        inv_twiddle = np.empty_like(twiddle)
-        for j2 in range(self.cols):
-            for k1 in range(self.rows):
-                inv_twiddle[j2, k1] = mod_inv(int(twiddle[j2, k1]), q)
-        self.inv_step3_twiddle = inv_twiddle
+        # Inverse-plan matrices, built analytically from omega^{-1}/psi^{-1}
+        # (same closed forms the engine's four_step backend compiles; N^{-1}
+        # rides the final column matrix, so the chain inverts exactly even
+        # though the individual matrices differ from the Gauss-Jordan
+        # inverses by the cancelling scalar C).
+        self.inv_step1_matrix = _scaled_matrix(
+            _outer_power_matrix(pow(omega_inv, self.cols, q), self.rows, self.rows, q, n),
+            _power_table(pow(psi_inv, self.cols, q), self.rows, q, first=mod_inv(n, q)),
+            q,
+            axis=0,
+        )
+        self.inv_step4_matrix = _outer_power_matrix(
+            pow(omega_inv, self.rows, q), self.cols, self.cols, q, n
+        )
+        self.inv_step3_twiddle = _scaled_matrix(
+            _outer_power_matrix(omega_inv, self.cols, self.rows, q, n),
+            _power_table(psi_inv, self.cols, q),
+            q,
+            axis=0,
+        )
         self.n_inverse = mod_inv(self.degree, q)
 
     # ------------------------------------------------------------------ steps
@@ -131,8 +142,8 @@ class FourStepNttPlan:
 
 
 def _modmatmul(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
-    """Exact modular matrix product (delegates to the shared chunked kernel)."""
-    return modmatmul(a, b, modulus)
+    """Exact modular matrix product (the shared split-GEMM kernel)."""
+    return modular_matmul(a, b, modulus)
 
 
 def _modular_matrix_inverse(matrix: np.ndarray, modulus: int) -> np.ndarray:

@@ -20,6 +20,7 @@ from repro.numtheory.montgomery import MontgomeryContext
 from repro.numtheory.primes import is_prime
 from repro.poly.negacyclic import poly_add, poly_negate, poly_sub
 from repro.poly.ntt_engine import MAX_PLAN_MODULUS, NttPlan, plan_for
+from repro.poly.ntt_engine import supports as engine_supports
 from repro.poly.ntt_reference import (
     ntt_forward_negacyclic,
     ntt_inverse_negacyclic,
@@ -93,11 +94,12 @@ class PolyRing:
         self.omega = pow(self.psi, 2, self.modulus)
         self.barrett = BarrettContext.create(self.modulus)
         self.montgomery = MontgomeryContext.create(self.modulus)
-        # The cached-plan engine covers every lazy-reduction-sized modulus;
-        # oversized moduli keep the big-int-safe reference path.
+        # The cached-plan engine covers every lazy-reduction-sized modulus
+        # plus wider moduli whose four-step GEMM split stays exact at this
+        # degree; anything beyond keeps the big-int-safe reference path.
         self._plan = (
             plan_for(self.degree, self.modulus, psi=self.psi)
-            if self.modulus < MAX_PLAN_MODULUS
+            if engine_supports((self.modulus,), self.degree)
             else None
         )
 

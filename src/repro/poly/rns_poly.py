@@ -52,7 +52,7 @@ def _stacked_transform(
             f"stacked tensor has shape {stacked.shape}, expected "
             f"(..., {basis.size}, {basis.degree})"
         )
-    if supports(basis.moduli):
+    if supports(basis.moduli, basis.degree):
         stack = plan_stack_for(basis.moduli, basis.degree)
         return stack.forward(stacked) if forward else stack.inverse(stacked)
     out = np.empty_like(stacked)
@@ -178,7 +178,7 @@ class RnsPolynomial:
     # ------------------------------------------------------------ domain flip
     def _plan_stack(self) -> NttPlanStack | None:
         """The cached limb-stacked NTT plan for this basis (None if oversized)."""
-        if supports(self.basis.moduli):
+        if supports(self.basis.moduli, self.degree):
             return plan_stack_for(self.basis.moduli, self.degree)
         return None
 

@@ -19,7 +19,13 @@ from repro.ckks.encoding import CkksEncoder
 from repro.ckks.encryptor import Decryptor, Encryptor
 from repro.ckks.evaluator import CkksEvaluator, _rotation_exponent
 from repro.ckks.keys import KeyGenerator, digit_partition
-from repro.ckks.keyswitch import switch_key, switch_key_unfused
+from repro.ckks.keyswitch import (
+    mod_down,
+    mod_down_stacked,
+    switch_galois_eval,
+    switch_key,
+    switch_key_unfused,
+)
 from repro.ckks.params import CkksParameters
 from repro.poly.basis_conversion import (
     StackedBasisConversion,
@@ -135,22 +141,32 @@ class TestFusedSwitchKey:
             assert np.array_equal(fused_poly.residues, loop_poly.residues)
 
     @pytest.mark.parametrize("setup_name", ["two_digits", "three_digits"])
-    def test_exactly_two_inverse_passes(
+    def test_exactly_one_forward_one_inverse_pass(
         self, ckks_setup, dnum3_setup, rng, setup_name
     ):
-        """The fused switch runs 1 forward + 2 inverse passes for any dnum."""
+        """Lazy ModDown: 1 batched forward + 1 batched inverse for any dnum.
+
+        The limb-pass counters pin down that the single stacked calls are not
+        hiding extra work: the forward transforms the ``(dnum, L', N)`` digit
+        tensor (``dnum * L'`` rows) and the inverse the stacked ``(2, L', N)``
+        accumulator pair (``2 * L'`` rows).
+        """
         if setup_name == "two_digits":
             params, relin = ckks_setup["params"], ckks_setup["evaluator"].relin_key
         else:
             params, relin = dnum3_setup["params"], dnum3_setup["relin_key"]
         level = params.limbs
+        extended_size = params.extended_basis(level).size
+        dnum = len(digit_partition(level, params.dnum))
         d = random_poly(params, level, rng)
         switch_key(d, relin, params, level)  # warm caches (key eval stacks)
         reset_transform_counts()
         switch_key(d, relin, params, level)
         counts = transform_counts()
-        assert counts["inverse"] == 2
         assert counts["forward"] == 1
+        assert counts["inverse"] == 1
+        assert counts["forward_limbs"] == dnum * extended_size
+        assert counts["inverse_limbs"] == 2 * extended_size
 
     def test_basis_mismatch_rejected(self, ckks_setup):
         params = ckks_setup["params"]
@@ -174,6 +190,60 @@ class TestFusedSwitchKey:
         error = switched.sub(d.multiply(secret_squared).to_coeff())
         signed_error = np.array(error.to_signed_coefficients(), dtype=np.float64)
         assert np.abs(signed_error).max() < 2**24
+
+
+class TestLazyModDown:
+    def test_stacked_matches_per_polynomial_mod_down(self, ckks_setup, rng):
+        """The stacked kernel is bit-identical to ModDown-ing each operand."""
+        params = ckks_setup["params"]
+        level = params.limbs
+        extended = params.extended_basis(level)
+        stacked = np.stack(
+            [
+                np.stack(
+                    [rng.integers(0, q, params.degree, dtype=np.uint64) for q in extended.moduli]
+                )
+                for _ in range(2)
+            ]
+        )
+        down = mod_down_stacked(stacked, params, level)
+        for index in range(2):
+            poly = RnsPolynomial(extended, stacked[index], "coeff")
+            expected = mod_down(poly, params, level)
+            assert np.array_equal(down[index], expected.residues)
+
+    def test_stacked_rejects_wrong_basis(self, ckks_setup):
+        params = ckks_setup["params"]
+        level = params.limbs
+        with pytest.raises(ValueError):
+            mod_down_stacked(
+                np.zeros((2, level, params.degree), dtype=np.uint64), params, level
+            )
+
+    def test_galois_eval_passes(self, ckks_setup, rng):
+        """switch_galois_eval: one stacked inverse for the rotated pair plus
+        the fused switch's 1 fwd + 1 inv -- never a per-component pass."""
+        params = ckks_setup["params"]
+        evaluator = ckks_setup["evaluator"]
+        keygen = ckks_setup["keygen"]
+        level = params.limbs
+        exponent = pow(5, 1, 2 * params.degree)
+        galois_key = keygen.galois_key(exponent)
+        basis = params.basis_at_level(level)
+        c0 = random_poly(params, level, rng).to_eval()
+        c1 = random_poly(params, level, rng).to_eval()
+        switch_galois_eval(
+            c0.residues, c1.residues, galois_key, exponent, params, level
+        )  # warm key eval stacks
+        reset_transform_counts()
+        switch_galois_eval(
+            c0.residues, c1.residues, galois_key, exponent, params, level
+        )
+        counts = transform_counts()
+        assert counts["forward"] == 1
+        assert counts["inverse"] == 2
+        extended_size = params.extended_basis(level).size
+        assert counts["inverse_limbs"] == 2 * basis.size + 2 * extended_size
 
 
 class TestEvalDomainAutomorphism:
@@ -242,7 +312,7 @@ class TestHoistedRotation:
         evaluator.rotate_hoisted(hoisted, 2)
         counts = transform_counts()
         assert counts["forward"] == 0
-        assert counts["inverse"] == 2
+        assert counts["inverse"] == 1
 
     def test_hoist_requires_galois_keys(self, env):
         bare = CkksEvaluator(env["params"], relin_key=env["evaluator"].relin_key)

@@ -1,0 +1,324 @@
+"""Backend-dispatch and four-step GEMM tests for the NTT engine.
+
+The engine now fronts three bit-exact backends (butterfly, four_step,
+reference) behind one dispatch layer.  This suite pins down
+
+* cross-backend bit-exactness against the `ntt_reference` oracle over random
+  rings across the full supported degree sweep (including hypothesis
+  round-trips),
+* the wide-modulus story: ``q >= 2**30`` rides four_step where its split is
+  exact and falls back to reference where it is not -- dispatch never
+  selects an inexact backend,
+* the env/default override surface, and
+* the normalized transform accounting (passes *and* limb passes), which is
+  what makes the fused key switch's "1 fwd + 1 inv" claim assertable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.numtheory.crt import RnsBasis
+from repro.numtheory.modular import primitive_nth_root_of_unity
+from repro.numtheory.primes import generate_ntt_prime
+from repro.poly.ntt_engine import (
+    BACKEND_AUTO,
+    BACKEND_BUTTERFLY,
+    BACKEND_FOUR_STEP,
+    BACKEND_REFERENCE,
+    BACKENDS,
+    MAX_PLAN_MODULUS,
+    FourStepTables,
+    NttPlan,
+    NttPlanStack,
+    four_step_split,
+    four_step_supported,
+    plan_for,
+    plan_stack_for,
+    requested_backend,
+    reset_calibration,
+    reset_transform_counts,
+    resolve_backend,
+    set_default_backend,
+    supports,
+    transform_counts,
+)
+from repro.poly.ntt_reference import (
+    ntt_forward_negacyclic,
+    ntt_inverse_negacyclic,
+)
+
+SWEEP_DEGREES = [2**4, 2**5, 2**6, 2**7, 2**8, 2**10, 2**12, 2**13]
+
+
+def _plan_with_backend(degree: int, modulus: int, backend: str) -> NttPlan:
+    psi = primitive_nth_root_of_unity(2 * degree, modulus)
+    return NttPlan(degree=degree, modulus=modulus, psi=psi, backend=backend)
+
+
+class TestFourStepSplit:
+    def test_near_square_factorisation(self):
+        for degree in SWEEP_DEGREES:
+            rows, cols = four_step_split(degree)
+            assert rows * cols == degree
+            assert rows in (cols, 2 * cols)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            four_step_split(48)
+
+
+class TestCrossBackendBitExactness:
+    @pytest.mark.parametrize("degree", SWEEP_DEGREES)
+    def test_word_sized_ring_all_backends_agree(self, degree, rng):
+        basis = RnsBasis.generate(1, 28, degree)
+        q = basis.moduli[0]
+        x = rng.integers(0, q, degree, dtype=np.uint64)
+        reference = _plan_with_backend(degree, q, BACKEND_REFERENCE)
+        expected_fwd = ntt_forward_negacyclic(x, q, reference.psi)
+        expected_inv = ntt_inverse_negacyclic(x, q, reference.psi)
+        for backend in BACKENDS:
+            plan = _plan_with_backend(degree, q, backend)
+            assert plan.resolve_backend() == backend
+            assert np.array_equal(plan.forward(x), expected_fwd), backend
+            assert np.array_equal(plan.inverse(x), expected_inv), backend
+
+    @pytest.mark.parametrize("degree", [2**4, 2**6, 2**8, 2**12])
+    def test_stacked_ring_cross_backend(self, degree, rng):
+        basis = RnsBasis.generate(3, 28, degree)
+        matrix = np.stack(
+            [rng.integers(0, q, degree, dtype=np.uint64) for q in basis.moduli]
+        )
+        plans = tuple(plan_for(degree, q) for q in basis.moduli)
+        outputs = {}
+        for backend in BACKENDS:
+            stack = NttPlanStack(plans, backend=backend)
+            assert stack.resolve_backend() == backend
+            outputs[backend] = stack.forward(matrix)
+            assert np.array_equal(stack.inverse(outputs[backend]), matrix)
+        assert np.array_equal(outputs[BACKEND_BUTTERFLY], outputs[BACKEND_FOUR_STEP])
+        assert np.array_equal(outputs[BACKEND_BUTTERFLY], outputs[BACKEND_REFERENCE])
+
+    @given(
+        log_degree=st.integers(4, 13),
+        bits=st.integers(14, 29),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_hypothesis_roundtrip_and_oracle(self, log_degree, bits, seed):
+        degree = 1 << log_degree
+        bits = max(bits, log_degree + 2)
+        rng = np.random.default_rng(seed)
+        try:
+            q = generate_ntt_prime(bits, degree)
+        except ValueError:
+            return  # no NTT-friendly prime at this (bits, degree) cell
+        psi = primitive_nth_root_of_unity(2 * degree, q)
+        tables = FourStepTables(degree, q, psi)
+        if not tables.exact:
+            assert not four_step_supported(degree, (q,))
+            return
+        x = rng.integers(0, q, degree, dtype=np.uint64)
+        fwd = tables.forward(x)
+        assert np.array_equal(fwd, ntt_forward_negacyclic(x, q, psi))
+        assert np.array_equal(tables.inverse(fwd), x)
+
+    def test_mixed_width_stack_bit_exact(self, rng):
+        """Regression: a stack mixing modulus widths must re-split every
+        limb's matrices at the stack-wide (widest) shift — splitting a wide
+        limb with a narrow limb's shift silently overflows the GEMM budget."""
+        degree = 2**12
+        narrow = generate_ntt_prime(17, degree)
+        wide = generate_ntt_prime(30, degree)
+        plans = tuple(plan_for(degree, q) for q in (narrow, wide))
+        stack = NttPlanStack(plans, backend=BACKEND_FOUR_STEP)
+        assert four_step_supported(degree, (narrow, wide))
+        matrix = np.stack(
+            [rng.integers(0, q, degree, dtype=np.uint64) for q in (narrow, wide)]
+        )
+        got = stack.forward(matrix)
+        for i, q in enumerate((narrow, wide)):
+            assert np.array_equal(
+                got[i], ntt_forward_negacyclic(matrix[i], q, plans[i].psi)
+            ), q
+        assert np.array_equal(stack.inverse(got), matrix)
+
+    def test_unsupported_stack_refuses_four_step_tables(self):
+        degree = 2**13
+        prime = generate_ntt_prime(30, degree)
+        plan = plan_for(degree, prime)
+        assert not four_step_supported(degree, (prime,))
+        stack = NttPlanStack((plan,))
+        with pytest.raises(ValueError):
+            stack.four_step_stack()
+
+    def test_stacked_operands_ride_four_step(self, rng):
+        basis = RnsBasis.generate(4, 28, 256)
+        stack = NttPlanStack(
+            tuple(plan_for(256, q) for q in basis.moduli), backend=BACKEND_FOUR_STEP
+        )
+        tensor = np.stack(
+            [
+                np.stack(
+                    [rng.integers(0, q, 256, dtype=np.uint64) for q in basis.moduli]
+                )
+                for _ in range(3)
+            ]
+        )
+        expected = NttPlanStack(stack.plans, backend=BACKEND_REFERENCE).forward(tensor)
+        assert np.array_equal(stack.forward(tensor), expected)
+
+
+class TestWideModulusDispatch:
+    def test_wide_modulus_small_degree_uses_four_step(self, rng):
+        prime = generate_ntt_prime(31, 64)
+        assert prime >= MAX_PLAN_MODULUS
+        assert four_step_supported(64, (prime,))
+        assert resolve_backend(64, (prime,), requested=BACKEND_AUTO) == BACKEND_FOUR_STEP
+        plan = plan_for(64, prime)
+        assert not plan.butterfly_ok
+        x = rng.integers(0, prime, 64, dtype=np.uint64)
+        assert np.array_equal(
+            plan.forward(x), ntt_forward_negacyclic(x, prime, plan.psi)
+        )
+        assert np.array_equal(plan.inverse(plan.forward(x)), x)
+
+    def test_wide_modulus_large_degree_falls_back_to_reference(self):
+        prime = generate_ntt_prime(31, 1 << 13)
+        assert not four_step_supported(1 << 13, (prime,))
+        assert not supports((prime,), 1 << 13)
+        # An explicit four_step request must not produce an inexact backend.
+        assert (
+            resolve_backend(1 << 13, (prime,), requested=BACKEND_FOUR_STEP)
+            == BACKEND_REFERENCE
+        )
+
+    def test_explicit_butterfly_on_wide_modulus_degrades_safely(self):
+        prime = generate_ntt_prime(31, 64)
+        choice = resolve_backend(64, (prime,), requested=BACKEND_BUTTERFLY)
+        assert choice == BACKEND_REFERENCE
+
+    @pytest.mark.parametrize("log_degree", range(2, 14))
+    @pytest.mark.parametrize("bits", [20, 28, 30, 31, 32])
+    def test_dispatch_never_selects_inexact_backend(self, log_degree, bits):
+        """For every (degree, width) cell the resolved backend is exact."""
+        degree = 1 << log_degree
+        modulus = (1 << bits) - 1  # width witness; exactness is width-based
+        for requested in (BACKEND_AUTO,) + BACKENDS:
+            choice = resolve_backend(degree, (modulus,), requested=requested)
+            if choice == BACKEND_BUTTERFLY:
+                assert modulus < MAX_PLAN_MODULUS
+            elif choice == BACKEND_FOUR_STEP:
+                assert four_step_supported(degree, (modulus,))
+            else:
+                assert choice == BACKEND_REFERENCE
+
+    def test_inexact_tables_refuse(self):
+        prime = generate_ntt_prime(31, 1 << 13)
+        psi = primitive_nth_root_of_unity(1 << 14, prime)
+        tables = FourStepTables(1 << 13, prime, psi)
+        assert not tables.exact
+
+
+class TestDispatchOverrides:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "butterfly")
+        assert requested_backend() == BACKEND_BUTTERFLY
+        assert resolve_backend(64, (7681,)) == BACKEND_BUTTERFLY
+
+    def test_env_override_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "warp-drive")
+        with pytest.raises(ValueError):
+            requested_backend()
+
+    def test_set_default_backend_roundtrip(self):
+        previous = set_default_backend(BACKEND_BUTTERFLY)
+        try:
+            assert requested_backend() == BACKEND_BUTTERFLY
+        finally:
+            set_default_backend(previous)
+
+    def test_set_default_backend_validates(self):
+        with pytest.raises(ValueError):
+            set_default_backend("nonsense")
+
+    def test_plan_backend_attribute_pins(self, rng):
+        basis = RnsBasis.generate(1, 24, 64)
+        q = basis.moduli[0]
+        plan = _plan_with_backend(64, q, BACKEND_BUTTERFLY)
+        assert plan.resolve_backend() == BACKEND_BUTTERFLY
+        with pytest.raises(ValueError):
+            NttPlan(degree=64, modulus=q, psi=plan.psi, backend="bogus")
+
+    def test_measured_calibration_caches_decision(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_CALIBRATE", "measure")
+        reset_calibration()
+        try:
+            basis = RnsBasis.generate(2, 24, 64)
+            stack = plan_stack_for(basis.moduli, 64)
+            choice = stack.resolve_backend()
+            assert choice in (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP)
+            from repro.poly.ntt_engine import calibration_cache
+
+            assert (64, 2, 24) in calibration_cache()
+            # Second resolution must reuse the memoised decision.
+            assert stack.resolve_backend() == choice
+        finally:
+            reset_calibration()
+
+
+class TestNormalizedAccounting:
+    def test_stack_counts_passes_and_limb_rows(self, rng):
+        basis = RnsBasis.generate(3, 24, 32)
+        stack = plan_stack_for(basis.moduli, 32)
+        matrix = np.stack(
+            [rng.integers(0, q, 32, dtype=np.uint64) for q in basis.moduli]
+        )
+        reset_transform_counts()
+        stack.forward(matrix)
+        counts = transform_counts()
+        assert counts["forward"] == 1
+        assert counts["forward_limbs"] == 3
+
+    def test_stacked_operand_books_per_limb_rows(self, rng):
+        """Regression: a stacked (B, L, N) call is one pass but B*L limb rows."""
+        basis = RnsBasis.generate(3, 24, 32)
+        stack = plan_stack_for(basis.moduli, 32)
+        tensor = np.stack(
+            [
+                np.stack(
+                    [rng.integers(0, q, 32, dtype=np.uint64) for q in basis.moduli]
+                )
+                for _ in range(5)
+            ]
+        )
+        reset_transform_counts()
+        stack.inverse(tensor)
+        counts = transform_counts()
+        assert counts["inverse"] == 1
+        assert counts["inverse_limbs"] == 5 * 3
+
+    def test_plan_counts_rows(self, rng):
+        basis = RnsBasis.generate(1, 24, 32)
+        plan = plan_for(32, basis.moduli[0])
+        batch = rng.integers(0, basis.moduli[0], (4, 32), dtype=np.uint64)
+        reset_transform_counts()
+        plan.forward(batch)
+        plan.forward(batch[0])
+        counts = transform_counts()
+        assert counts["forward"] == 2
+        assert counts["forward_limbs"] == 4 + 1
+
+    def test_reset_clears_all_keys(self):
+        reset_transform_counts()
+        counts = transform_counts()
+        assert set(counts) == {
+            "forward",
+            "inverse",
+            "forward_limbs",
+            "inverse_limbs",
+        }
+        assert all(value == 0 for value in counts.values())
