@@ -1,0 +1,251 @@
+"""CI gate: every injected fault is detected or healed -- never silent.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_fault_injection.py [--quick] [--json PATH]
+
+Drives the `repro.testing` fault-injection harness through one drill per
+fault class -- ciphertext payload bit flips, corrupted butterfly twist
+tables, corrupted four-step GEMM constants, a miscomputing GEMM cascade, and
+a lying dispatch calibration -- and classifies each outcome:
+
+* **detected** -- the fault surfaced as a typed :class:`repro.errors.ReproError`
+  at the operator or kernel boundary;
+* **healed** -- the faulty backend was quarantined, dispatch fell down the
+  degradation ladder (``four_step -> butterfly -> reference``), the observed
+  results stayed bit-exact, and the reroute was recorded in
+  `repro.diagnostics`;
+* **silent** -- anything else: the fault neither raised nor healed, or a
+  "healed" result was not bit-exact.  **The gate requires silent == 0.**
+
+Unlike the perf gates this one measures a boolean property, so ``--quick``
+and full mode run the same drills.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+import numpy as np
+
+from repro import diagnostics
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encryptor import Encryptor
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParameters
+from repro.errors import ReproError
+from repro.numtheory.primes import generate_ntt_prime
+from repro.poly import ntt_engine
+from repro.poly.gemm_mod import set_strict
+from repro.poly.ntt_engine import (
+    BACKEND_BUTTERFLY,
+    BACKEND_FOUR_STEP,
+    NttPlan,
+    clear_quarantine,
+    plan_for,
+    quarantined_backends,
+    reset_sentinels,
+    verify_plan,
+)
+from repro.testing import (
+    calibration_lie,
+    corrupted_butterfly_tables,
+    corrupted_four_step_tables,
+    flipped_ciphertext_bit,
+    perturbed_gemm_outputs,
+)
+
+DEGREE = 64
+MODULUS_BITS = 28
+
+
+def _ring():
+    q = generate_ntt_prime(MODULUS_BITS, DEGREE)
+    plan = plan_for(DEGREE, q)
+    probe = (np.arange(DEGREE, dtype=np.uint64) * np.uint64(7919)) % np.uint64(q)
+    truth = plan.forward(probe.copy())
+    return q, plan, probe, truth
+
+
+def drill_ciphertext_bit_flip() -> str:
+    """Payload corruption must trip the strict-mode entry check."""
+    params = CkksParameters.create(
+        degree=DEGREE, limbs=3, log_q=28, dnum=2, scale_bits=21
+    )
+    keygen = KeyGenerator(params, rng=np.random.default_rng(7))
+    encoder = CkksEncoder(params)
+    encryptor = Encryptor(params, keygen.public_key(), keygen)
+    evaluator = CkksEvaluator(params, relin_key=keygen.relinearization_key())
+    rng = np.random.default_rng(3)
+    ct = encryptor.encrypt(encoder.encode(rng.uniform(-1, 1, params.slot_count)))
+    other = encryptor.encrypt(encoder.encode(rng.uniform(-1, 1, params.slot_count)))
+    previous = set_strict(True)
+    try:
+        with flipped_ciphertext_bit(ct, bit=63):
+            try:
+                evaluator.add(ct, other)
+            except ReproError:
+                return "detected"
+        return "silent"
+    finally:
+        set_strict(previous)
+
+
+def drill_four_step_tables() -> str:
+    """The build sentinel must quarantine corrupted GEMM constants."""
+    _, plan, probe, truth = _ring()
+    reset_sentinels()
+    with corrupted_four_step_tables(plan):
+        if plan.resolve_backend() != BACKEND_FOUR_STEP:
+            return "silent"  # drill did not reach the faulty backend
+        out = plan.forward(probe.copy())
+        if np.array_equal(out, truth) and BACKEND_FOUR_STEP in quarantined_backends():
+            return "healed"
+    return "silent"
+
+
+def drill_four_step_spot_check() -> str:
+    """Strict-mode spot checks must catch a fault on already-vetted tables."""
+    _, plan, probe, _ = _ring()
+    plan.forward(probe.copy())  # vet the healthy tables first
+    previous = set_strict(True)
+    os.environ["REPRO_NTT_SPOT_STRIDE"] = "1"
+    try:
+        with corrupted_four_step_tables(plan):
+            if plan.resolve_backend() != BACKEND_FOUR_STEP:
+                return "silent"
+            try:
+                plan.forward(probe.copy())
+            except ReproError:
+                return "detected"
+        return "silent"
+    finally:
+        os.environ.pop("REPRO_NTT_SPOT_STRIDE", None)
+        set_strict(previous)
+
+
+def drill_butterfly_tables() -> str:
+    """verify_plan must quarantine corrupted twist tables, dispatch must heal."""
+    q, base, probe, truth = _ring()
+    plan = NttPlan(degree=DEGREE, modulus=q, psi=base.psi, backend=BACKEND_BUTTERFLY)
+    with corrupted_butterfly_tables(plan):
+        if verify_plan(plan):
+            return "silent"
+        out = plan.forward(probe.copy())
+        if np.array_equal(out, truth) and BACKEND_BUTTERFLY in quarantined_backends():
+            return "healed"
+    return "silent"
+
+
+def drill_gemm_outputs() -> str:
+    """A miscomputing GEMM cascade must fail the known-answer sentinel."""
+    _, plan, probe, truth = _ring()
+    reset_sentinels()
+    with perturbed_gemm_outputs():
+        if plan.resolve_backend() != BACKEND_FOUR_STEP:
+            return "silent"
+        out = plan.forward(probe.copy())
+        if np.array_equal(out, truth) and BACKEND_FOUR_STEP in quarantined_backends():
+            return "healed"
+    return "silent"
+
+
+def drill_calibration_lie() -> str:
+    """Lied exactness facts must be refused by the vetted-table check."""
+    q = generate_ntt_prime(30, 8192)
+    plan = plan_for(8192, q)
+    if ntt_engine.four_step_supported(8192, (q,)):
+        return "silent"  # ring unexpectedly exact; the lie has no bite
+    probe = (np.arange(8192, dtype=np.uint64) * np.uint64(97)) % np.uint64(q)
+    truth = plan.forward(probe.copy())
+    with calibration_lie():
+        if plan.resolve_backend() != BACKEND_FOUR_STEP:
+            return "silent"
+        out = plan.forward(probe.copy())
+        if np.array_equal(out, truth) and diagnostics.events("backend_fallback"):
+            return "healed"
+    return "silent"
+
+
+DRILLS = [
+    ("ciphertext_bit_flip", drill_ciphertext_bit_flip),
+    ("four_step_table_corruption", drill_four_step_tables),
+    ("four_step_strict_spot_check", drill_four_step_spot_check),
+    ("butterfly_table_corruption", drill_butterfly_tables),
+    ("gemm_output_perturbation", drill_gemm_outputs),
+    ("calibration_lie", drill_calibration_lie),
+]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="accepted for driver uniformity"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
+    args = parser.parse_args()
+
+    print(f"Fault-injection gate ({len(DRILLS)} drills)")
+    header = f"{'drill':<30} {'verdict':>10} {'time ms':>10}"
+    print(header)
+    print("-" * len(header))
+
+    rows = []
+    for name, drill in DRILLS:
+        clear_quarantine()
+        diagnostics.clear_events()
+        started = time.perf_counter()
+        try:
+            verdict = drill()
+        except ReproError:
+            # A typed error escaping the drill body still counts as detected.
+            verdict = "detected"
+        elapsed_ms = (time.perf_counter() - started) * 1e3
+        rows.append({"drill": name, "verdict": verdict, "time_ms": elapsed_ms})
+        print(f"{name:<30} {verdict:>10} {elapsed_ms:>10.1f}")
+    clear_quarantine()
+    reset_sentinels()
+    diagnostics.clear_events()
+
+    injected = len(rows)
+    detected = sum(1 for row in rows if row["verdict"] == "detected")
+    healed = sum(1 for row in rows if row["verdict"] == "healed")
+    silent = injected - detected - healed
+    passed = silent == 0
+    print()
+    print(
+        f"injected {injected}, detected {detected}, healed {healed}, "
+        f"silent {silent} (gate: silent == 0 -> {'PASS' if passed else 'FAIL'})"
+    )
+
+    if args.json:
+        summary = {
+            "name": "fault_injection",
+            "config": {"degree": DEGREE, "modulus_bits": MODULUS_BITS},
+            "rows": rows,
+            "gates": [
+                {
+                    "name": "no_silent_faults",
+                    "threshold": 0,
+                    "injected": injected,
+                    "detected": detected,
+                    "healed": healed,
+                    "silent": silent,
+                    "passed": passed,
+                }
+            ],
+            "passed": passed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,6 +42,7 @@ GATES = [
     ("keyswitch_fused", "benchmarks/bench_keyswitch_fused.py"),
     ("linear_transform", "benchmarks/bench_linear_transform.py"),
     ("poly_eval", "benchmarks/bench_poly_eval.py"),
+    ("fault_injection", "benchmarks/bench_fault_injection.py"),
 ]
 
 

@@ -8,6 +8,8 @@ of the paper's evaluation.
 
 Package map
 -----------
+``repro.errors``     the typed ``ReproError`` exception taxonomy
+``repro.diagnostics`` bounded event log + LRU cache registry (guardrails)
 ``repro.numtheory``  exact modular arithmetic, reductions, CRT, primes
 ``repro.poly``       negacyclic rings, NTT variants, RNS polynomials, BConv
 ``repro.core``       BAT, MAT, the 3-step NTT, the kernel IR and compiler
@@ -26,9 +28,12 @@ __all__ = [
     "baselines",
     "ckks",
     "core",
+    "diagnostics",
+    "errors",
     "numtheory",
     "perf",
     "poly",
+    "testing",
     "tpu",
     "workloads",
 ]

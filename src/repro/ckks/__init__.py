@@ -32,6 +32,7 @@ from repro.ckks.encoding import (
 )
 from repro.ckks.encryptor import Decryptor, Encryptor
 from repro.ckks.evaluator import CkksEvaluator, HoistedCiphertext
+from repro.ckks.noise import NoiseModel, NoisePolicy
 from repro.ckks.linear_transform import (
     DiagonalLinearTransform,
     required_rotation_steps,
@@ -85,6 +86,8 @@ __all__ = [
     "HoistedCiphertext",
     "KeyGenerator",
     "KeySwitchKey",
+    "NoiseModel",
+    "NoisePolicy",
     "Plaintext",
     "PublicKey",
     "RelinearizationKey",

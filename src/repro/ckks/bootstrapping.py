@@ -40,7 +40,7 @@ the model in the *measured* rotation counts of the real transform ladders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from math import ceil, log2, sqrt
+from math import ceil, log2, pi, sqrt
 
 import numpy as np
 
@@ -61,6 +61,7 @@ from repro.core.kernel_ir import KernelGraph
 from repro.poly.rns_poly import RnsPolynomial
 from repro.tpu.device import TensorCoreDevice
 from repro.tpu.trace import ExecutionTrace
+from repro.errors import ParameterError
 
 # --------------------------------------------------------------------------
 # Special-FFT factorisation of the canonical embedding
@@ -75,7 +76,7 @@ def special_fft_matrix(slots: int) -> np.ndarray:
     its slot values -- the single matrix CoeffToSlot inverts.
     """
     if slots < 2 or slots & (slots - 1):
-        raise ValueError("slot count must be a power of two >= 2")
+        raise ParameterError("slot count must be a power of two >= 2")
     order = 4 * slots  # 2N for degree N = 2 * slots
     powers = np.array(
         [pow(5, j, order) for j in range(slots)], dtype=np.int64
@@ -100,7 +101,7 @@ def special_fft_stage_diagonals(
     the ``+h`` and ``-h`` diagonals coincide and are summed.
     """
     if length < 2 or length > slots or length & (length - 1):
-        raise ValueError("stage length must be a power of two in [2, slots]")
+        raise ParameterError("stage length must be a power of two in [2, slots]")
     half = length // 2
     order = 4 * length
     diagonals: dict[int, np.ndarray] = {}
@@ -160,7 +161,7 @@ def collapsed_fft_factors(
     """
     stage_count = int(log2(slots))
     if not 1 <= depth <= stage_count:
-        raise ValueError(f"depth must be in [1, {stage_count}] for {slots} slots")
+        raise ParameterError(f"depth must be in [1, {stage_count}] for {slots} slots")
     lengths = [1 << (s + 1) for s in range(stage_count)]  # 2, 4, ..., slots
     if inverse:
         lengths = lengths[::-1]
@@ -384,7 +385,7 @@ def mod_raise(ciphertext: Ciphertext, params, level: int | None = None) -> Ciphe
     ``Delta`` plus the ``(q_0/Delta)``-spaced overflow ladder.
     """
     if ciphertext.level != 1:
-        raise ValueError(
+        raise ParameterError(
             f"ModRaise expects an exhausted level-1 ciphertext, got level "
             f"{ciphertext.level}"
         )
@@ -492,7 +493,32 @@ class CkksBootstrapper:
         lo, hi = coeff_to_slot_split(evaluator, self.transforms, raised)
         lo = eval_mod(evaluator, lo, self.evalmod)
         hi = eval_mod(evaluator, hi, self.evalmod)
-        return slot_to_coeff_merge(evaluator, self.transforms, lo, hi)
+        result = slot_to_coeff_merge(evaluator, self.transforms, lo, hi)
+        self._stamp_noise(evaluator, result)
+        return result
+
+    def _stamp_noise(self, evaluator, result: Ciphertext) -> None:
+        """Stamp the refreshed ciphertext's noise estimate.
+
+        ModRaise enters the pipeline untracked (its overflow ladder is not
+        CKKS noise), so the evaluator's per-op propagation yields ``None``
+        here.  The dominant residual error of a bootstrap is the sine
+        approximation -- relative error ``(2 pi * message_ratio)**2 / 6``
+        against the message bound -- on top of the CKKS rounding floor of the
+        pipeline's own multiplies; the stamp upper-bounds both (the analytic
+        relative term carries a 4-bit margin for the double-angle unfolding
+        and the ladders' accumulated rounding).
+        """
+        model = getattr(evaluator, "noise", None)
+        if model is None or not model.policy.track:
+            return
+        ratio = self.evalmod.message_width / self.evalmod.period
+        relative = (2.0 * pi * ratio) ** 2 / 6.0
+        approx = relative * model.policy.message_bound * result.scale * 16.0
+        approx_bits = log2(max(approx, 1e-300))
+        floor_bits = model.keyswitch_bits(model.fresh_bits())
+        result.noise_bits = max(approx_bits, floor_bits) + 1.0
+        model.guard(result.level, result.noise_bits)
 
     def schedule(self, degree: int | None = None) -> "BootstrappingSchedule":
         """A measured-count schedule for this pipeline (paper Table IX)."""

@@ -44,6 +44,9 @@ class Ciphertext:
     scale: float
     level: int
     c2: RnsPolynomial | None = None
+    #: ``log2`` upper bound on the canonical-embedding norm of the noise
+    #: polynomial (see :mod:`repro.ckks.noise`); ``None`` = untracked.
+    noise_bits: float | None = None
 
     @property
     def is_linear(self) -> bool:
@@ -58,4 +61,5 @@ class Ciphertext:
             scale=self.scale,
             level=self.level,
             c2=self.c2.copy() if self.c2 is not None else None,
+            noise_bits=self.noise_bits,
         )

@@ -25,12 +25,15 @@ import numpy as np
 
 from repro.ckks.ciphertext import Plaintext
 from repro.ckks.params import CkksParameters
+from repro.diagnostics import BoundedLruCache, register_cache_group
+from repro.errors import ParameterError
 from repro.numtheory.bitrev import bit_reverse_indices
 from repro.poly.rns_poly import RnsPolynomial
 
 #: Bound on cached plaintext encodings per encoder (each entry is one RNS
 #: polynomial); diagonal-heavy transforms stay far below it in practice.
 _ENCODE_CACHE_LIMIT = 4096
+_ENCODE_CACHE_GROUP = register_cache_group("encoder.encode")
 
 
 def rotate_slots(vector: np.ndarray, steps: int) -> np.ndarray:
@@ -56,7 +59,7 @@ def matrix_diagonals(
     """
     matrix = np.asarray(matrix, dtype=np.complex128)
     if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
-        raise ValueError(f"expected a square matrix, got shape {matrix.shape}")
+        raise ParameterError(f"expected a square matrix, got shape {matrix.shape}")
     size = matrix.shape[0]
     rows = np.arange(size)
     diagonals: dict[int, np.ndarray] = {}
@@ -112,7 +115,13 @@ class CkksEncoder:
     params: CkksParameters
     _embedding: np.ndarray = field(init=False, repr=False)
     _slot_indices: np.ndarray = field(init=False, repr=False)
-    _encode_cache: dict = field(init=False, repr=False, default_factory=dict)
+    _encode_cache: BoundedLruCache = field(
+        init=False,
+        repr=False,
+        default_factory=lambda: _ENCODE_CACHE_GROUP.add(
+            BoundedLruCache(name="encoder.encode", capacity=_ENCODE_CACHE_LIMIT)
+        ),
+    )
 
     def __post_init__(self) -> None:
         degree = self.params.degree
@@ -157,7 +166,9 @@ class CkksEncoder:
         vector = np.zeros(slots, dtype=np.complex128)
         values = np.asarray(values, dtype=np.complex128).ravel()
         if values.size > slots:
-            raise ValueError(f"cannot pack {values.size} values into {slots} slots")
+            raise ParameterError(
+                f"cannot pack {values.size} values into {slots} slots"
+            )
         vector[: values.size] = values
 
         if not cache:
@@ -169,9 +180,7 @@ class CkksEncoder:
         if poly is None:
             poly = self._encode_poly(vector, scale, level)
             poly.residues.flags.writeable = False
-            if len(self._encode_cache) >= _ENCODE_CACHE_LIMIT:
-                self._encode_cache.pop(next(iter(self._encode_cache)))
-            self._encode_cache[cache_key] = poly
+            self._encode_cache.put(cache_key, poly)
         return Plaintext(poly=poly, scale=scale, level=level)
 
     def encode_constant(
@@ -206,9 +215,7 @@ class CkksEncoder:
         poly = RnsPolynomial.from_signed_coefficients(coefficients, basis)
         if cache:
             poly.residues.flags.writeable = False
-            if len(self._encode_cache) >= _ENCODE_CACHE_LIMIT:
-                self._encode_cache.pop(next(iter(self._encode_cache)))
-            self._encode_cache[cache_key] = poly
+            self._encode_cache.put(cache_key, poly)
         return Plaintext(poly=poly, scale=scale, level=level)
 
     def _encode_poly(
@@ -241,6 +248,14 @@ class CkksEncoder:
         return (evaluations / plaintext.scale)[:slots]
 
     # ------------------------------------------------------------- utilities
+    def encode_cache_stats(self) -> dict[str, int]:
+        """Hit/miss/eviction counters of the plaintext-encoding LRU cache."""
+        return self._encode_cache.stats()
+
+    def clear_encode_cache(self) -> None:
+        """Drop all memoised plaintext encodings."""
+        self._encode_cache.clear()
+
     def encode_real(self, values: np.ndarray, scale: float | None = None) -> Plaintext:
         """Convenience wrapper for real-valued inputs."""
         return self.encode(np.asarray(values, dtype=np.float64), scale=scale)

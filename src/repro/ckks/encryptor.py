@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext, Plaintext
 from repro.ckks.keys import KeyGenerator, PublicKey, SecretKey
+from repro.ckks.noise import NoiseModel
 from repro.ckks.params import CkksParameters
 from repro.poly.rns_poly import RnsPolynomial
 
@@ -19,6 +20,14 @@ class Encryptor:
     params: CkksParameters
     public_key: PublicKey
     keygen: KeyGenerator
+    _noise_model: NoiseModel | None = field(default=None, repr=False)
+
+    @property
+    def noise_model(self) -> NoiseModel:
+        """The deterministic noise model used to stamp fresh ciphertexts."""
+        if self._noise_model is None:
+            self._noise_model = NoiseModel(self.params)
+        return self._noise_model
 
     def encrypt(self, plaintext: Plaintext) -> Ciphertext:
         """Encrypt an encoded plaintext.
@@ -34,7 +43,17 @@ class Encryptor:
         a = _restrict(self.public_key.a, plaintext.level)
         c0 = b.multiply(u).to_coeff().add(e0).add(plaintext.poly.to_coeff())
         c1 = a.multiply(u).to_coeff().add(e1)
-        return Ciphertext(c0=c0, c1=c1, scale=plaintext.scale, level=plaintext.level)
+        model = self.noise_model
+        noise_bits = None
+        if model.policy.track:
+            noise_bits = model.add_bits(model.fresh_bits(), model.plaintext_bits())
+        return Ciphertext(
+            c0=c0,
+            c1=c1,
+            scale=plaintext.scale,
+            level=plaintext.level,
+            noise_bits=noise_bits,
+        )
 
 
 @dataclass

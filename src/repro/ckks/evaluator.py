@@ -6,11 +6,18 @@ hybrid key switch.  All operators follow the textbook CKKS-RNS formulations;
 the CROSS transformations (BAT/MAT) are mathematically lossless so this
 evaluator doubles as the correctness oracle for the compiled kernels, exactly
 as the paper verifies its implementation against OpenFHE.
+
+Guardrails: every public operator validates its operands on entry (ring
+identity, level range, scale, component-domain coherence) and raises a typed
+:class:`~repro.errors.ReproError` instead of failing deep inside NumPy
+broadcasting, and every produced ciphertext carries a propagated noise-budget
+estimate (see :mod:`repro.ckks.noise`) that is guarded against exhaustion.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 from functools import lru_cache
 
 import numpy as np
@@ -23,13 +30,23 @@ from repro.ckks.keyswitch import (
     switch_extended_eval,
     switch_key,
 )
+from repro.ckks.noise import NoiseModel
 from repro.ckks.params import CkksParameters
+from repro.errors import (
+    IncompatibleOperands,
+    LevelExhausted,
+    MissingKeyError,
+    ParameterError,
+    ScaleOverflow,
+    operand_signature,
+)
 from repro.numtheory.crt import subtract_and_divide
+from repro.poly import gemm_mod
 from repro.poly.ring import automorphism_eval_indices
 from repro.poly.rns_poly import RnsPolynomial, stacked_ntt_forward
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=4096)
 def _rotation_exponent(steps: int, degree: int) -> int:
     """Memoised Galois exponent ``5**steps mod 2N`` for a slot rotation."""
     return pow(5, steps, 2 * degree)
@@ -62,17 +79,26 @@ class CkksEvaluator:
     the schedule-model operator names: ``he_add``, ``he_mult``, ``plain_mult``,
     ``scalar_mult``, ``rotate``, ``rescale``), so cost models can be grounded
     in *measured* counts instead of analytic guesses -- the same pattern the
-    NTT engine uses for its transform-pass counters.
+    NTT engine uses for its transform-pass counters.  The same operator set
+    drives the per-ciphertext noise propagation.
     """
 
     params: CkksParameters
     relin_key: RelinearizationKey | None = None
     galois_keys: GaloisKeySet | None = None
     operation_counts: dict = None
+    _noise_model: NoiseModel | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.operation_counts is None:
             self.operation_counts = {}
+
+    @property
+    def noise(self) -> NoiseModel:
+        """The deterministic noise model used for budget propagation."""
+        if self._noise_model is None:
+            self._noise_model = NoiseModel(self.params)
+        return self._noise_model
 
     def _count(self, operator: str) -> None:
         self.operation_counts[operator] = self.operation_counts.get(operator, 0) + 1
@@ -96,37 +122,145 @@ class CkksEvaluator:
         """Zero the measured operator counters."""
         self.operation_counts.clear()
 
+    # ------------------------------------------------------------- validation
+    def validate(self, operand, *, name: str = "operand") -> None:
+        """Entry check for one ciphertext or plaintext operand.
+
+        Verifies the level range, the ring identity against this evaluator's
+        parameter set, the scale, and (for ciphertexts) that the component
+        polynomials agree on basis and domain -- so misuse surfaces as a
+        typed error at the operator boundary instead of a NumPy broadcasting
+        failure three stack frames down.
+        """
+        level = getattr(operand, "level", None)
+        if not isinstance(level, int) or not 1 <= level <= self.params.limbs:
+            raise LevelExhausted(
+                f"{name} level {level!r} outside the modulus chain "
+                f"[1, {self.params.limbs}]: {operand_signature(operand)}"
+            )
+        scale = getattr(operand, "scale", None)
+        if not scale or not math.isfinite(scale) or scale <= 0:
+            raise ParameterError(
+                f"{name} scale {scale!r} is not a positive finite number: "
+                f"{operand_signature(operand)}"
+            )
+        expected = self.params.modulus_basis.moduli[:level]
+        if isinstance(operand, Ciphertext):
+            polys = [("c0", operand.c0), ("c1", operand.c1)]
+            if operand.c2 is not None:
+                polys.append(("c2", operand.c2))
+        else:
+            polys = [("poly", operand.poly)]
+        domain = polys[0][1].domain
+        for part, poly in polys:
+            moduli = poly.basis.moduli
+            if moduli[:level] != expected or (
+                isinstance(operand, Ciphertext) and moduli != expected
+            ):
+                raise IncompatibleOperands(
+                    f"{name}.{part} ring does not match the evaluator's "
+                    f"modulus chain at level {level}",
+                    operand,
+                    self.params,
+                )
+            if poly.basis.degree != self.params.degree:
+                raise IncompatibleOperands(
+                    f"{name}.{part} ring degree {poly.basis.degree} does not "
+                    f"match the evaluator degree {self.params.degree}",
+                    operand,
+                    self.params,
+                )
+            if poly.domain != domain:
+                raise IncompatibleOperands(
+                    f"{name} components disagree on domain: "
+                    f"{polys[0][0]}={domain!r} vs {part}={poly.domain!r}",
+                    operand,
+                    operand,
+                )
+            if gemm_mod.is_strict():
+                # Strict mode: residues must be canonical representatives.
+                # Catches payload corruption (bit flips, bad kernels) that
+                # pushed a residue to or past its modulus.
+                limits = np.asarray(poly.basis.moduli_array)[:, None]
+                if np.any(poly.residues >= limits):
+                    raise IncompatibleOperands(
+                        f"{name}.{part} carries non-canonical residues "
+                        "(some residue >= its modulus); the payload is "
+                        "corrupted or was produced by an unreduced kernel",
+                        operand,
+                    )
+
+    def _stamp(
+        self, ciphertext: Ciphertext, noise_bits: float | None
+    ) -> Ciphertext:
+        """Attach a propagated noise estimate and guard the budget."""
+        if noise_bits is not None:
+            self.noise.guard(ciphertext.level, noise_bits)
+        ciphertext.noise_bits = noise_bits
+        return ciphertext
+
     # ------------------------------------------------------------------- add
     def add(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
         """HE-Add: limb-wise addition of two ciphertexts at the same level."""
+        self.validate(lhs, name="lhs")
+        self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs)
         self._count("he_add")
-        return Ciphertext(
-            c0=lhs.c0.add(rhs.c0),
-            c1=lhs.c1.add(rhs.c1),
-            scale=lhs.scale,
-            level=lhs.level,
+        return self._stamp(
+            Ciphertext(
+                c0=lhs.c0.add(rhs.c0),
+                c1=lhs.c1.add(rhs.c1),
+                scale=lhs.scale,
+                level=lhs.level,
+            ),
+            self._add_noise(lhs, rhs),
         )
 
     def sub(self, lhs: Ciphertext, rhs: Ciphertext) -> Ciphertext:
         """Ciphertext subtraction."""
+        self.validate(lhs, name="lhs")
+        self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs)
         self._count("he_add")
-        return Ciphertext(
-            c0=lhs.c0.sub(rhs.c0),
-            c1=lhs.c1.sub(rhs.c1),
-            scale=lhs.scale,
-            level=lhs.level,
+        return self._stamp(
+            Ciphertext(
+                c0=lhs.c0.sub(rhs.c0),
+                c1=lhs.c1.sub(rhs.c1),
+                scale=lhs.scale,
+                level=lhs.level,
+            ),
+            self._add_noise(lhs, rhs),
         )
 
     def add_plain(self, ciphertext: Ciphertext, plaintext: Plaintext) -> Ciphertext:
-        """Add an encoded plaintext into a ciphertext."""
+        """Add an encoded plaintext into a ciphertext.
+
+        The plaintext's scale must match the ciphertext's: adding operands at
+        different scales silently mis-weights one of them (the old behaviour),
+        so a mismatch now raises with both scales in the message.
+        """
+        self.validate(ciphertext, name="ciphertext")
+        self.validate(plaintext, name="plaintext")
+        if not np.isclose(plaintext.scale, ciphertext.scale, rtol=1e-9):
+            raise IncompatibleOperands(
+                f"plaintext scale {plaintext.scale:.6g} does not match "
+                f"ciphertext scale {ciphertext.scale:.6g}; re-encode at the "
+                "ciphertext's scale",
+                ciphertext,
+                plaintext,
+            )
         poly = _match_level(plaintext.poly, ciphertext.level)
-        return Ciphertext(
-            c0=ciphertext.c0.add(poly),
-            c1=ciphertext.c1.copy(),
-            scale=ciphertext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.add_plain_bits(ciphertext.noise_bits)
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.add(poly),
+                c1=ciphertext.c1.copy(),
+                scale=ciphertext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     # -------------------------------------------------------------- multiply
@@ -139,6 +273,8 @@ class CkksEvaluator:
         and reused across the three tensor terms (the naive formulation pays
         eight forward passes where four suffice).
         """
+        self.validate(lhs, name="lhs")
+        self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs, check_scale=False)
         self._count("he_mult")
         a0, a1 = lhs.c0.to_eval(), lhs.c1.to_eval()
@@ -146,26 +282,52 @@ class CkksEvaluator:
         d0 = a0.multiply(b0).to_coeff()
         d1 = a0.multiply(b1).add(a1.multiply(b0)).to_coeff()
         d2 = a1.multiply(b1).to_coeff()
-        product = Ciphertext(
-            c0=d0,
-            c1=d1,
-            c2=d2,
-            scale=lhs.scale * rhs.scale,
-            level=lhs.level,
+        noise = None
+        if lhs.noise_bits is not None and rhs.noise_bits is not None:
+            noise = self.noise.multiply_bits(
+                lhs.noise_bits, lhs.scale, rhs.noise_bits, rhs.scale
+            )
+        product = self._stamp(
+            Ciphertext(
+                c0=d0,
+                c1=d1,
+                c2=d2,
+                scale=lhs.scale * rhs.scale,
+                level=lhs.level,
+            ),
+            noise,
         )
         if relinearize:
             return self.relinearize(product)
         return product
 
     def multiply_plain(self, ciphertext: Ciphertext, plaintext: Plaintext) -> Ciphertext:
-        """Multiply a ciphertext by an encoded plaintext (one plaintext NTT)."""
+        """Multiply a ciphertext by an encoded plaintext (one plaintext NTT).
+
+        The product scale must stay inside the remaining modulus budget --
+        a product whose scale exceeds ``Q_level`` can never be rescaled back
+        and decodes to garbage, so it is rejected here as a typed error.
+        """
+        self.validate(ciphertext, name="ciphertext")
+        self.validate(plaintext, name="plaintext")
+        self._check_scale_headroom(
+            ciphertext, plaintext, ciphertext.scale * plaintext.scale
+        )
         self._count("plain_mult")
         poly = _match_level(plaintext.poly, ciphertext.level).to_eval()
-        return Ciphertext(
-            c0=ciphertext.c0.multiply(poly).to_coeff(),
-            c1=ciphertext.c1.multiply(poly).to_coeff(),
-            scale=ciphertext.scale * plaintext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.multiply_plain_bits(
+                ciphertext.noise_bits, ciphertext.scale, plaintext.scale
+            )
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.multiply(poly).to_coeff(),
+                c1=ciphertext.c1.multiply(poly).to_coeff(),
+                scale=ciphertext.scale * plaintext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     def square(self, ciphertext: Ciphertext) -> Ciphertext:
@@ -177,6 +339,7 @@ class CkksEvaluator:
         ``d1 = 2 * c0 * c1``, a doubling add -- over operands transformed
         once.  Bit-identical to ``multiply(ct, ct)``.
         """
+        self.validate(ciphertext, name="ciphertext")
         self._count("he_mult")
         c0_eval = ciphertext.c0.to_eval()
         c1_eval = ciphertext.c1.to_eval()
@@ -184,12 +347,23 @@ class CkksEvaluator:
         cross = c0_eval.multiply(c1_eval)
         d1 = cross.add(cross).to_coeff()
         d2 = c1_eval.multiply(c1_eval).to_coeff()
-        product = Ciphertext(
-            c0=d0,
-            c1=d1,
-            c2=d2,
-            scale=ciphertext.scale * ciphertext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.multiply_bits(
+                ciphertext.noise_bits,
+                ciphertext.scale,
+                ciphertext.noise_bits,
+                ciphertext.scale,
+            )
+        product = self._stamp(
+            Ciphertext(
+                c0=d0,
+                c1=d1,
+                c2=d2,
+                scale=ciphertext.scale * ciphertext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
         return self.relinearize(product)
 
@@ -198,45 +372,73 @@ class CkksEvaluator:
         if ciphertext.c2 is None:
             return ciphertext.copy()
         if self.relin_key is None:
-            raise ValueError("relinearisation requires a relinearisation key")
+            raise MissingKeyError(
+                "relinearisation requires a relinearisation key; construct the "
+                "evaluator with relin_key=KeyGenerator.relinearization_key()"
+            )
         ks0, ks1 = switch_key(
             ciphertext.c2, self.relin_key, self.params, ciphertext.level
         )
-        return Ciphertext(
-            c0=ciphertext.c0.add(ks0),
-            c1=ciphertext.c1.add(ks1),
-            scale=ciphertext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.keyswitch_bits(ciphertext.noise_bits)
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.add(ks0),
+                c1=ciphertext.c1.add(ks1),
+                scale=ciphertext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     # --------------------------------------------------------------- rescale
     def rescale(self, ciphertext: Ciphertext) -> Ciphertext:
         """Divide by the last prime of the chain and drop one limb."""
+        self.validate(ciphertext, name="ciphertext")
         level = ciphertext.level
         if level <= 1:
-            raise ValueError("cannot rescale a ciphertext at the last level")
+            raise LevelExhausted(
+                "cannot rescale a ciphertext at the last level: the modulus "
+                "chain is exhausted -- bootstrap() to refresh levels"
+            )
         self._count("rescale")
         new_level = level - 1
         last_modulus = self.params.modulus_basis.moduli[level - 1]
         c0 = _rescale_poly(ciphertext.c0, self.params, level)
         c1 = _rescale_poly(ciphertext.c1, self.params, level)
-        return Ciphertext(
-            c0=c0,
-            c1=c1,
-            scale=ciphertext.scale / last_modulus,
-            level=new_level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.rescale_bits(
+                ciphertext.noise_bits, float(last_modulus)
+            )
+        return self._stamp(
+            Ciphertext(
+                c0=c0,
+                c1=c1,
+                scale=ciphertext.scale / last_modulus,
+                level=new_level,
+            ),
+            noise,
         )
 
     def level_down(self, ciphertext: Ciphertext, levels: int = 1) -> Ciphertext:
         """Drop limbs without dividing (modulus switching for level alignment)."""
+        self.validate(ciphertext, name="ciphertext")
         new_level = ciphertext.level - levels
         if new_level < 1:
-            raise ValueError("cannot drop below one limb")
-        return Ciphertext(
-            c0=ciphertext.c0.to_coeff().keep_limbs(new_level),
-            c1=ciphertext.c1.to_coeff().keep_limbs(new_level),
-            scale=ciphertext.scale,
-            level=new_level,
+            raise LevelExhausted(
+                f"cannot drop {levels} level(s) from level {ciphertext.level}: "
+                "at least one limb must remain"
+            )
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.to_coeff().keep_limbs(new_level),
+                c1=ciphertext.c1.to_coeff().keep_limbs(new_level),
+                scale=ciphertext.scale,
+                level=new_level,
+            ),
+            ciphertext.noise_bits,
         )
 
     # ----------------------------------------------- scalar + alignment ops
@@ -256,6 +458,7 @@ class CkksEvaluator:
         path polynomial evaluation uses for its coefficient multiplications:
         one batched limb-wise multiply, no encoding and no transform.
         """
+        self.validate(ciphertext, name="ciphertext")
         if plain_scale is None:
             if ciphertext.level > 1:
                 plain_scale = float(
@@ -265,11 +468,17 @@ class CkksEvaluator:
                 plain_scale = self.params.scale
         self._count("scalar_mult")
         integer = int(round(float(scalar) * plain_scale))
-        return Ciphertext(
-            c0=ciphertext.c0.scalar_mul(integer),
-            c1=ciphertext.c1.scalar_mul(integer),
-            scale=ciphertext.scale * plain_scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.scalar_bits(ciphertext.noise_bits, float(integer))
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.scalar_mul(integer),
+                c1=ciphertext.c1.scalar_mul(integer),
+                scale=ciphertext.scale * plain_scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     def add_scalar(self, ciphertext: Ciphertext, scalar: complex) -> Ciphertext:
@@ -279,17 +488,24 @@ class CkksEvaluator:
         (:func:`repro.ckks.encoding.constant_coefficients`) instead of
         running the encoder's dense embedding.
         """
+        self.validate(ciphertext, name="ciphertext")
         coefficients = constant_coefficients(
             scalar, ciphertext.scale, self.params.degree
         )
         basis = self.params.basis_at_level(ciphertext.level)
         poly = RnsPolynomial.from_signed_coefficients(coefficients, basis)
         self._count("he_add")
-        return Ciphertext(
-            c0=ciphertext.c0.to_coeff().add(poly),
-            c1=ciphertext.c1.copy(),
-            scale=ciphertext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.add_plain_bits(ciphertext.noise_bits)
+        return self._stamp(
+            Ciphertext(
+                c0=ciphertext.c0.to_coeff().add(poly),
+                c1=ciphertext.c1.copy(),
+                scale=ciphertext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     def sub_scalar(self, ciphertext: Ciphertext, scalar: complex) -> Ciphertext:
@@ -309,9 +525,10 @@ class CkksEvaluator:
         primitive that lets polynomial evaluation add and multiply
         ciphertexts from different depths of the computation.
         """
+        self.validate(ciphertext, name="ciphertext")
         scale = ciphertext.scale if scale is None else float(scale)
         if not 1 <= level <= ciphertext.level:
-            raise ValueError(
+            raise LevelExhausted(
                 f"cannot raise level {ciphertext.level} to {level}"
             )
         if level < ciphertext.level - 1:
@@ -327,24 +544,30 @@ class CkksEvaluator:
         if abs(factor - 1.0) < 1e-12 and level == ciphertext.level:
             return ciphertext
         if factor < 0.5:
-            raise ValueError(
+            raise ScaleOverflow(
                 f"scale adjustment factor {factor} too small to carry exactly"
             )
         if level == ciphertext.level:
             # No level to spend: only a bookkeeping stamp is possible.
             if abs(factor - 1.0) > 1e-9:
-                raise ValueError(
+                raise ScaleOverflow(
                     "same-level scale adjustment would change the value; "
                     f"relative mismatch {abs(factor - 1.0):.3e}"
                 )
-            return Ciphertext(
-                c0=ciphertext.c0, c1=ciphertext.c1, scale=scale,
-                level=ciphertext.level,
+            return self._stamp(
+                Ciphertext(
+                    c0=ciphertext.c0, c1=ciphertext.c1, scale=scale,
+                    level=ciphertext.level,
+                ),
+                ciphertext.noise_bits,
             )
         result = self.mul_plain_scalar(ciphertext, 1.0, plain_scale=factor)
         for _ in range(ciphertext.level - level):
             result = self.rescale(result)
-        return Ciphertext(c0=result.c0, c1=result.c1, scale=scale, level=level)
+        return self._stamp(
+            Ciphertext(c0=result.c0, c1=result.c1, scale=scale, level=level),
+            result.noise_bits,
+        )
 
     def align_for_multiply(
         self, lhs: Ciphertext, rhs: Ciphertext
@@ -363,7 +586,10 @@ class CkksEvaluator:
         """
         level = min(lhs.level, rhs.level)
         if level < 2:
-            raise ValueError("multiplication needs a level to rescale into")
+            raise LevelExhausted(
+                "multiplication needs a level to rescale into -- the chain is "
+                "exhausted; bootstrap() to refresh levels"
+            )
         target_product = self.params.scale * float(
             self.params.modulus_basis.moduli[level - 1]
         )
@@ -389,7 +615,10 @@ class CkksEvaluator:
         if abs(lhs.scale / rhs.scale - 1.0) < 1e-9:
             return lhs, self.rescale_to(rhs, lhs.level, lhs.scale)
         if lhs.level <= 1:
-            raise ValueError("cannot reconcile scales at the last level")
+            raise LevelExhausted(
+                "cannot reconcile scales at the last level -- the chain is "
+                "exhausted; bootstrap() to refresh levels"
+            )
         target = self.params.scale
         return (
             self.rescale_to(lhs, lhs.level - 1, target),
@@ -400,7 +629,10 @@ class CkksEvaluator:
     def rotate(self, ciphertext: Ciphertext, steps: int) -> Ciphertext:
         """Rotate the packed slots by ``steps`` positions (HE-Rotate)."""
         if self.galois_keys is None:
-            raise ValueError("rotation requires Galois keys")
+            raise MissingKeyError(
+                "rotation requires Galois keys; construct the evaluator with "
+                "galois_keys=KeyGenerator.galois_keys(...)"
+            )
         exponent = _rotation_exponent(steps, self.params.degree)
         return self.apply_galois(ciphertext, exponent)
 
@@ -413,7 +645,11 @@ class CkksEvaluator:
         ciphertext.
         """
         if self.galois_keys is None:
-            raise ValueError("rotation requires Galois keys")
+            raise MissingKeyError(
+                "rotation requires Galois keys; construct the evaluator with "
+                "galois_keys=KeyGenerator.galois_keys(...)"
+            )
+        self.validate(ciphertext, name="ciphertext")
         level = ciphertext.level
         extended_digits = decompose_and_extend(ciphertext.c1, self.params, level)
         digits_eval = stacked_ntt_forward(
@@ -443,7 +679,10 @@ class CkksEvaluator:
     ) -> Ciphertext:
         """Automorphism + key switch, reusing the hoisted digit tensor."""
         if self.galois_keys is None:
-            raise ValueError("rotation requires Galois keys")
+            raise MissingKeyError(
+                "rotation requires Galois keys; construct the evaluator with "
+                "galois_keys=KeyGenerator.galois_keys(...)"
+            )
         self._count(self._galois_operator(exponent))
         key: GaloisKey = self.galois_keys.key_for(exponent)
         ciphertext = hoisted.ciphertext
@@ -455,11 +694,17 @@ class CkksEvaluator:
             rotated_digits, key, self.params, hoisted.level
         )
         rotated_c0 = ciphertext.c0.automorphism(exponent)
-        return Ciphertext(
-            c0=rotated_c0.add(ks0),
-            c1=ks1,
-            scale=ciphertext.scale,
-            level=hoisted.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.keyswitch_bits(ciphertext.noise_bits)
+        return self._stamp(
+            Ciphertext(
+                c0=rotated_c0.add(ks0),
+                c1=ks1,
+                scale=ciphertext.scale,
+                level=hoisted.level,
+            ),
+            noise,
         )
 
     def rotate_many(
@@ -476,7 +721,7 @@ class CkksEvaluator:
         """
         steps = [int(s) for s in steps]
         if not steps:
-            raise ValueError("rotation batch must not be empty")
+            raise ParameterError("rotation batch must not be empty")
         hoisted: HoistedCiphertext | None = None
         rotated: dict[int, Ciphertext] = {}
         results = []
@@ -505,32 +750,79 @@ class CkksEvaluator:
     def conjugate(self, ciphertext: Ciphertext) -> Ciphertext:
         """Complex-conjugate the packed slots."""
         if self.galois_keys is None:
-            raise ValueError("conjugation requires Galois keys")
+            raise MissingKeyError(
+                "conjugation requires Galois keys; construct the evaluator "
+                "with galois_keys=KeyGenerator.galois_keys(...)"
+            )
         return self.apply_galois(ciphertext, 2 * self.params.degree - 1)
 
     def apply_galois(self, ciphertext: Ciphertext, exponent: int) -> Ciphertext:
         """Apply an automorphism followed by the matching key switch."""
+        if self.galois_keys is None:
+            raise MissingKeyError(
+                "automorphism application requires Galois keys; construct the "
+                "evaluator with galois_keys=KeyGenerator.galois_keys(...)"
+            )
+        self.validate(ciphertext, name="ciphertext")
         self._count(self._galois_operator(exponent))
         key: GaloisKey = self.galois_keys.key_for(exponent)
         rotated_c0 = ciphertext.c0.automorphism(exponent)
         rotated_c1 = ciphertext.c1.automorphism(exponent)
         ks0, ks1 = switch_key(rotated_c1, key, self.params, ciphertext.level)
-        return Ciphertext(
-            c0=rotated_c0.add(ks0),
-            c1=ks1,
-            scale=ciphertext.scale,
-            level=ciphertext.level,
+        noise = None
+        if ciphertext.noise_bits is not None:
+            noise = self.noise.keyswitch_bits(ciphertext.noise_bits)
+        return self._stamp(
+            Ciphertext(
+                c0=rotated_c0.add(ks0),
+                c1=ks1,
+                scale=ciphertext.scale,
+                level=ciphertext.level,
+            ),
+            noise,
         )
 
     # -------------------------------------------------------------- utilities
-    @staticmethod
     def _check_compatible(
-        lhs: Ciphertext, rhs: Ciphertext, check_scale: bool = True
+        self, lhs: Ciphertext, rhs: Ciphertext, check_scale: bool = True
     ) -> None:
         if lhs.level != rhs.level:
-            raise ValueError("operands must be at the same level")
+            raise IncompatibleOperands(
+                f"operands must be at the same level "
+                f"(lhs level {lhs.level}, rhs level {rhs.level})",
+                lhs,
+                rhs,
+            )
+        if lhs.c0.basis.moduli != rhs.c0.basis.moduli:
+            raise IncompatibleOperands(
+                "operands live in different RNS bases", lhs, rhs
+            )
         if check_scale and not np.isclose(lhs.scale, rhs.scale, rtol=1e-9):
-            raise ValueError("operands must share the same scale")
+            raise IncompatibleOperands(
+                f"operands must share the same scale "
+                f"(lhs scale {lhs.scale:.6g}, rhs scale {rhs.scale:.6g})",
+                lhs,
+                rhs,
+            )
+
+    def _check_scale_headroom(
+        self, ciphertext: Ciphertext, plaintext: Plaintext, product_scale: float
+    ) -> None:
+        """Reject plaintext products whose scale exceeds the modulus budget."""
+        budget_bits = self.noise.level_modulus_bits(ciphertext.level)
+        if product_scale <= 0 or math.log2(product_scale) >= budget_bits:
+            raise ScaleOverflow(
+                f"product scale 2^{math.log2(max(product_scale, 1e-300)):.1f} "
+                f"(ciphertext 2^{math.log2(ciphertext.scale):.1f} x plaintext "
+                f"2^{math.log2(plaintext.scale):.1f}) exceeds the remaining "
+                f"modulus 2^{budget_bits:.1f} at level {ciphertext.level}; "
+                "rescale before multiplying"
+            )
+
+    def _add_noise(self, lhs: Ciphertext, rhs: Ciphertext) -> float | None:
+        if lhs.noise_bits is None or rhs.noise_bits is None:
+            return None
+        return self.noise.add_bits(lhs.noise_bits, rhs.noise_bits)
 
 
 def _match_level(poly: RnsPolynomial, level: int) -> RnsPolynomial:
@@ -539,7 +831,11 @@ def _match_level(poly: RnsPolynomial, level: int) -> RnsPolynomial:
     if poly.limb_count == level:
         return poly
     if poly.limb_count < level:
-        raise ValueError("plaintext has fewer limbs than the ciphertext level")
+        raise IncompatibleOperands(
+            f"plaintext has {poly.limb_count} limbs, fewer than the "
+            f"ciphertext level {level}; re-encode at the ciphertext's level",
+            poly,
+        )
     return poly.keep_limbs(level)
 
 

@@ -16,9 +16,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ckks.params import CkksParameters
+from repro.diagnostics import BoundedLruCache, register_cache_group
+from repro.errors import MissingKeyError, ParameterError
 from repro.numtheory.crt import RnsBasis
 from repro.numtheory.modular import mod_inv
 from repro.poly.rns_poly import RnsPolynomial
+
+#: Cap on memoised eval-domain digit stacks per key (one entry per level; 64
+#: exceeds any practical modulus-chain length, so it bounds pathology only).
+_EVAL_CACHE_LIMIT = 64
+_EVAL_CACHE_GROUP = register_cache_group("keyswitch.eval_digits")
 
 
 @dataclass
@@ -58,8 +65,12 @@ class KeySwitchKey:
     digits: dict[int, list[tuple[RnsPolynomial, RnsPolynomial]]] = field(
         default_factory=dict
     )
-    _eval_cache: dict[int, tuple[np.ndarray, np.ndarray]] = field(
-        default_factory=dict, repr=False, compare=False
+    _eval_cache: BoundedLruCache = field(
+        default_factory=lambda: _EVAL_CACHE_GROUP.add(
+            BoundedLruCache(name="keyswitch.eval_digits", capacity=_EVAL_CACHE_LIMIT)
+        ),
+        repr=False,
+        compare=False,
     )
 
     def digits_at_level(self, level: int) -> list[tuple[RnsPolynomial, RnsPolynomial]]:
@@ -67,7 +78,9 @@ class KeySwitchKey:
         try:
             return self.digits[level]
         except KeyError as exc:
-            raise KeyError(f"no key material generated for level {level}") from exc
+            raise MissingKeyError(
+                f"no key material generated for level {level}"
+            ) from exc
 
     def stacked_eval_digits(self, level: int) -> tuple[np.ndarray, np.ndarray]:
         """The level's key digits as eval-domain ``(D, L', N)`` stacks, cached.
@@ -85,7 +98,7 @@ class KeySwitchKey:
             b_stack.flags.writeable = False
             a_stack.flags.writeable = False
             cached = (b_stack, a_stack)
-            self._eval_cache[level] = cached
+            self._eval_cache.put(level, cached)
         return cached
 
 
@@ -112,8 +125,9 @@ class GaloisKeySet:
         try:
             return self.keys[exponent]
         except KeyError as exc:
-            raise KeyError(
-                f"no Galois key generated for automorphism exponent {exponent}"
+            raise MissingKeyError(
+                f"no Galois key generated for automorphism exponent {exponent}; "
+                "generate it with KeyGenerator.galois_keys_for_steps(...)"
             ) from exc
 
 
@@ -151,7 +165,7 @@ class KeyGenerator:
             coefficients = self.rng.integers(-1, 2, size=degree, dtype=np.int64)
         else:
             if not 1 <= self.hamming_weight <= degree:
-                raise ValueError(
+                raise ParameterError(
                     f"hamming weight must be in [1, {degree}]"
                 )
             coefficients = np.zeros(degree, dtype=np.int64)

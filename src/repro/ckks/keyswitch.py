@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.ckks.keys import KeySwitchKey, digit_partition
 from repro.ckks.params import CkksParameters
+from repro.errors import IncompatibleOperands, ParameterError
 from repro.numtheory.crt import RnsBasis, subtract_and_divide
 from repro.poly.basis_conversion import (
     conversion_for,
@@ -58,7 +59,11 @@ def decompose_and_extend(
     level_basis = params.basis_at_level(level)
     poly = poly.to_coeff()
     if poly.basis.moduli != level_basis.moduli:
-        raise ValueError("polynomial basis does not match the requested level")
+        raise IncompatibleOperands(
+            f"polynomial basis ({poly.limb_count} limbs) does not match "
+            f"the requested level {level}",
+            poly,
+        )
     conversion = stacked_conversion_for(
         level_basis,
         params.extended_basis(level),
@@ -86,7 +91,7 @@ def switch_extended_eval(
     extended = params.extended_basis(level)
     b_stack, a_stack = key.stacked_eval_digits(level)
     if digits_eval.shape != b_stack.shape:
-        raise ValueError("key material does not match the digit partition")
+        raise ParameterError("key material does not match the digit partition")
     acc0 = _modular_inner_product(digits_eval, b_stack, extended)
     acc1 = _modular_inner_product(digits_eval, a_stack, extended)
     stacked = stacked_ntt_inverse(extended, np.stack([acc0, acc1]))
@@ -202,12 +207,16 @@ def switch_key_unfused(
     extended = params.extended_basis(level)
     poly = poly.to_coeff()
     if poly.basis.moduli != level_basis.moduli:
-        raise ValueError("polynomial basis does not match the requested level")
+        raise IncompatibleOperands(
+            f"polynomial basis ({poly.limb_count} limbs) does not match "
+            f"the requested level {level}",
+            poly,
+        )
 
     digit_keys = key.digits_at_level(level)
     partitions = digit_partition(level, params.dnum)
     if len(digit_keys) != len(partitions):
-        raise ValueError("key material does not match the digit partition")
+        raise ParameterError("key material does not match the digit partition")
 
     acc0: RnsPolynomial | None = None
     acc1: RnsPolynomial | None = None
@@ -246,7 +255,7 @@ def mod_down_stacked(
     level_basis = params.basis_at_level(level)
     special = params.special_basis
     if stacked.shape[-2] != level + special.size:
-        raise ValueError("ModDown input must live in the extended basis")
+        raise ParameterError("ModDown input must live in the extended basis")
     conversion = conversion_for(special, level_basis)
     correction = conversion.convert_residues(stacked[..., level:, :])
     return subtract_and_divide(
@@ -269,7 +278,7 @@ def mod_down(
     level_basis = params.basis_at_level(level)
     expected = level_basis.moduli + params.special_basis.moduli
     if poly.basis.moduli != expected:
-        raise ValueError("ModDown input must live in the extended basis")
+        raise ParameterError("ModDown input must live in the extended basis")
     poly = poly.to_coeff()
     residues = mod_down_stacked(poly.residues, params, level)
     return RnsPolynomial(level_basis, residues, "coeff")

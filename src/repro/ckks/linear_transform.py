@@ -29,6 +29,7 @@ in the encoder), so one transform instance serves ciphertexts at any level.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Mapping
 
@@ -42,12 +43,15 @@ from repro.ckks.encoding import (
     rotate_slots,
 )
 from repro.ckks.keyswitch import switch_galois_eval
+from repro.diagnostics import BoundedLruCache, register_cache_group
+from repro.errors import IncompatibleOperands, MissingKeyError, ParameterError
 from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial
 
 
 #: Bound on memoised transforms per encoder (each holds per-level
 #: eval-domain plaintext tensors, so entries are heavy).
 TRANSFORM_CACHE_LIMIT = 128
+_TRANSFORM_CACHE_GROUP = register_cache_group("encoder.transforms")
 
 
 def cached_transform(
@@ -60,19 +64,15 @@ def cached_transform(
     applications share one instance -- and therefore its cached eval-domain
     plaintext tensors.  The memo lives on the encoder instance, whose
     lifetime matches the parameter set the transforms are bound to, and
-    evicts FIFO past :data:`TRANSFORM_CACHE_LIMIT`.
+    evicts least-recently-used past :data:`TRANSFORM_CACHE_LIMIT`.
     """
     cache = getattr(encoder, "_transform_cache", None)
     if cache is None:
-        cache = {}
+        cache = _TRANSFORM_CACHE_GROUP.add(
+            BoundedLruCache(name="encoder.transforms", capacity=TRANSFORM_CACHE_LIMIT)
+        )
         encoder._transform_cache = cache
-    transform = cache.get(key)
-    if transform is None:
-        transform = factory()
-        if len(cache) >= TRANSFORM_CACHE_LIMIT:
-            cache.pop(next(iter(cache)))
-        cache[key] = transform
-    return transform
+    return cache.get_or_create(key, factory)
 
 
 def required_rotation_steps(*transforms) -> list[int]:
@@ -150,9 +150,9 @@ class DiagonalLinearTransform:
     def __post_init__(self) -> None:
         slots = self.slots
         if not self.diagonals:
-            raise ValueError("transform needs at least one non-zero diagonal")
+            raise ParameterError("transform needs at least one non-zero diagonal")
         if not 1 <= self.n1 <= slots:
-            raise ValueError(f"baby count n1 must be in [1, {slots}]")
+            raise ParameterError(f"baby count n1 must be in [1, {slots}]")
         groups: dict[int, list[int]] = {}
         for k in sorted(self.diagonals):
             groups.setdefault(k // self.n1, []).append(k % self.n1)
@@ -180,17 +180,17 @@ class DiagonalLinearTransform:
         for k, vector in diagonals.items():
             vector = np.asarray(vector, dtype=np.complex128).ravel()
             if vector.size != slots:
-                raise ValueError(
+                raise ParameterError(
                     f"diagonal {k} has {vector.size} entries, expected {slots}"
                 )
             if not np.any(vector):
                 continue
             index = int(k) % slots
             if index in normalised:
-                raise ValueError(f"duplicate diagonal index {index}")
+                raise ParameterError(f"duplicate diagonal index {index}")
             normalised[index] = vector
         if not normalised:
-            raise ValueError("transform needs at least one non-zero diagonal")
+            raise ParameterError("transform needs at least one non-zero diagonal")
         if n1 is None:
             n1 = _default_baby_count(sorted(normalised), slots)
         return cls(
@@ -305,7 +305,13 @@ class DiagonalLinearTransform:
         """
         params = evaluator.params
         if params.slot_count != self.slots:
-            raise ValueError("transform and evaluator parameter sets differ")
+            raise IncompatibleOperands(
+                f"transform is bound to {self.slots} slots but the evaluator "
+                f"packs {params.slot_count}",
+                self.encoder.params,
+                params,
+            )
+        evaluator.validate(ciphertext, name="ciphertext")
         level = ciphertext.level
         basis = params.basis_at_level(level)
         moduli = basis.moduli_array[:, None]
@@ -353,13 +359,30 @@ class DiagonalLinearTransform:
                 # One eval-domain gather + one key-switch decomposition for
                 # the whole giant step.
                 if evaluator.galois_keys is None:
-                    raise ValueError("giant-step rotation requires Galois keys")
+                    raise MissingKeyError(
+                        "giant-step rotation requires Galois keys; generate "
+                        "them for required_rotation_steps(transform)"
+                    )
                 exponent = self.encoder.slot_rotation_exponent(g * self.n1)
                 key = evaluator.galois_keys.key_for(exponent)
                 evaluator.count_operation("rotate")
                 c0, c1 = switch_galois_eval(acc0, acc1, key, exponent, params, level)
                 term = Ciphertext(c0=c0, c1=c1, scale=result_scale, level=level)
             output = term if output is None else evaluator.add(output, term)
+        if ciphertext.noise_bits is not None:
+            model = evaluator.noise
+            bits = ciphertext.noise_bits
+            if nonzero:
+                bits = model.keyswitch_bits(bits)
+            bits = model.multiply_plain_bits(
+                bits, ciphertext.scale, self.plaintext_scale(level)
+            )
+            if self.giant_steps:
+                bits = model.keyswitch_bits(bits)
+            # The output sums `diagonal_count` such terms.
+            bits += math.log2(max(self.diagonal_count(), 1))
+            output.noise_bits = bits
+            model.guard(level, bits)
         return output
 
 
@@ -372,7 +395,7 @@ def bsgs_rotation_counts(diagonal_indices, slots: int, n1: int | None = None):
     """
     indices = sorted({int(k) % slots for k in diagonal_indices})
     if not indices:
-        raise ValueError("need at least one diagonal index")
+        raise ParameterError("need at least one diagonal index")
     if n1 is None:
         n1 = _default_baby_count(indices, slots)
     babies = {k % n1 for k in indices} - {0}

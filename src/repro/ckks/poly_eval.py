@@ -44,6 +44,7 @@ import numpy as np
 
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.evaluator import CkksEvaluator
+from repro.errors import ParameterError
 
 #: Coefficients whose magnitude (relative to the largest) falls below this
 #: threshold are treated as structural zeros by the evaluators.
@@ -66,7 +67,7 @@ def chebyshev_divmod(coefficients: Sequence, divisor_degree: int):
     """
     n = int(divisor_degree)
     if n < 1:
-        raise ValueError("divisor degree must be >= 1")
+        raise ParameterError("divisor degree must be >= 1")
     work = list(coefficients)
     if len(work) - 1 < n:
         return [work[0] * 0], list(work)
@@ -157,7 +158,7 @@ def ps_operation_counts(degree: int, baby_count: int | None = None) -> dict:
     """
     degree = int(degree)
     if degree < 1:
-        raise ValueError("degree must be >= 1")
+        raise ParameterError("degree must be >= 1")
 
     def plan_cost(m: int) -> dict:
         powers: set[int] = set()
@@ -263,10 +264,10 @@ class ChebyshevSeries:
     def __post_init__(self) -> None:
         coefficients = np.asarray(self.coefficients, dtype=np.float64)
         if coefficients.ndim != 1 or coefficients.size == 0:
-            raise ValueError("coefficients must be a non-empty 1-D array")
+            raise ParameterError("coefficients must be a non-empty 1-D array")
         lo, hi = self.interval
         if not lo < hi:
-            raise ValueError(f"empty interval {self.interval}")
+            raise ParameterError(f"empty interval {self.interval}")
         object.__setattr__(self, "coefficients", coefficients)
         object.__setattr__(self, "interval", (float(lo), float(hi)))
 
@@ -332,7 +333,7 @@ class ChebyshevSeries:
         xs = []
         for sub_lo, sub_hi in sub_intervals:
             if not lo <= sub_lo < sub_hi <= hi:
-                raise ValueError(
+                raise ParameterError(
                     f"sub-interval ({sub_lo}, {sub_hi}) outside {interval}"
                 )
             xs.append((sub_hi - sub_lo) / 2.0 * nodes + (sub_hi + sub_lo) / 2.0)
@@ -369,7 +370,7 @@ class ChebyshevPowerBasis:
     def power(self, k: int) -> Ciphertext:
         """The ciphertext holding ``T_k(argument)``."""
         if k < 1:
-            raise ValueError("T_0 is a constant; powers start at T_1")
+            raise ParameterError("T_0 is a constant; powers start at T_1")
         cached = self._powers.get(k)
         if cached is not None:
             return cached
@@ -442,7 +443,7 @@ def evaluate_chebyshev(
     basis = ChebyshevPowerBasis(evaluator, argument)
     m = _default_baby_count(series.degree) if baby_count is None else int(baby_count)
     if m < 2:
-        raise ValueError("baby count must be >= 2")
+        raise ParameterError("baby count must be >= 2")
     tol = np.abs(coefficients).max() * COEFFICIENT_TOLERANCE
 
     def combine(coeffs: np.ndarray) -> Ciphertext:
@@ -627,16 +628,16 @@ class EvalModPoly:
         k_bound = int(k_bound)
         double_angle = int(double_angle)
         if period <= 0:
-            raise ValueError("period must be positive")
+            raise ParameterError("period must be positive")
         if k_bound < 1:
-            raise ValueError("k_bound must be >= 1")
+            raise ParameterError("k_bound must be >= 1")
         if double_angle < 0:
-            raise ValueError("double_angle must be >= 0")
+            raise ParameterError("double_angle must be >= 0")
         if message_width is None:
             message_width = period / 4.0
         message_width = float(message_width)
         if not 0 < message_width < period / 2.0:
-            raise ValueError("message_width must be in (0, period/2)")
+            raise ParameterError("message_width must be in (0, period/2)")
         bound = (k_bound + 0.5) * period
         fold = float(1 << double_angle)
 

@@ -53,7 +53,9 @@ def embed_permutation_into_cols(matrix: np.ndarray, indices: np.ndarray) -> np.n
     permutation.
     """
     matrix = np.asarray(matrix)
-    return matrix[:, np.asarray(indices, dtype=np.int64)]
+    # Column fancy-indexing yields an F-contiguous result; materialise it
+    # C-contiguous here (offline) so runtime GEMMs never restride per call.
+    return np.ascontiguousarray(matrix[:, np.asarray(indices, dtype=np.int64)])
 
 
 def fold_elementwise_permutation(values: np.ndarray, indices: np.ndarray) -> np.ndarray:

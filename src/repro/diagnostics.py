@@ -1,0 +1,230 @@
+"""Runtime diagnostics: guardrail event log and the bounded-cache registry.
+
+Two concerns the serving layer needs in one place:
+
+* **Events** -- every guardrail action that changes behaviour without raising
+  (a backend quarantined after a failed sentinel, a degradation-ladder
+  fallback, a noise-budget warning) is recorded here so operators can see
+  *that* the stack healed itself and *why*, instead of the event vanishing
+  into a log nobody reads.  :func:`report` returns a structured snapshot.
+
+* **Caches** -- every process-wide memoisation cache registers a
+  :class:`BoundedLruCache` here.  ``cache_stats()`` exposes size / capacity /
+  hit / miss / eviction counters for all of them and ``clear_caches()`` empties
+  them -- the "explicit caches with bounds, no hidden globals" contract from
+  the ROADMAP.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterator
+
+__all__ = [
+    "BoundedLruCache",
+    "WeakCacheGroup",
+    "record_event",
+    "events",
+    "report",
+    "clear_events",
+    "register_cache",
+    "register_cache_group",
+    "cache_stats",
+    "clear_caches",
+]
+
+_MAX_EVENTS = 1024
+_lock = threading.Lock()
+_events: list[dict[str, Any]] = []
+_sequence = 0
+
+
+def record_event(kind: str, **details: Any) -> dict[str, Any]:
+    """Append a guardrail event (quarantine, fallback, noise warning, ...).
+
+    The log is bounded: once ``_MAX_EVENTS`` entries accumulate the oldest
+    half is dropped, so a long-running process cannot leak memory through its
+    own diagnostics.
+    """
+    global _sequence
+    with _lock:
+        _sequence += 1
+        event = {"seq": _sequence, "kind": kind, **details}
+        _events.append(event)
+        if len(_events) > _MAX_EVENTS:
+            del _events[: _MAX_EVENTS // 2]
+    return event
+
+
+def events(kind: str | None = None) -> list[dict[str, Any]]:
+    """Snapshot of recorded events, optionally filtered by ``kind``."""
+    with _lock:
+        snapshot = list(_events)
+    if kind is None:
+        return snapshot
+    return [e for e in snapshot if e["kind"] == kind]
+
+
+def clear_events() -> None:
+    """Drop all recorded events (tests and fresh serving epochs)."""
+    with _lock:
+        _events.clear()
+
+
+def report() -> dict[str, Any]:
+    """Structured diagnostics snapshot: events by kind plus cache statistics."""
+    snapshot = events()
+    by_kind: dict[str, int] = {}
+    for event in snapshot:
+        by_kind[event["kind"]] = by_kind.get(event["kind"], 0) + 1
+    return {
+        "event_count": len(snapshot),
+        "events_by_kind": by_kind,
+        "events": snapshot,
+        "caches": cache_stats(),
+    }
+
+
+# --------------------------------------------------------------------- caches
+@dataclass(eq=False)
+class BoundedLruCache:
+    """A dict-like LRU cache with a capacity bound and hit/miss counters.
+
+    ``get`` moves the entry to the most-recently-used end (true LRU, not FIFO)
+    and ``put`` evicts the least-recently-used entry once ``capacity`` is
+    reached.  All process-wide memoisation caches (NTT plans, calibration,
+    encode cache, BConv tables) are instances registered with
+    :func:`register_cache`.
+    """
+
+    name: str
+    capacity: int
+    _data: OrderedDict = field(default_factory=OrderedDict, repr=False)
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        try:
+            value = self._data[key]
+        except KeyError:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
+        """Return the cached value, building and inserting it on a miss."""
+        sentinel = object()
+        value = self.get(key, sentinel)
+        if value is sentinel:
+            value = factory()
+            self.put(key, value)
+        return value
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Snapshot of ``(key, value)`` pairs, LRU first (no counter effects)."""
+        return list(self._data.items())
+
+    def pop(self, key: Hashable, default: Any = None) -> Any:
+        return self._data.pop(key, default)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+class WeakCacheGroup:
+    """Aggregated stats over per-instance caches, held by weak reference.
+
+    Per-object caches (key-switch eval digits, encoder plaintext encodings)
+    are owned by their objects but should still appear in the process-wide
+    :func:`cache_stats` report.  Members join via :meth:`add`; the group never
+    extends their lifetime.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._members: "weakref.WeakSet[BoundedLruCache]" = weakref.WeakSet()
+
+    def add(self, cache: "BoundedLruCache") -> "BoundedLruCache":
+        self._members.add(cache)
+        return cache
+
+    def stats(self) -> dict[str, int]:
+        totals = {"size": 0, "capacity": 0, "hits": 0, "misses": 0, "evictions": 0}
+        count = 0
+        for member in list(self._members):
+            count += 1
+            for key, value in member.stats().items():
+                totals[key] += value
+        totals["instances"] = count
+        return totals
+
+    def clear(self) -> None:
+        for member in list(self._members):
+            member.clear()
+
+
+_caches: dict[str, Any] = {}
+
+
+def register_cache(cache: Any, name: str | None = None) -> Any:
+    """Register a cache object exposing ``stats()`` and ``clear()``.
+
+    Accepts :class:`BoundedLruCache` instances or any duck-typed equivalent
+    (e.g. an encoder exposing aggregate stats for its per-instance caches).
+    Returns the cache for fluent use at definition sites.
+    """
+    key = name or getattr(cache, "name", None) or f"cache_{len(_caches)}"
+    _caches[key] = cache
+    return cache
+
+
+def register_cache_group(name: str) -> WeakCacheGroup:
+    """Create (or fetch) a named weak group for per-instance caches."""
+    group = _caches.get(name)
+    if not isinstance(group, WeakCacheGroup):
+        group = WeakCacheGroup(name)
+        _caches[name] = group
+    return group
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Size / capacity / hit / miss / eviction counters for every registered cache."""
+    return {name: cache.stats() for name, cache in sorted(_caches.items())}
+
+
+def clear_caches() -> None:
+    """Empty every registered cache (bench isolation, fault-drill cleanup)."""
+    for cache in _caches.values():
+        cache.clear()

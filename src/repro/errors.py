@@ -1,0 +1,140 @@
+"""Typed error taxonomy for the whole stack.
+
+Every failure the library can diagnose is raised as a :class:`ReproError`
+subclass, so callers (and the serving layer the ROADMAP aims at) can catch one
+base type, and tests can assert on *which* guardrail fired instead of pattern
+matching message strings.  The concrete classes multiply-inherit from the
+builtin exception the old code raised (``ValueError`` / ``KeyError``), so
+pre-existing ``except ValueError`` call sites and tests keep working.
+
+Hierarchy
+---------
+``ReproError``
+    ``ParameterError(ValueError)`` -- malformed or out-of-range arguments
+        ``IncompatibleOperands`` -- two operands whose ring / level / scale /
+        domain metadata disagree (both operands' metadata in the message)
+        ``LevelExhausted`` -- the modulus chain has no level left for the
+        requested rescale / level-drop
+        ``ScaleOverflow`` -- a scale product would overflow the remaining
+        modulus budget
+    ``NoiseBudgetExhausted(ValueError)`` -- the tracked noise estimate says a
+    decode would be garbage; ``bootstrap()`` is the remedy
+    ``MissingKeyError(KeyError)`` -- evaluation/Galois key material absent
+    ``BackendExactnessError(ArithmeticError)`` -- a kernel backend failed an
+    exactness sentinel (known-answer probe or strict-mode spot check)
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+__all__ = [
+    "ReproError",
+    "ParameterError",
+    "IncompatibleOperands",
+    "LevelExhausted",
+    "ScaleOverflow",
+    "NoiseBudgetExhausted",
+    "MissingKeyError",
+    "BackendExactnessError",
+    "operand_signature",
+]
+
+
+class ReproError(Exception):
+    """Base class of every typed error raised by this library."""
+
+
+class ParameterError(ReproError, ValueError):
+    """An argument is malformed, out of range, or inconsistent."""
+
+
+def operand_signature(operand: Any) -> str:
+    """One-line ring/level/scale/domain signature of a ciphertext or plaintext.
+
+    Reads attributes defensively so it can describe half-built objects inside
+    an exception path without raising a second error.
+    """
+    parts: list[str] = [type(operand).__name__]
+    if getattr(operand, "basis", None) is not None:
+        poly = operand  # a bare RnsPolynomial
+    else:
+        poly = getattr(operand, "c0", None)
+        if poly is None:
+            poly = getattr(operand, "poly", None)
+    basis = getattr(poly, "basis", None)
+    if basis is not None:
+        parts.append(f"ring=N{basis.degree}xL{basis.size}")
+        domain = getattr(poly, "domain", None)
+        if domain is not None:
+            parts.append(f"domain={domain}")
+    level = getattr(operand, "level", None)
+    if level is not None:
+        parts.append(f"level={level}")
+    scale = getattr(operand, "scale", None)
+    if scale is not None:
+        if scale > 0:
+            parts.append(f"scale=2^{math.log2(scale):.2f}")
+        else:
+            parts.append(f"scale={scale}")
+    return "<" + " ".join(parts) + ">"
+
+
+class IncompatibleOperands(ParameterError):
+    """Two operands disagree on ring identity, level, scale, or domain.
+
+    The message always carries both operands' signatures so a failure deep in
+    an evaluator pipeline is diagnosable without a debugger.
+    """
+
+    def __init__(self, reason: str, lhs: Any = None, rhs: Any = None):
+        detail = reason
+        if lhs is not None or rhs is not None:
+            detail = (
+                f"{reason}: lhs={operand_signature(lhs)} "
+                f"rhs={operand_signature(rhs)}"
+            )
+        super().__init__(detail)
+        self.reason = reason
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class LevelExhausted(ParameterError):
+    """The modulus chain is out of levels for the requested operation."""
+
+
+class ScaleOverflow(ParameterError):
+    """A scale product would exceed the remaining ciphertext-modulus budget."""
+
+
+class NoiseBudgetExhausted(ReproError, ValueError):
+    """The tracked noise budget is spent: decoding now would return garbage.
+
+    Raised *before* the corrupted decode happens.  The remedy is to
+    ``bootstrap()`` the ciphertext (or restart from a fresh encryption at a
+    higher level).
+    """
+
+
+class MissingKeyError(ReproError, KeyError, ValueError):
+    """Required evaluation / relinearisation / Galois key material is absent.
+
+    Inherits both ``KeyError`` (the historical type for absent key-set
+    entries) and ``ValueError`` (the historical type for evaluators built
+    without keys), so either legacy ``except`` clause still catches it.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep a readable message
+        return ", ".join(str(a) for a in self.args)
+
+
+class BackendExactnessError(ReproError, ArithmeticError):
+    """A compute backend failed an exactness sentinel.
+
+    Raised when a known-answer probe or strict-mode spot check catches a
+    backend producing wrong residues (hardware fault, corrupted tables,
+    miscalibration).  The dispatch layer quarantines the backend and degrades
+    four_step -> butterfly -> reference instead of corrupting ciphertexts.
+    """

@@ -29,10 +29,15 @@ from repro.poly.ntt_engine import (
     FourStepTables,
     NttPlan,
     NttPlanStack,
+    clear_quarantine,
     plan_for,
     plan_stack_for,
+    quarantine_backend,
+    quarantined_backends,
+    reset_sentinels,
     resolve_backend,
     set_default_backend,
+    verify_plan,
 )
 from repro.poly.negacyclic import (
     negacyclic_convolve,
@@ -62,12 +67,17 @@ __all__ = [
     "PolyRing",
     "RnsPolynomial",
     "as_blas_operand",
+    "clear_quarantine",
     "conversion_for",
     "modular_matmul",
     "plan_for",
     "plan_stack_for",
+    "quarantine_backend",
+    "quarantined_backends",
+    "reset_sentinels",
     "resolve_backend",
     "set_default_backend",
+    "verify_plan",
     "negacyclic_convolve",
     "negacyclic_evaluate_direct",
     "ntt_forward_negacyclic",

@@ -42,6 +42,7 @@ import os
 
 import numpy as np
 
+from repro.errors import ParameterError
 from repro.poly.modmat import modmatmul
 
 #: GEMM dot products must stay below ``2**52``: float64 integers are exact up
@@ -108,7 +109,7 @@ def split_shift(
     operands; callers fall back to their integer paths in that case.
     """
     if inner_length < 1:
-        raise ValueError("inner (contraction) length must be positive")
+        raise ParameterError("inner (contraction) length must be positive")
     shift = (matrix_bits + 1) // 2
     length_bits = max(1, inner_length - 1).bit_length()
     if operand_bits + max(shift, matrix_bits - shift) + length_bits > FLOAT64_EXACT_BITS:
@@ -225,7 +226,7 @@ def modular_matmul(a: np.ndarray, b: np.ndarray, modulus: int) -> np.ndarray:
     a = np.atleast_2d(np.asarray(a)).astype(np.uint64) % np.uint64(modulus)
     b = np.atleast_2d(np.asarray(b)).astype(np.uint64) % np.uint64(modulus)
     if a.shape[-1] != b.shape[-2]:
-        raise ValueError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
+        raise ParameterError(f"inner dimensions do not match: {a.shape} @ {b.shape}")
     bits = (int(modulus) - 1).bit_length()
     shift = split_shift(bits, bits, a.shape[-1])
     if shift is not None:

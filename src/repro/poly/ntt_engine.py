@@ -71,11 +71,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import diagnostics
+from repro.diagnostics import BoundedLruCache, register_cache
+from repro.errors import BackendExactnessError, ParameterError
 from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
 from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
 from repro.poly.gemm_mod import (
     as_blas_operand,
     canonical_from_lazy,
+    is_strict as _gemm_is_strict,
     lazy_mod_reduce,
     split_halves,
     split_shift,
@@ -97,6 +101,26 @@ BACKENDS = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_REFERENCE)
 
 _BACKEND_ENV = "REPRO_NTT_BACKEND"
 _CALIBRATE_ENV = "REPRO_NTT_CALIBRATE"
+#: ``REPRO_NTT_SENTINEL=0`` disables the known-answer probe run the first time
+#: a plan's four-step GEMM tables are selected for execution.
+_SENTINEL_ENV = "REPRO_NTT_SENTINEL"
+#: Strict-mode runtime spot checks re-verify one transformed row against the
+#: reference oracle every this-many counted passes (``REPRO_NTT_SPOT_STRIDE``).
+_SPOT_STRIDE_ENV = "REPRO_NTT_SPOT_STRIDE"
+_SPOT_STRIDE_DEFAULT = 64
+
+
+def sentinel_enabled() -> bool:
+    """True unless ``REPRO_NTT_SENTINEL`` disables the build-time probes."""
+    value = os.environ.get(_SENTINEL_ENV, "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+def _spot_stride() -> int:
+    try:
+        return max(1, int(os.environ.get(_SPOT_STRIDE_ENV, _SPOT_STRIDE_DEFAULT)))
+    except ValueError:
+        return _SPOT_STRIDE_DEFAULT
 
 #: Closed-form calibration threshold: below this degree the butterfly cascade
 #: wins, at and above it the four-step GEMM backend wins.  Measured on the
@@ -303,7 +327,7 @@ def four_step_split(degree: int) -> tuple[int, int]:
     the matrix engine likes) while ``n1 * n2 = N`` exactly.
     """
     if not is_power_of_two(degree):
-        raise ValueError("NTT length must be a power of two")
+        raise ParameterError("NTT length must be a power of two")
     log2n = degree.bit_length() - 1
     rows = 1 << ((log2n + 1) // 2)
     return rows, degree // rows
@@ -593,12 +617,22 @@ class FourStepTables(_FourStepExec):
         )
 
     # ------------------------------------------------------------------ exec
+    def _require_exact(self) -> None:
+        if not self.exact:
+            raise BackendExactnessError(
+                f"four-step GEMM tables for (degree={self.degree}, "
+                f"q={self.modulus}) have no exact float64 split; dispatch "
+                "must not select this backend for the ring"
+            )
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward negacyclic NTT over the last axis (natural order in/out)."""
+        self._require_exact()
         return self.transform(coeffs, forward=True)
 
     def inverse(self, evaluations: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT over the last axis (natural order in/out)."""
+        self._require_exact()
         return self.transform(evaluations, forward=False)
 
 
@@ -672,7 +706,7 @@ class _FourStepStack(_FourStepExec):
         shift1 = split_shift(bits + 1, bits, self.rows)
         shift4 = split_shift(bits + 1, bits, self.cols)
         if shift1 is None or shift4 is None:
-            raise ValueError(
+            raise ParameterError(
                 "four-step split is not exact for this stack's modulus widths"
             )
         shift_tw = (bits + 1) // 2
@@ -703,10 +737,51 @@ class _FourStepStack(_FourStepExec):
 
 # ------------------------------------------------------------------ dispatch
 _DEFAULT_BACKEND = BACKEND_AUTO
-_CALIBRATION: dict[tuple[int, int, int], str] = {}
+_CALIBRATION = register_cache(
+    BoundedLruCache(name="ntt.calibration", capacity=512)
+)
 #: Bumped whenever a dispatch input outside the per-call cache key changes
-#: (calibration resets); plans memoise their resolved backend against it.
+#: (calibration resets, quarantine changes); plans memoise their resolved
+#: backend against it.
 _DISPATCH_EPOCH = 0
+
+#: Backends quarantined by a failed exactness sentinel or spot check.  A
+#: quarantined backend is never selected again (process-wide) until
+#: :func:`clear_quarantine`; :func:`resolve_backend` walks the degradation
+#: ladder ``four_step -> butterfly -> reference`` past it, recording the
+#: fallback in `repro.diagnostics`.  The reference oracle is the ground truth
+#: and cannot be quarantined.
+_QUARANTINE: set[str] = set()
+
+
+def quarantine_backend(name: str, **details) -> None:
+    """Quarantine a backend after an exactness failure (idempotent).
+
+    Records a ``backend_quarantined`` diagnostics event and bumps the dispatch
+    epoch so every memoised plan re-resolves on its next call.
+    """
+    global _DISPATCH_EPOCH
+    if name not in (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP):
+        raise ParameterError(
+            f"backend {name!r} cannot be quarantined (reference is the oracle)"
+        )
+    if name not in _QUARANTINE:
+        _QUARANTINE.add(name)
+        _DISPATCH_EPOCH += 1
+        diagnostics.record_event("backend_quarantined", backend=name, **details)
+
+
+def quarantined_backends() -> frozenset:
+    """The currently quarantined backend names."""
+    return frozenset(_QUARANTINE)
+
+
+def clear_quarantine() -> None:
+    """Lift all quarantines (tests / operator intervention after a fix)."""
+    global _DISPATCH_EPOCH
+    if _QUARANTINE:
+        _QUARANTINE.clear()
+        _DISPATCH_EPOCH += 1
 
 
 def set_default_backend(name: str) -> str:
@@ -717,7 +792,7 @@ def set_default_backend(name: str) -> str:
     """
     global _DEFAULT_BACKEND
     if name not in BACKENDS + (BACKEND_AUTO,):
-        raise ValueError(f"unknown NTT backend {name!r}")
+        raise ParameterError(f"unknown NTT backend {name!r}")
     previous = _DEFAULT_BACKEND
     _DEFAULT_BACKEND = name
     return previous
@@ -727,7 +802,7 @@ def requested_backend() -> str:
     """The configured backend request: env override, else the process default."""
     value = os.environ.get(_BACKEND_ENV, "").strip().lower()
     if value and value not in BACKENDS + (BACKEND_AUTO,):
-        raise ValueError(
+        raise ParameterError(
             f"{_BACKEND_ENV}={value!r} is not one of {BACKENDS + (BACKEND_AUTO,)}"
         )
     return value or _DEFAULT_BACKEND
@@ -775,10 +850,17 @@ def resolve_backend(
     ``REPRO_NTT_CALIBRATE=measure`` and the caller supplies a ``calibrate``
     thunk -- a timed trial of the two fast backends on the actual shape,
     cached per ``(N, L, modulus bits)``.
+
+    Quarantined backends (failed exactness sentinel or strict-mode spot
+    check) are skipped the same way inexact ones are; a quarantine-driven
+    demotion additionally records a ``backend_fallback`` diagnostics event, so
+    the degradation ladder is observable, never silent.
     """
     choice = requested if requested is not None else requested_backend()
-    butterfly_ok = all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)
-    four_step_ok = four_step_supported(degree, moduli)
+    butterfly_exact = all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)
+    four_step_exact = four_step_supported(degree, moduli)
+    butterfly_ok = butterfly_exact and BACKEND_BUTTERFLY not in _QUARANTINE
+    four_step_ok = four_step_exact and BACKEND_FOUR_STEP not in _QUARANTINE
     if choice == BACKEND_AUTO:
         if not (butterfly_ok and four_step_ok):
             choice = BACKEND_FOUR_STEP if four_step_ok else BACKEND_BUTTERFLY
@@ -795,18 +877,34 @@ def resolve_backend(
                         if degree >= FOUR_STEP_MIN_DEGREE
                         else BACKEND_BUTTERFLY
                     )
-                _CALIBRATION[key] = cached
+                _CALIBRATION.put(key, cached)
             choice = cached
     if choice == BACKEND_FOUR_STEP and not four_step_ok:
+        if four_step_exact:
+            diagnostics.record_event(
+                "backend_fallback",
+                backend=BACKEND_FOUR_STEP,
+                fallback=BACKEND_BUTTERFLY,
+                reason="quarantined",
+                degree=degree,
+            )
         choice = BACKEND_BUTTERFLY
     if choice == BACKEND_BUTTERFLY and not butterfly_ok:
+        if butterfly_exact:
+            diagnostics.record_event(
+                "backend_fallback",
+                backend=BACKEND_BUTTERFLY,
+                fallback=BACKEND_REFERENCE,
+                reason="quarantined",
+                degree=degree,
+            )
         choice = BACKEND_REFERENCE
     return choice
 
 
 def calibration_cache() -> dict[tuple[int, int, int], str]:
     """Snapshot of the one-shot per-ring calibration decisions (tests)."""
-    return dict(_CALIBRATION)
+    return dict(_CALIBRATION.items())
 
 
 def reset_calibration() -> None:
@@ -830,11 +928,86 @@ def _resolve_memoised(owner, degree, moduli, requested, calibrate) -> str:
     cache = owner._dispatch_cache
     choice = cache.get(key)
     if choice is None:
+        if len(cache) > 16:  # stale epochs accumulate across quarantine flips
+            cache.clear()
         choice = resolve_backend(
             degree, moduli, requested=requested, calibrate=calibrate
         )
         cache[key] = choice
     return choice
+
+
+# ------------------------------------------------------- exactness sentinels
+def _sentinel_vector(degree: int, modulus: int) -> np.ndarray:
+    """A deterministic full-range probe vector for the known-answer check."""
+    mix = np.arange(degree, dtype=np.uint64) * np.uint64(0x9E3779B1)
+    return (mix + np.uint64(0x7F4A7C15)) % np.uint64(modulus)
+
+
+def _sentinel_passes(forward, inverse, probe, modulus: int, psi: int) -> bool:
+    """Known-answer probe: forward row 0 vs the reference oracle + roundtrip.
+
+    ``probe`` is ``(N,)`` or ``(L, N)``; only the first row pays a reference
+    transform (the oracle rebuilds its tables in Python), the roundtrip
+    equality covers every other row bit-exactly.
+    """
+    try:
+        got = forward(probe)
+        row = got if got.ndim == 1 else got[0]
+        expected = ntt_forward_negacyclic(
+            probe if probe.ndim == 1 else probe[0], modulus, psi
+        )
+        if not np.array_equal(row, expected):
+            return False
+        return bool(np.array_equal(inverse(got), probe))
+    except (ArithmeticError, ValueError, FloatingPointError):
+        return False
+
+
+_SPOT_COUNTER = 0
+
+
+def _spot_check_due() -> bool:
+    """Strict-mode sampling: true every ``REPRO_NTT_SPOT_STRIDE``-th pass."""
+    global _SPOT_COUNTER
+    if not _gemm_is_strict():
+        return False
+    _SPOT_COUNTER += 1
+    return _SPOT_COUNTER % _spot_stride() == 0
+
+
+def _spot_check_row(
+    direction: str,
+    backend: str,
+    row_in: np.ndarray,
+    row_out: np.ndarray,
+    degree: int,
+    modulus: int,
+    psi: int,
+) -> None:
+    """Verify one transformed row against the reference oracle (strict mode).
+
+    A mismatch quarantines the offending backend (subsequent calls heal down
+    the degradation ladder) and raises :class:`BackendExactnessError` so the
+    corrupted result never propagates silently.
+    """
+    oracle = (
+        ntt_forward_negacyclic if direction == "forward" else ntt_inverse_negacyclic
+    )
+    if np.array_equal(row_out, oracle(row_in, modulus, psi)):
+        return
+    quarantine_backend(
+        backend,
+        reason="strict-mode spot check mismatch",
+        direction=direction,
+        degree=degree,
+        modulus=modulus,
+    )
+    raise BackendExactnessError(
+        f"{backend} NTT backend produced an inexact {direction} transform "
+        f"(degree={degree}, q={modulus}); the backend is quarantined and "
+        "subsequent calls fall back down the degradation ladder"
+    )
 
 
 def _timed_best(candidates: dict[str, "callable"], probe: np.ndarray) -> str:
@@ -876,14 +1049,14 @@ class NttPlan:
 
     def __post_init__(self) -> None:
         if not is_power_of_two(self.degree):
-            raise ValueError("NTT length must be a power of two")
+            raise ParameterError("NTT length must be a power of two")
         if self.backend is not None and self.backend not in BACKENDS:
-            raise ValueError(f"unknown NTT backend {self.backend!r}")
+            raise ParameterError(f"unknown NTT backend {self.backend!r}")
         n, q = self.degree, self.modulus
         self.butterfly_ok = 1 < q < MAX_PLAN_MODULUS
         self.four_step_ok = four_step_supported(n, (q,))
         if not (self.butterfly_ok or self.four_step_ok):
-            raise ValueError(
+            raise ParameterError(
                 "NttPlan requires q < 2**30 (lazy-reduction bound) or an "
                 "exact four-step GEMM split for (degree, q)"
             )
@@ -891,6 +1064,7 @@ class NttPlan:
         self._two_q = np.uint64(2 * q)
         self.bitrev = bit_reverse_indices(n)
         self._four_step: FourStepTables | None = None
+        self._sentinel_state: str | None = None
         self._dispatch_cache: dict = {}
         if not self.butterfly_ok:
             return
@@ -913,6 +1087,61 @@ class NttPlan:
         if self._four_step is None:
             self._four_step = FourStepTables(self.degree, self.modulus, self.psi)
         return self._four_step
+
+    def _checked_four_step(self) -> FourStepTables | None:
+        """Four-step tables vetted by the known-answer sentinel, else ``None``.
+
+        The sentinel runs once, the first time dispatch selects the backend
+        for this ring: build the tables, refuse inexact ones (recording a
+        ``backend_fallback`` event), and transform a deterministic probe,
+        checking row 0 against the reference oracle plus an exact roundtrip.
+        A mismatch quarantines the four-step backend process-wide and the
+        caller heals down the degradation ladder instead of computing garbage.
+        """
+        if self._sentinel_state is None:
+            self._sentinel_state = "failed"
+            try:
+                tables = self.four_step_tables()
+            except (ParameterError, ArithmeticError) as exc:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FOUR_STEP,
+                    fallback=BACKEND_BUTTERFLY
+                    if self.butterfly_ok
+                    else BACKEND_REFERENCE,
+                    reason=f"table build failed: {exc}",
+                    degree=self.degree,
+                    modulus=self.modulus,
+                )
+                tables = None
+            if tables is not None and not tables.exact:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FOUR_STEP,
+                    fallback=BACKEND_BUTTERFLY
+                    if self.butterfly_ok
+                    else BACKEND_REFERENCE,
+                    reason="four-step split is not exact for this ring",
+                    degree=self.degree,
+                    modulus=self.modulus,
+                )
+            elif tables is not None:
+                if not sentinel_enabled() or _sentinel_passes(
+                    tables.forward,
+                    tables.inverse,
+                    _sentinel_vector(self.degree, self.modulus),
+                    self.modulus,
+                    self.psi,
+                ):
+                    self._sentinel_state = "ok"
+                else:
+                    quarantine_backend(
+                        BACKEND_FOUR_STEP,
+                        reason="known-answer sentinel mismatch at plan build",
+                        degree=self.degree,
+                        modulus=self.modulus,
+                    )
+        return self._four_step if self._sentinel_state == "ok" else None
 
     def _calibrate(self) -> str:
         probe = np.zeros((1, self.degree), dtype=np.uint64)
@@ -950,27 +1179,59 @@ class NttPlan:
         return data
 
     # ---------------------------------------------------------------- entry
+    def _execute(self, data: np.ndarray, direction: str) -> np.ndarray:
+        """Dispatch one counted pass through the sentinel-vetted backend.
+
+        A four-step selection whose sentinel failed heals down the ladder
+        (butterfly, else reference) within the same call; in strict mode a
+        sampled row of the fast-backend output is re-verified against the
+        reference oracle (:func:`_spot_check_row`).
+        """
+        forward = direction == "forward"
+        backend = self.resolve_backend()
+        tables: FourStepTables | None = None
+        if backend == BACKEND_FOUR_STEP:
+            tables = self._checked_four_step()
+            if tables is None:
+                backend = (
+                    BACKEND_BUTTERFLY if self.butterfly_ok else BACKEND_REFERENCE
+                )
+        if backend == BACKEND_REFERENCE:
+            oracle = (
+                ntt_forward_negacyclic if forward else ntt_inverse_negacyclic
+            )
+            return oracle(data, self.modulus, self.psi)
+        if backend == BACKEND_FOUR_STEP:
+            out = tables.forward(data) if forward else tables.inverse(data)
+        else:
+            out = (
+                self._forward_butterfly(data)
+                if forward
+                else self._inverse_butterfly(data)
+            )
+        if _spot_check_due():
+            _spot_check_row(
+                direction,
+                backend,
+                data.reshape(-1, self.degree)[0],
+                out.reshape(-1, self.degree)[0],
+                self.degree,
+                self.modulus,
+                self.psi,
+            )
+        return out
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Forward negacyclic NTT over the last axis (natural order in/out)."""
         coeffs = np.asarray(coeffs, dtype=np.uint64)
         _count_pass("forward", coeffs.size // self.degree)
-        backend = self.resolve_backend()
-        if backend == BACKEND_FOUR_STEP:
-            return self.four_step_tables().forward(coeffs)
-        if backend == BACKEND_REFERENCE:
-            return ntt_forward_negacyclic(coeffs, self.modulus, self.psi)
-        return self._forward_butterfly(coeffs)
+        return self._execute(coeffs, "forward")
 
     def inverse(self, evaluations: np.ndarray) -> np.ndarray:
         """Inverse negacyclic NTT over the last axis (natural order in/out)."""
         evaluations = np.asarray(evaluations, dtype=np.uint64)
         _count_pass("inverse", evaluations.size // self.degree)
-        backend = self.resolve_backend()
-        if backend == BACKEND_FOUR_STEP:
-            return self.four_step_tables().inverse(evaluations)
-        if backend == BACKEND_REFERENCE:
-            return ntt_inverse_negacyclic(evaluations, self.modulus, self.psi)
-        return self._inverse_butterfly(evaluations)
+        return self._execute(evaluations, "inverse")
 
     def pointwise(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
         """Evaluation-domain product of reduced operands."""
@@ -994,12 +1255,12 @@ class NttPlanStack:
 
     def __init__(self, plans: tuple[NttPlan, ...], backend: str | None = None):
         if not plans:
-            raise ValueError("plan stack needs at least one limb")
+            raise ParameterError("plan stack needs at least one limb")
         degrees = {plan.degree for plan in plans}
         if len(degrees) != 1:
-            raise ValueError("all limbs of a plan stack must share the ring degree")
+            raise ParameterError("all limbs of a plan stack must share the ring degree")
         if backend is not None and backend not in BACKENDS:
-            raise ValueError(f"unknown NTT backend {backend!r}")
+            raise ParameterError(f"unknown NTT backend {backend!r}")
         self.plans = plans
         self.backend = backend
         self.degree = plans[0].degree
@@ -1014,6 +1275,7 @@ class NttPlanStack:
         # (NumPy releases the GIL inside ufunc loops).
         self._thread_local = threading.local()
         self._four_step_stack: _FourStepStack | None = None
+        self._sentinel_state: str | None = None
         self._dispatch_cache: dict = {}
         if not self.butterfly_ok:
             return
@@ -1066,7 +1328,7 @@ class NttPlanStack:
         matrix = np.asarray(matrix, dtype=np.uint64)
         expected = (self.limb_count, self.degree)
         if matrix.ndim < 2 or matrix.shape[-2:] != expected:
-            raise ValueError(
+            raise ParameterError(
                 f"residue matrix has shape {matrix.shape}, expected (..., {expected[0]}, {expected[1]})"
             )
         return matrix
@@ -1078,6 +1340,52 @@ class NttPlanStack:
                 tuple(plan.four_step_tables() for plan in self.plans)
             )
         return self._four_step_stack
+
+    def _sentinel_matrix(self) -> np.ndarray:
+        return np.stack(
+            [_sentinel_vector(self.degree, q) for q in self.moduli]
+        )
+
+    def _checked_four_step_stack(self) -> _FourStepStack | None:
+        """Sentinel-vetted stacked four-step tables, else ``None`` (heal).
+
+        Mirrors :meth:`NttPlan._checked_four_step` for the limb-stacked
+        cascade: the probe is a full ``(L, N)`` matrix, limb 0 is checked
+        against the reference oracle and the exact roundtrip covers the rest.
+        """
+        if self._sentinel_state is None:
+            self._sentinel_state = "failed"
+            try:
+                stack = self.four_step_stack()
+            except (ParameterError, ArithmeticError) as exc:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FOUR_STEP,
+                    fallback=BACKEND_BUTTERFLY
+                    if self.butterfly_ok
+                    else BACKEND_REFERENCE,
+                    reason=f"stack build failed: {exc}",
+                    degree=self.degree,
+                    limbs=self.limb_count,
+                )
+                stack = None
+            if stack is not None:
+                if not sentinel_enabled() or _sentinel_passes(
+                    lambda m: stack.transform(m, True),
+                    lambda m: stack.transform(m, False),
+                    self._sentinel_matrix(),
+                    self.moduli[0],
+                    self.plans[0].psi,
+                ):
+                    self._sentinel_state = "ok"
+                else:
+                    quarantine_backend(
+                        BACKEND_FOUR_STEP,
+                        reason="known-answer sentinel mismatch at stack build",
+                        degree=self.degree,
+                        limbs=self.limb_count,
+                    )
+        return self._four_step_stack if self._sentinel_state == "ok" else None
 
     def _calibrate(self) -> str:
         probe = np.zeros((self.limb_count, self.degree), dtype=np.uint64)
@@ -1114,15 +1422,33 @@ class NttPlanStack:
         additionally book one limb pass per length-``N`` row transformed.
         """
         matrix = self._check_shape(matrix)
-        _count_pass(
-            "forward" if forward else "inverse", matrix.size // self.degree
-        )
+        direction = "forward" if forward else "inverse"
+        _count_pass(direction, matrix.size // self.degree)
         backend = self.resolve_backend()
+        stack: _FourStepStack | None = None
         if backend == BACKEND_FOUR_STEP:
-            return self.four_step_stack().transform(matrix, forward)
+            stack = self._checked_four_step_stack()
+            if stack is None:
+                backend = (
+                    BACKEND_BUTTERFLY if self.butterfly_ok else BACKEND_REFERENCE
+                )
         if backend == BACKEND_REFERENCE:
             return self._reference_transform(matrix, forward)
-        return self._butterfly_tiled(matrix, forward)
+        if backend == BACKEND_FOUR_STEP:
+            out = stack.transform(matrix, forward)
+        else:
+            out = self._butterfly_tiled(matrix, forward)
+        if _spot_check_due():
+            _spot_check_row(
+                direction,
+                backend,
+                matrix.reshape(-1, self.limb_count, self.degree)[0, 0],
+                out.reshape(-1, self.limb_count, self.degree)[0, 0],
+                self.degree,
+                self.plans[0].modulus,
+                self.plans[0].psi,
+            )
+        return out
 
     def _reference_transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
         out = np.empty_like(matrix)
@@ -1167,8 +1493,10 @@ class NttPlanStack:
 
 
 # --------------------------------------------------------------- plan caches
-_PLAN_CACHE: dict[tuple[int, int], NttPlan] = {}
-_STACK_CACHE: dict[tuple[tuple[int, ...], int], NttPlanStack] = {}
+_PLAN_CACHE = register_cache(BoundedLruCache(name="ntt.plans", capacity=256))
+_STACK_CACHE = register_cache(
+    BoundedLruCache(name="ntt.plan_stacks", capacity=128)
+)
 
 
 def plan_for(degree: int, modulus: int, psi: int | None = None) -> NttPlan:
@@ -1184,9 +1512,9 @@ def plan_for(degree: int, modulus: int, psi: int | None = None) -> NttPlan:
         if psi is None:
             psi = primitive_nth_root_of_unity(2 * degree, modulus)
         plan = NttPlan(degree=degree, modulus=modulus, psi=psi)
-        _PLAN_CACHE[key] = plan
+        _PLAN_CACHE.put(key, plan)
     elif psi is not None and plan.psi != psi:
-        raise ValueError(
+        raise ParameterError(
             f"plan cache for (degree={degree}, q={modulus}) holds psi={plan.psi}, "
             f"but psi={psi} was requested; plans are keyed per ring, not per root"
         )
@@ -1199,8 +1527,66 @@ def plan_stack_for(moduli: tuple[int, ...], degree: int) -> NttPlanStack:
     stack = _STACK_CACHE.get(key)
     if stack is None:
         stack = NttPlanStack(tuple(plan_for(degree, q) for q in key[0]))
-        _STACK_CACHE[key] = stack
+        _STACK_CACHE.put(key, stack)
     return stack
+
+
+def reset_sentinels() -> None:
+    """Forget memoised sentinel verdicts so the next dispatch re-probes.
+
+    Used by the fault-injection harness after reverting an injected table
+    corruption: the cached "failed" verdicts would otherwise outlive the
+    fault they diagnosed.
+    """
+    for _, plan in _PLAN_CACHE.items():
+        plan._sentinel_state = None
+    for _, stack in _STACK_CACHE.items():
+        stack._sentinel_state = None
+
+
+def verify_plan(plan: "NttPlan | NttPlanStack") -> bool:
+    """Re-run the known-answer probe against the backend ``plan`` resolves now.
+
+    The build-time sentinel runs once, so table corruption *after* the build
+    (bit flips, a bad accelerator) would go unnoticed outside strict mode.
+    This is the operator/fault-drill entry point: it probes the currently
+    resolved backend, quarantines it on a mismatch (recording the event), and
+    returns whether the backend verified.  The reference oracle trivially
+    verifies.
+    """
+    backend = plan.resolve_backend()
+    if backend == BACKEND_REFERENCE:
+        return True
+    is_stack = isinstance(plan, NttPlanStack)
+    if is_stack:
+        probe = plan._sentinel_matrix()
+        modulus, psi = plan.moduli[0], plan.plans[0].psi
+        if backend == BACKEND_FOUR_STEP:
+            stack = plan.four_step_stack()
+            forward = lambda m: stack.transform(m, True)  # noqa: E731
+            inverse = lambda m: stack.transform(m, False)  # noqa: E731
+        else:
+            forward = lambda m: plan._butterfly_tiled(m, True)  # noqa: E731
+            inverse = lambda m: plan._butterfly_tiled(m, False)  # noqa: E731
+    else:
+        probe = _sentinel_vector(plan.degree, plan.modulus)
+        modulus, psi = plan.modulus, plan.psi
+        if backend == BACKEND_FOUR_STEP:
+            tables = plan.four_step_tables()
+            forward, inverse = tables.forward, tables.inverse
+        else:
+            forward = plan._forward_butterfly
+            inverse = plan._inverse_butterfly
+    ok = _sentinel_passes(forward, inverse, probe, modulus, psi)
+    if not ok:
+        if backend == BACKEND_FOUR_STEP:
+            plan._sentinel_state = "failed"
+        quarantine_backend(
+            backend,
+            reason="known-answer verification failed",
+            degree=plan.degree,
+        )
+    return ok
 
 
 def supports(moduli: tuple[int, ...], degree: int | None = None) -> bool:

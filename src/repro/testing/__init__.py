@@ -1,0 +1,19 @@
+"""Test-support utilities: the fault-injection harness for guardrail drills."""
+
+from repro.testing.faults import (
+    FaultHandle,
+    calibration_lie,
+    corrupted_butterfly_tables,
+    corrupted_four_step_tables,
+    flipped_ciphertext_bit,
+    perturbed_gemm_outputs,
+)
+
+__all__ = [
+    "FaultHandle",
+    "calibration_lie",
+    "corrupted_butterfly_tables",
+    "corrupted_four_step_tables",
+    "flipped_ciphertext_bit",
+    "perturbed_gemm_outputs",
+]

@@ -1,0 +1,192 @@
+"""Fault-injection drills for the runtime guardrails.
+
+Each context manager injects one concrete, reversible fault into the live
+stack -- a payload bit flip, a corrupted transform table, a lying GEMM
+kernel, a dispatch layer fed false calibration facts -- and restores every
+mutated table, attribute, and guardrail memo on exit.  The drills exist to
+prove the guardrail contract end to end: an injected fault must either be
+**detected** (a typed :class:`~repro.errors.ReproError` at the operator or
+kernel boundary) or **healed** (the backend is quarantined, dispatch falls
+down the degradation ladder ``four_step -> butterfly -> reference``, results
+stay bit-exact, and the event is recorded in `repro.diagnostics`) -- never
+silently wrong.
+
+The managers snapshot the quarantine set and the per-plan sentinel verdicts
+they may trip, so a drill leaves no residue in the process-wide dispatch
+state: guardrail reactions *inside* the ``with`` block are observable, and
+the exit restores the pre-fault world.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro.poly import ntt_engine
+
+
+@dataclass
+class FaultHandle:
+    """Descriptor of one injected fault, yielded by every drill."""
+
+    kind: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+def _snapshot_guardrails() -> tuple[frozenset, dict[Any, Any], dict[Any, Any]]:
+    """Capture quarantine membership plus every cached sentinel verdict."""
+    plans = {key: plan._sentinel_state for key, plan in ntt_engine._PLAN_CACHE.items()}
+    stacks = {
+        key: stack._sentinel_state for key, stack in ntt_engine._STACK_CACHE.items()
+    }
+    return frozenset(ntt_engine._QUARANTINE), plans, stacks
+
+
+def _restore_guardrails(
+    snapshot: tuple[frozenset, dict[Any, Any], dict[Any, Any]]
+) -> None:
+    """Put quarantine and sentinel memos back exactly as snapshotted.
+
+    Plans first seen during the drill fall back to a forgotten (``None``)
+    verdict so their next dispatch re-probes the healthy tables.
+    """
+    quarantined, plans, stacks = snapshot
+    if set(ntt_engine._QUARANTINE) != set(quarantined):
+        ntt_engine._QUARANTINE.clear()
+        ntt_engine._QUARANTINE.update(quarantined)
+        ntt_engine._DISPATCH_EPOCH += 1
+    for key, plan in ntt_engine._PLAN_CACHE.items():
+        plan._sentinel_state = plans.get(key)
+    for key, stack in ntt_engine._STACK_CACHE.items():
+        stack._sentinel_state = stacks.get(key)
+
+
+@contextmanager
+def flipped_ciphertext_bit(
+    ciphertext,
+    *,
+    component: str = "c0",
+    limb: int = 0,
+    coeff: int = 0,
+    bit: int = 63,
+) -> Iterator[FaultHandle]:
+    """Flip one bit of one residue word of a ciphertext component, in place.
+
+    The default flips bit 63, which pushes the residue past its modulus --
+    the canonical-representative invariant every kernel relies on.  Strict
+    mode (``REPRO_GEMM_STRICT=1``) detects this at the next evaluator
+    operation as an :class:`~repro.errors.IncompatibleOperands` entry-check
+    failure instead of silently decrypting garbage.
+    """
+    poly = getattr(ciphertext, component)
+    original = int(poly.residues[limb, coeff])
+    poly.residues[limb, coeff] = np.uint64(original ^ (1 << bit))
+    try:
+        yield FaultHandle(
+            "ciphertext_bit_flip",
+            {"component": component, "limb": limb, "coeff": coeff, "bit": bit},
+        )
+    finally:
+        poly.residues[limb, coeff] = np.uint64(original)
+
+
+@contextmanager
+def corrupted_butterfly_tables(plan, *, delta: int = 1) -> Iterator[FaultHandle]:
+    """Corrupt the butterfly backend's negacyclic twist tables, reversibly.
+
+    ``plan`` is an :class:`~repro.poly.ntt_engine.NttPlan` or
+    :class:`~repro.poly.ntt_engine.NttPlanStack`; the forward twist table the
+    hot path multiplies by is offset by ``delta``, so every forward transform
+    on the butterfly backend is wrong while the fault is live.  Detection:
+    :func:`~repro.poly.ntt_engine.verify_plan` (quarantine + ladder fallback)
+    or a strict-mode spot check (typed :class:`BackendExactnessError`).
+    """
+    table = (
+        plan._twist_br if isinstance(plan, ntt_engine.NttPlanStack) else plan.twist_br
+    )
+    snapshot = _snapshot_guardrails()
+    original = table.copy()
+    table += np.uint64(delta)
+    try:
+        yield FaultHandle("butterfly_table_corruption", {"delta": delta})
+    finally:
+        table[...] = original
+        _restore_guardrails(snapshot)
+
+
+@contextmanager
+def corrupted_four_step_tables(plan, *, delta: float = 1.0) -> Iterator[FaultHandle]:
+    """Corrupt the four-step GEMM backend's split constant matrix, reversibly.
+
+    Offsets the forward cascade's ``[hi; lo]`` column matrix by ``delta`` so
+    every four-step forward transform is wrong while the fault is live.  The
+    build-time sentinel (fresh plans), :func:`verify_plan` (already-vetted
+    plans), or a strict-mode spot check catches it; healing means dispatch
+    quarantines ``four_step`` and the butterfly backend serves bit-exact
+    results.
+    """
+    if isinstance(plan, ntt_engine.NttPlanStack):
+        tables = plan.four_step_stack()
+    else:
+        tables = plan.four_step_tables()
+    snapshot = _snapshot_guardrails()
+    matrix = tables._fwd_pack[0]
+    original = matrix.copy()
+    matrix += delta
+    try:
+        yield FaultHandle("four_step_table_corruption", {"delta": delta})
+    finally:
+        matrix[...] = original
+        _restore_guardrails(snapshot)
+
+
+@contextmanager
+def perturbed_gemm_outputs(*, delta: int = 1) -> Iterator[FaultHandle]:
+    """Make every four-step GEMM cascade return an off-by-``delta`` word.
+
+    Models a miscomputing matrix engine: the cascade's canonical uint64
+    output has ``delta`` XORed into element 0 of every row.  Detection runs
+    through the same sentinel / spot-check machinery as table corruption.
+    """
+    snapshot = _snapshot_guardrails()
+    original = ntt_engine._FourStepExec._cascade
+
+    def lying_cascade(self, data, forward):
+        out = original(self, data, forward)
+        out = out.copy()
+        out[..., 0] ^= np.uint64(delta)
+        return out
+
+    ntt_engine._FourStepExec._cascade = lying_cascade
+    try:
+        yield FaultHandle("gemm_output_perturbation", {"delta": delta})
+    finally:
+        ntt_engine._FourStepExec._cascade = original
+        _restore_guardrails(snapshot)
+
+
+@contextmanager
+def calibration_lie() -> Iterator[FaultHandle]:
+    """Feed dispatch the lie that the four-step split is exact everywhere.
+
+    Patches :func:`~repro.poly.ntt_engine.four_step_supported` to return
+    ``True`` unconditionally and drops the memoised calibration, so ``auto``
+    dispatch happily selects the GEMM backend on rings whose float64 split is
+    *not* exact.  The guardrail answer is healing: the vetted-table check
+    refuses inexact tables (recording a ``backend_fallback`` event) and the
+    butterfly/reference rungs serve bit-exact results; a direct call into the
+    inexact tables raises :class:`~repro.errors.BackendExactnessError`.
+    """
+    snapshot = _snapshot_guardrails()
+    original = ntt_engine.four_step_supported
+    ntt_engine.four_step_supported = lambda degree, moduli: True
+    ntt_engine.reset_calibration()
+    try:
+        yield FaultHandle("calibration_lie", {})
+    finally:
+        ntt_engine.four_step_supported = original
+        ntt_engine.reset_calibration()
+        _restore_guardrails(snapshot)

@@ -1,0 +1,250 @@
+"""Fault-injection drills: every injected fault is detected or healed.
+
+The guardrail contract under test: a corrupted payload, table, kernel, or
+calibration fact must end in a typed :class:`repro.errors.ReproError` (the
+fault is *detected*) or in a quarantine + degradation-ladder fallback whose
+results stay bit-exact and whose event is recorded in `repro.diagnostics`
+(the fault is *healed*).  No drill may produce a silently wrong transform or
+decode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import diagnostics
+from repro.errors import (
+    BackendExactnessError,
+    IncompatibleOperands,
+    ReproError,
+)
+from repro.numtheory.primes import generate_ntt_prime
+from repro.poly import ntt_engine
+from repro.poly.gemm_mod import set_strict
+from repro.poly.ntt_engine import (
+    BACKEND_BUTTERFLY,
+    BACKEND_FOUR_STEP,
+    NttPlan,
+    clear_quarantine,
+    plan_for,
+    plan_stack_for,
+    quarantine_backend,
+    quarantined_backends,
+    reset_sentinels,
+    verify_plan,
+)
+from repro.testing import (
+    calibration_lie,
+    corrupted_butterfly_tables,
+    corrupted_four_step_tables,
+    flipped_ciphertext_bit,
+    perturbed_gemm_outputs,
+)
+
+DEGREE = 64
+
+
+@pytest.fixture(autouse=True)
+def clean_guardrails():
+    """Every drill starts and ends with no quarantine and a clean event log."""
+    clear_quarantine()
+    diagnostics.clear_events()
+    yield
+    clear_quarantine()
+    reset_sentinels()
+    diagnostics.clear_events()
+
+
+@pytest.fixture(scope="module")
+def ring():
+    q = generate_ntt_prime(28, DEGREE)
+    plan = plan_for(DEGREE, q)
+    probe = (np.arange(DEGREE, dtype=np.uint64) * np.uint64(7919)) % np.uint64(q)
+    return {"q": q, "plan": plan, "probe": probe, "truth": plan.forward(probe.copy())}
+
+
+class TestCiphertextBitFlip:
+    def test_strict_mode_detects_non_canonical_payload(self, ckks_setup, rng):
+        env = ckks_setup
+        z = rng.uniform(-1, 1, env["params"].slot_count)
+        ct = env["encryptor"].encrypt(env["encoder"].encode(z))
+        other = env["encryptor"].encrypt(env["encoder"].encode(z))
+        previous = set_strict(True)
+        try:
+            with flipped_ciphertext_bit(ct, bit=63):
+                with pytest.raises(IncompatibleOperands, match="non-canonical"):
+                    env["evaluator"].add(ct, other)
+        finally:
+            set_strict(previous)
+        # Fault reverted: the ciphertext is healthy again.
+        set_strict(True)
+        try:
+            env["evaluator"].add(ct, other)
+        finally:
+            set_strict(previous)
+
+    def test_flip_is_reverted_on_exit(self, ckks_setup, rng):
+        env = ckks_setup
+        z = rng.uniform(-1, 1, env["params"].slot_count)
+        ct = env["encryptor"].encrypt(env["encoder"].encode(z))
+        original = int(ct.c0.residues[0, 0])
+        with flipped_ciphertext_bit(ct):
+            assert int(ct.c0.residues[0, 0]) != original
+        assert int(ct.c0.residues[0, 0]) == original
+
+
+class TestFourStepTableCorruption:
+    def test_sentinel_heals_fresh_plan(self, ring):
+        """A fresh (un-vetted) plan's build sentinel catches the corruption."""
+        reset_sentinels()
+        plan = ring["plan"]
+        with corrupted_four_step_tables(plan):
+            assert plan.resolve_backend() == BACKEND_FOUR_STEP
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"]), "healed result must be exact"
+            assert BACKEND_FOUR_STEP in quarantined_backends()
+            assert diagnostics.events("backend_quarantined")
+        assert not quarantined_backends()
+        assert np.array_equal(plan.forward(ring["probe"].copy()), ring["truth"])
+
+    def test_verify_plan_quarantines_vetted_plan(self, ring):
+        """A plan vetted before the fault needs the re-probe to catch it."""
+        plan = ring["plan"]
+        plan.forward(ring["probe"].copy())  # vet the tables pre-fault
+        with corrupted_four_step_tables(plan):
+            assert not verify_plan(plan)
+            assert BACKEND_FOUR_STEP in quarantined_backends()
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"])
+        assert verify_plan(ring["plan"])
+
+    def test_strict_spot_check_detects(self, ring, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_SPOT_STRIDE", "1")
+        plan = ring["plan"]
+        plan.forward(ring["probe"].copy())  # vet pre-fault: sentinel passes
+        previous = set_strict(True)
+        try:
+            with corrupted_four_step_tables(plan):
+                if plan.resolve_backend() == BACKEND_FOUR_STEP:
+                    with pytest.raises(BackendExactnessError):
+                        plan.forward(ring["probe"].copy())
+                    # quarantined by the failed check: next call heals
+                    out = plan.forward(ring["probe"].copy())
+                    assert np.array_equal(out, ring["truth"])
+        finally:
+            set_strict(previous)
+
+    def test_stack_sentinel_heals(self):
+        from repro.numtheory.crt import RnsBasis
+
+        basis = RnsBasis.generate(3, 28, DEGREE)
+        stack = plan_stack_for(basis.moduli, DEGREE)
+        matrix = np.stack(
+            [
+                (np.arange(DEGREE, dtype=np.uint64) * np.uint64(31 + i))
+                % np.uint64(q)
+                for i, q in enumerate(basis.moduli)
+            ]
+        )
+        truth = stack.forward(matrix.copy())
+        reset_sentinels()
+        with corrupted_four_step_tables(stack):
+            out = stack.forward(matrix.copy())
+            assert np.array_equal(out, truth)
+            assert BACKEND_FOUR_STEP in quarantined_backends()
+        assert np.array_equal(stack.forward(matrix.copy()), truth)
+
+
+class TestButterflyTableCorruption:
+    def test_verify_plan_quarantines_butterfly(self, ring):
+        plan = NttPlan(
+            degree=DEGREE,
+            modulus=ring["q"],
+            psi=ring["plan"].psi,
+            backend=BACKEND_BUTTERFLY,
+        )
+        with corrupted_butterfly_tables(plan):
+            assert not verify_plan(plan)
+            assert BACKEND_BUTTERFLY in quarantined_backends()
+            # The ladder's butterfly rung is gone: dispatch heals elsewhere.
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"])
+        assert verify_plan(plan)
+
+    def test_strict_spot_check_detects_butterfly(self, ring, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_SPOT_STRIDE", "1")
+        plan = NttPlan(
+            degree=DEGREE,
+            modulus=ring["q"],
+            psi=ring["plan"].psi,
+            backend=BACKEND_BUTTERFLY,
+        )
+        previous = set_strict(True)
+        try:
+            with corrupted_butterfly_tables(plan):
+                with pytest.raises(BackendExactnessError):
+                    plan.forward(ring["probe"].copy())
+        finally:
+            set_strict(previous)
+
+
+class TestGemmPerturbation:
+    def test_sentinel_heals_perturbed_cascade(self, ring):
+        reset_sentinels()
+        plan = ring["plan"]
+        with perturbed_gemm_outputs():
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"])
+            assert BACKEND_FOUR_STEP in quarantined_backends()
+        assert np.array_equal(plan.forward(ring["probe"].copy()), ring["truth"])
+
+
+class TestCalibrationLie:
+    def test_lie_heals_with_recorded_fallback(self):
+        wide_q = generate_ntt_prime(30, 8192)
+        plan = plan_for(8192, wide_q)
+        assert not ntt_engine.four_step_supported(8192, (wide_q,))
+        probe = (np.arange(8192, dtype=np.uint64) * np.uint64(97)) % np.uint64(
+            wide_q
+        )
+        truth = plan.forward(probe.copy())
+        with calibration_lie():
+            assert plan.resolve_backend() == BACKEND_FOUR_STEP
+            out = plan.forward(probe.copy())
+            assert np.array_equal(out, truth), "lied dispatch must heal bit-exactly"
+            assert diagnostics.events("backend_fallback")
+        assert plan.resolve_backend() != BACKEND_FOUR_STEP
+
+    def test_direct_use_of_inexact_tables_is_typed(self):
+        wide_q = generate_ntt_prime(30, 8192)
+        tables = plan_for(8192, wide_q).four_step_tables()
+        assert not tables.exact
+        with pytest.raises(BackendExactnessError):
+            tables.forward(np.zeros(8192, dtype=np.uint64))
+
+
+class TestQuarantineApi:
+    def test_quarantine_is_idempotent_and_observable(self):
+        quarantine_backend(BACKEND_FOUR_STEP, reason="drill")
+        quarantine_backend(BACKEND_FOUR_STEP, reason="drill")
+        assert quarantined_backends() == frozenset({BACKEND_FOUR_STEP})
+        assert len(diagnostics.events("backend_quarantined")) == 1
+        clear_quarantine()
+        assert not quarantined_backends()
+
+    def test_reference_cannot_be_quarantined(self):
+        with pytest.raises(ReproError):
+            quarantine_backend("reference", reason="drill")
+
+    def test_quarantine_reroutes_resolution(self, ring):
+        plan = ring["plan"]
+        assert plan.resolve_backend() == BACKEND_FOUR_STEP
+        quarantine_backend(BACKEND_FOUR_STEP, reason="drill")
+        assert plan.resolve_backend() == BACKEND_BUTTERFLY
+        quarantine_backend(BACKEND_BUTTERFLY, reason="drill")
+        assert plan.resolve_backend() == "reference"
+        out = plan.forward(ring["probe"].copy())
+        assert np.array_equal(out, ring["truth"])
+        clear_quarantine()
+        assert plan.resolve_backend() == BACKEND_FOUR_STEP
