@@ -1,0 +1,202 @@
+"""CI gate: serving load benchmark -- throughput/latency, with and without faults.
+
+Run directly (no pytest needed)::
+
+    PYTHONPATH=src python benchmarks/bench_serving_load.py [--quick] [--json PATH]
+
+Phase 1 (fault-free) drives a sustained request stream through a live
+:class:`repro.serving.InferenceServer` (8 workers, two tenants) and records
+sustained req/s plus p50/p99 end-to-end latency (queue wait + service time),
+decode-checking every result against the plaintext model.
+
+Phase 2 (faulted) replays every :mod:`repro.testing.faults` drill under the
+same concurrency via :func:`repro.testing.chaos.run_chaos` and records the
+same latency percentiles for the requests that completed while faults were
+live, plus the outcome classification.
+
+The gates are the resilience booleans, not machine-dependent latency
+numbers (those are recorded for the perf trajectory):
+
+* ``fault_free_all_correct`` -- every fault-free request completes and
+  decodes correctly;
+* ``no_silent_corruption``  -- chaos ``silent == 0``;
+* ``no_hangs``              -- chaos ``hung == 0``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+
+import numpy as np
+
+from repro.poly import ntt_engine
+from repro.serving import InferenceRequest, InferenceServer, TenantRegistry
+from repro.testing.chaos import build_tenants, prepare_work, run_chaos
+
+WORKERS = 8
+
+
+def _percentiles(samples_s: list[float]) -> dict:
+    if not samples_s:
+        return {"p50_ms": None, "p99_ms": None}
+    values = np.asarray(samples_s) * 1e3
+    return {
+        "p50_ms": round(float(np.percentile(values, 50)), 3),
+        "p99_ms": round(float(np.percentile(values, 99)), 3),
+    }
+
+
+def run_fault_free_phase(requests: int, seed: int = 7) -> dict:
+    """Sustained load, no faults: throughput, latency, decode correctness."""
+    registry = TenantRegistry()
+    clients = build_tenants(registry, seed=seed)
+    rng = np.random.default_rng(seed)
+    work = prepare_work(clients, requests=requests, rng=rng)
+    latencies = []
+    correct = 0
+    failed = 0
+    started = time.perf_counter()
+    with InferenceServer(
+        registry,
+        workers=WORKERS,
+        queue_capacity=max(2 * requests, 16),
+        default_timeout_s=120.0,
+        rng_seed=seed,
+    ) as server:
+        tickets = [
+            (
+                client,
+                features,
+                server.submit(
+                    InferenceRequest(client.tenant_id, client.circuit, payload=ct)
+                ),
+            )
+            for _, client, features, ct in work
+        ]
+        for client, features, ticket in tickets:
+            try:
+                result = ticket.result(timeout=120.0)
+            except Exception:
+                failed += 1
+                continue
+            diag = ticket.diagnostics
+            latencies.append(diag["queue_wait_s"] + diag["service_s"])
+            decoded = client.decode(result)
+            if np.abs(decoded - client.expected(features)).max() <= 1e-3:
+                correct += 1
+        elapsed = time.perf_counter() - started
+        health = server.health()
+    return {
+        "requests": requests,
+        "completed": len(latencies),
+        "correct": correct,
+        "failed": failed,
+        "elapsed_s": round(elapsed, 3),
+        "throughput_rps": round(len(latencies) / elapsed, 2) if elapsed else None,
+        "queue_high_water": health["queue"]["high_water"],
+        **_percentiles(latencies),
+    }
+
+
+def run_faulted_phase(requests_per_drill: int, seed: int = 7) -> dict:
+    """Every fault drill under concurrent load, via the chaos harness."""
+    report = run_chaos(
+        requests_per_drill=requests_per_drill, workers=WORKERS, seed=seed
+    )
+    latencies = [
+        latency for outcome in report.outcomes for latency in outcome.latencies_s
+    ]
+    summary = report.summary()
+    summary.update(_percentiles(latencies))
+    return summary
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller request counts for CI"
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="write a machine-readable summary"
+    )
+    args = parser.parse_args()
+
+    fault_free_requests = 48 if args.quick else 200
+    requests_per_drill = 8 if args.quick else 16
+
+    print(
+        f"Serving load benchmark ({WORKERS} workers, "
+        f"{fault_free_requests} fault-free requests, "
+        f"{requests_per_drill} requests/drill)"
+    )
+
+    fault_free = run_fault_free_phase(fault_free_requests)
+    print(
+        f"fault-free: {fault_free['completed']}/{fault_free['requests']} completed, "
+        f"{fault_free['correct']} correct, "
+        f"{fault_free['throughput_rps']} req/s, "
+        f"p50 {fault_free['p50_ms']} ms, p99 {fault_free['p99_ms']} ms"
+    )
+
+    faulted = run_faulted_phase(requests_per_drill)
+    print(
+        f"faulted:    {faulted['requests']} requests over "
+        f"{len(faulted['drills'])} drills, {faulted['correct']} correct, "
+        f"{faulted['typed_failures']} typed failures, "
+        f"{faulted['silent']} silent, {faulted['hung']} hung, "
+        f"p50 {faulted['p50_ms']} ms, p99 {faulted['p99_ms']} ms"
+    )
+    ntt_engine.clear_quarantine()
+    ntt_engine.reset_sentinels()
+
+    gates = [
+        {
+            "name": "fault_free_all_correct",
+            "threshold": fault_free["requests"],
+            "value": fault_free["correct"],
+            "passed": fault_free["correct"] == fault_free["requests"],
+        },
+        {
+            "name": "no_silent_corruption",
+            "threshold": 0,
+            "value": faulted["silent"],
+            "passed": faulted["silent"] == 0,
+        },
+        {
+            "name": "no_hangs",
+            "threshold": 0,
+            "value": faulted["hung"],
+            "passed": faulted["hung"] == 0,
+        },
+    ]
+    passed = all(gate["passed"] for gate in gates)
+    print()
+    for gate in gates:
+        print(
+            f"gate {gate['name']}: value={gate['value']} "
+            f"threshold={gate['threshold']} -> "
+            f"{'PASS' if gate['passed'] else 'FAIL'}"
+        )
+
+    if args.json:
+        summary = {
+            "name": "serving_load",
+            "config": {
+                "workers": WORKERS,
+                "fault_free_requests": fault_free_requests,
+                "requests_per_drill": requests_per_drill,
+            },
+            "fault_free": fault_free,
+            "faulted": faulted,
+            "gates": gates,
+            "passed": passed,
+        }
+        with open(args.json, "w") as handle:
+            json.dump(summary, handle, indent=2)
+    return 0 if passed else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,6 +43,7 @@ GATES = [
     ("linear_transform", "benchmarks/bench_linear_transform.py"),
     ("poly_eval", "benchmarks/bench_poly_eval.py"),
     ("fault_injection", "benchmarks/bench_fault_injection.py"),
+    ("serving_load", "benchmarks/bench_serving_load.py"),
 ]
 
 

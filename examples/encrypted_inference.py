@@ -1,75 +1,141 @@
-"""Encrypted-inference example: a private linear model over encrypted features.
+"""Encrypted-inference example: two tenants against the serving runtime.
 
-Mirrors the paper's motivating scenario (Fig. 1): the client encrypts its
-feature vector; the server evaluates a model (here a diagonal linear layer
-followed by a square activation, the building blocks of the MNIST CNN of
-section V-D) without ever seeing the data; the client decrypts the score.
-The second half estimates what the full MNIST CNN schedule costs on the
-simulated TPU, reproducing the section V-D methodology.
+Mirrors the paper's motivating scenario (Fig. 1) as a *service*: each client
+keeps its secret key, encrypts a feature vector, and submits an inference
+request to a shared :class:`repro.serving.InferenceServer`; the server
+evaluates the model (a diagonal linear layer followed by a square
+activation, the building blocks of the MNIST CNN of section V-D) inside the
+tenant's session -- which holds only *evaluation* keys -- and the client
+polls its ticket and decrypts the score.
 
-Run:  python examples/encrypted_inference.py
+The last section injects a real fault (one flipped payload bit, pushing a
+residue past its modulus) with strict-mode guardrails on: the request fails
+with a typed error instead of decrypting garbage, while a healthy request
+submitted alongside it completes untouched.
+
+Run:  PYTHONPATH=src python examples/encrypted_inference.py
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 
 from repro.ckks import (
     CkksEncoder,
-    CkksEvaluator,
     CkksParameters,
     Decryptor,
     Encryptor,
     KeyGenerator,
 )
-from repro.core.compiler import CompilerOptions, CrossCompiler
-from repro.core.config import SecurityParams
-from repro.tpu import TensorCoreDevice
-from repro.workloads import estimate_mnist_inference, run_encrypted_linear_layer
+from repro.errors import ReproError
+from repro.poly.gemm_mod import set_strict
+from repro.serving import InferenceRequest, InferenceServer, TenantRegistry
+from repro.workloads import run_encrypted_linear_layer
 
 
-def encrypted_model_demo() -> None:
-    """Evaluate  score = (w * x + b)^2  on encrypted x."""
-    params = CkksParameters.create(degree=64, limbs=4, log_q=28, dnum=2, scale_bits=21)
-    keygen = KeyGenerator(params)
-    encoder = CkksEncoder(params)
-    encryptor = Encryptor(params, keygen.public_key(), keygen)
-    decryptor = Decryptor(params, keygen.secret_key)
-    evaluator = CkksEvaluator(params, relin_key=keygen.relinearization_key())
+class Client:
+    """One tenant's client side: secret key, encoder, plaintext model."""
 
-    rng = np.random.default_rng(7)
-    features = rng.uniform(-1, 1, params.slot_count)
-    weights = rng.uniform(-1, 1, params.slot_count)
-    bias = rng.uniform(-0.2, 0.2, params.slot_count)
+    def __init__(self, tenant_id: str, registry: TenantRegistry, seed: int):
+        self.tenant_id = tenant_id
+        self.params = CkksParameters.create(
+            degree=64, limbs=4, log_q=28, dnum=2, scale_bits=26
+        )
+        keygen = KeyGenerator(self.params, rng=np.random.default_rng(seed))
+        self.encoder = CkksEncoder(self.params)
+        self.encryptor = Encryptor(self.params, keygen.public_key(), keygen)
+        self.decryptor = Decryptor(self.params, keygen.secret_key)
+        rng = np.random.default_rng(seed + 1)
+        self.weights = rng.uniform(-1, 1, self.params.slot_count)
+        self.bias = rng.uniform(-0.2, 0.2, self.params.slot_count)
+        # Registration ships ONLY evaluation keys; the secret key and the
+        # decryptor never leave this object.
+        registry.register(
+            tenant_id, self.params, relin_key=keygen.relinearization_key()
+        )
 
-    encrypted = encryptor.encrypt(encoder.encode_real(features))
-    linear = run_encrypted_linear_layer(evaluator, encoder, encrypted, weights, bias)
-    activated = evaluator.rescale(evaluator.square(linear))
+    def circuit(self, session, payload):
+        """score = (w * x + b)^2, evaluated server-side on encrypted x."""
+        linear = run_encrypted_linear_layer(
+            session.evaluator, session.encoder, payload, self.weights, self.bias
+        )
+        return session.evaluator.rescale(session.evaluator.square(linear))
 
-    decoded = encoder.decode(decryptor.decrypt(activated)).real
-    expected = (weights * features + bias) ** 2
-    print("== encrypted linear layer + square activation ==")
-    print(f"  slots: {params.slot_count}, levels used: {params.limbs - activated.level}")
-    print(f"  max error vs plaintext model: {np.abs(decoded - expected).max():.2e}")
+    def make_request(self, features: np.ndarray) -> InferenceRequest:
+        encrypted = self.encryptor.encrypt(self.encoder.encode(features))
+        return InferenceRequest(self.tenant_id, self.circuit, payload=encrypted)
+
+    def decrypt_score(self, ciphertext) -> np.ndarray:
+        return self.encoder.decode(self.decryptor.decrypt(ciphertext)).real
+
+    def expected_score(self, features: np.ndarray) -> np.ndarray:
+        return (self.weights * features + self.bias) ** 2
 
 
-def mnist_schedule_demo() -> None:
-    """Cost the paper's MNIST CNN schedule on a simulated TPUv6e."""
-    mnist_params = SecurityParams(name="mnist", degree=2**13, log_q=28, limbs=18, dnum=3)
-    device = TensorCoreDevice.for_generation("TPUv6e")
-    cross = estimate_mnist_inference(
-        CrossCompiler(mnist_params, CompilerOptions.cross_default()), device, tensor_cores=8
-    )
-    baseline = estimate_mnist_inference(
-        CrossCompiler(mnist_params, CompilerOptions.gpu_baseline()), device, tensor_cores=8
-    )
-    print("\n== MNIST CNN schedule on simulated TPUv6e-8 (paper: 270 ms/image) ==")
-    print(f"  operator counts: {cross.operator_counts}")
-    print(f"  CROSS     : {cross.latency_ms:8.1f} ms/image")
-    print(f"  GPU flow  : {baseline.latency_ms:8.1f} ms/image")
-    print(f"  speedup   : {baseline.latency_ms / cross.latency_ms:4.2f}x")
+def poll(ticket, interval_s: float = 0.01, timeout_s: float = 30.0):
+    """Submit -> poll -> result: the client-side request loop."""
+    deadline = time.monotonic() + timeout_s
+    while not ticket.done() and time.monotonic() < deadline:
+        time.sleep(interval_s)
+    return ticket.result(timeout=0.1)
+
+
+def main() -> None:
+    registry = TenantRegistry()
+    alice = Client("alice", registry, seed=7)
+    bob = Client("bob", registry, seed=21)
+    rng = np.random.default_rng(3)
+
+    with InferenceServer(registry, workers=4, queue_capacity=16) as server:
+        print("== two tenants, submit -> poll -> decrypt ==")
+        for client in (alice, bob):
+            features = rng.uniform(-1, 1, client.params.slot_count)
+            ticket = server.submit(client.make_request(features))
+            score = client.decrypt_score(poll(ticket))
+            error = np.abs(score - client.expected_score(features)).max()
+            diag = ticket.diagnostics
+            print(
+                f"  {client.tenant_id}: request {diag['request_id']} served on "
+                f"backend={diag['backend']} in {diag['service_s'] * 1e3:.1f} ms "
+                f"(queue wait {diag['queue_wait_s'] * 1e3:.2f} ms, "
+                f"noise headroom {diag['noise_headroom_bits']} bits), "
+                f"max error vs plaintext model: {error:.2e}"
+            )
+
+        print("\n== injected fault: one flipped ciphertext bit ==")
+        previous_strict = set_strict(True)  # canonical-residue entry checks on
+        try:
+            features = rng.uniform(-1, 1, alice.params.slot_count)
+            corrupted = alice.make_request(features)
+            # Flip bit 63 of one residue word: the payload is no longer a
+            # canonical representative, which strict mode must catch.
+            word = int(corrupted.payload.c0.residues[0, 0])
+            corrupted.payload.c0.residues[0, 0] = np.uint64(word ^ (1 << 63))
+            healthy = bob.make_request(features)
+
+            corrupted_ticket = server.submit(corrupted)
+            healthy_ticket = server.submit(healthy)
+            try:
+                poll(corrupted_ticket)
+                print("  UNEXPECTED: corrupted request decrypted something")
+            except ReproError as exc:
+                print(f"  corrupted request failed typed: {type(exc).__name__}")
+                print(f"    {exc}")
+            score = bob.decrypt_score(poll(healthy_ticket))
+            error = np.abs(score - bob.expected_score(features)).max()
+            print(f"  healthy request alongside it: max error {error:.2e}")
+        finally:
+            set_strict(previous_strict)
+
+        health = server.health()
+        print(
+            f"\nserver health: status={health['status']} "
+            f"served={health['served']} failed={health['failed']} "
+            f"quarantined={health['quarantined_backends']}"
+        )
 
 
 if __name__ == "__main__":
-    encrypted_model_demo()
-    mnist_schedule_demo()
+    main()

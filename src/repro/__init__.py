@@ -15,6 +15,8 @@ Package map
 ``repro.core``       BAT, MAT, the 3-step NTT, the kernel IR and compiler
 ``repro.tpu``        simulated tensor-core devices (MXU/VPU/XLU + roofline)
 ``repro.ckks``       the CKKS scheme (encoder, evaluator, key switching)
+``repro.cancellation`` cooperative deadlines/cancellation for deep circuits
+``repro.serving``    multi-tenant serving runtime (queue, retries, breaker)
 ``repro.perf``       power-matched energy-efficiency methodology + paper data
 ``repro.baselines``  the GPU-flow baselines the paper compares against
 ``repro.workloads``  MNIST CNN and HELR logistic-regression workloads
@@ -26,6 +28,7 @@ __version__ = "1.0.0"
 __all__ = [
     "analysis",
     "baselines",
+    "cancellation",
     "ckks",
     "core",
     "diagnostics",
@@ -33,6 +36,7 @@ __all__ = [
     "numtheory",
     "perf",
     "poly",
+    "serving",
     "testing",
     "tpu",
     "workloads",

@@ -30,6 +30,7 @@ from repro.ckks.keyswitch import (
     switch_extended_eval,
     switch_key,
 )
+from repro.cancellation import checkpoint
 from repro.ckks.noise import NoiseModel
 from repro.ckks.params import CkksParameters
 from repro.errors import (
@@ -131,7 +132,14 @@ class CkksEvaluator:
         polynomials agree on basis and domain -- so misuse surfaces as a
         typed error at the operator boundary instead of a NumPy broadcasting
         failure three stack frames down.
+
+        Doubles as the cooperative-cancellation checkpoint: every public
+        operator validates on entry, so a served request whose deadline
+        passed (or whose scope was cancelled by a drain) aborts between HE
+        operations of an arbitrarily deep circuit instead of running to
+        completion unobserved.
         """
+        checkpoint()
         level = getattr(operand, "level", None)
         if not isinstance(level, int) or not 1 <= level <= self.params.limbs:
             raise LevelExhausted(
@@ -678,6 +686,7 @@ class CkksEvaluator:
         self, hoisted: HoistedCiphertext, exponent: int
     ) -> Ciphertext:
         """Automorphism + key switch, reusing the hoisted digit tensor."""
+        checkpoint()  # hoisted rotations bypass validate(); BSGS ladders are long
         if self.galois_keys is None:
             raise MissingKeyError(
                 "rotation requires Galois keys; construct the evaluator with "

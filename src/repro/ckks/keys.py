@@ -125,9 +125,15 @@ class GaloisKeySet:
         try:
             return self.keys[exponent]
         except KeyError as exc:
+            available = sorted(self.keys)
             raise MissingKeyError(
-                f"no Galois key generated for automorphism exponent {exponent}; "
-                "generate it with KeyGenerator.galois_keys_for_steps(...)"
+                f"no Galois key for automorphism exponent {exponent} "
+                f"(generated exponents: {available or 'none'}); generate the "
+                "exact set the circuit rotates with "
+                "KeyGenerator.galois_keys_for_steps("
+                "required_rotation_steps(*transforms)) -- see "
+                "repro.ckks.linear_transform.required_rotation_steps -- and "
+                "register the result with the tenant's evaluator/session"
             ) from exc
 
 

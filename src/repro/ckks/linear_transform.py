@@ -361,7 +361,8 @@ class DiagonalLinearTransform:
                 if evaluator.galois_keys is None:
                     raise MissingKeyError(
                         "giant-step rotation requires Galois keys; generate "
-                        "them for required_rotation_steps(transform)"
+                        "them with KeyGenerator.galois_keys_for_steps("
+                        "required_rotation_steps(transform))"
                     )
                 exponent = self.encoder.slot_rotation_exponent(g * self.n1)
                 key = evaluator.galois_keys.key_for(exponent)

@@ -91,13 +91,22 @@ def report() -> dict[str, Any]:
 # --------------------------------------------------------------------- caches
 @dataclass(eq=False)
 class BoundedLruCache:
-    """A dict-like LRU cache with a capacity bound and hit/miss counters.
+    """A dict-like, thread-safe LRU cache with a capacity bound and counters.
 
     ``get`` moves the entry to the most-recently-used end (true LRU, not FIFO)
     and ``put`` evicts the least-recently-used entry once ``capacity`` is
     reached.  All process-wide memoisation caches (NTT plans, calibration,
     encode cache, BConv tables) are instances registered with
     :func:`register_cache`.
+
+    Every operation that touches the backing ``OrderedDict`` holds a
+    per-cache re-entrant lock: these caches sit under every concurrently
+    served request (NTT plans, calibration, plaintext encodes), and an
+    unlocked ``move_to_end``/``popitem`` pair racing across threads corrupts
+    the dict.  :meth:`get_or_create` runs the factory *outside* the lock --
+    a slow plan build must not serialise unrelated lookups, and entries are
+    immutable, so the losing builder of a rare duplicate race simply adopts
+    the winner's entry.
     """
 
     name: str
@@ -106,61 +115,86 @@ class BoundedLruCache:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    _lock: threading.RLock = field(
+        default_factory=threading.RLock, repr=False
+    )
 
     def get(self, key: Hashable, default: Any = None) -> Any:
-        try:
-            value = self._data[key]
-        except KeyError:
-            self.misses += 1
-            return default
-        self._data.move_to_end(key)
-        self.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._data[key]
+            except KeyError:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
-        if key in self._data:
-            self._data.move_to_end(key)
-        self._data[key] = value
-        while len(self._data) > self.capacity:
-            self._data.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
 
     def get_or_create(self, key: Hashable, factory: Callable[[], Any]) -> Any:
-        """Return the cached value, building and inserting it on a miss."""
+        """Return the cached value, building and inserting it on a miss.
+
+        The factory runs without the lock held; when two threads race on the
+        same missing key the first ``put`` wins and the loser returns the
+        winner's (immutable) entry.
+        """
         sentinel = object()
         value = self.get(key, sentinel)
-        if value is sentinel:
-            value = factory()
-            self.put(key, value)
-        return value
+        if value is not sentinel:
+            return value
+        created = factory()
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                return self._data[key]
+            self._data[key] = created
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+        return created
 
     def __contains__(self, key: Hashable) -> bool:
-        return key in self._data
+        with self._lock:
+            return key in self._data
 
     def __len__(self) -> int:
-        return len(self._data)
+        with self._lock:
+            return len(self._data)
 
     def __iter__(self) -> Iterator:
-        return iter(self._data)
+        with self._lock:
+            return iter(list(self._data))
 
     def items(self) -> list[tuple[Hashable, Any]]:
         """Snapshot of ``(key, value)`` pairs, LRU first (no counter effects)."""
-        return list(self._data.items())
+        with self._lock:
+            return list(self._data.items())
 
     def pop(self, key: Hashable, default: Any = None) -> Any:
-        return self._data.pop(key, default)
+        with self._lock:
+            return self._data.pop(key, default)
 
     def clear(self) -> None:
-        self._data.clear()
+        with self._lock:
+            self._data.clear()
 
     def stats(self) -> dict[str, int]:
-        return {
-            "size": len(self._data),
-            "capacity": self.capacity,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "size": len(self._data),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class WeakCacheGroup:
@@ -170,20 +204,31 @@ class WeakCacheGroup:
     are owned by their objects but should still appear in the process-wide
     :func:`cache_stats` report.  Members join via :meth:`add`; the group never
     extends their lifetime.
+
+    Membership changes and walks hold a group lock: a ``WeakSet`` mutated by
+    a garbage-collection callback while another thread iterates it raises,
+    so both :meth:`stats` and :meth:`clear` snapshot the membership under the
+    lock and then talk to each (itself thread-safe) member outside it.
     """
 
     def __init__(self, name: str):
         self.name = name
         self._members: "weakref.WeakSet[BoundedLruCache]" = weakref.WeakSet()
+        self._lock = threading.Lock()
 
     def add(self, cache: "BoundedLruCache") -> "BoundedLruCache":
-        self._members.add(cache)
+        with self._lock:
+            self._members.add(cache)
         return cache
+
+    def _snapshot(self) -> list["BoundedLruCache"]:
+        with self._lock:
+            return list(self._members)
 
     def stats(self) -> dict[str, int]:
         totals = {"size": 0, "capacity": 0, "hits": 0, "misses": 0, "evictions": 0}
         count = 0
-        for member in list(self._members):
+        for member in self._snapshot():
             count += 1
             for key, value in member.stats().items():
                 totals[key] += value
@@ -191,11 +236,12 @@ class WeakCacheGroup:
         return totals
 
     def clear(self) -> None:
-        for member in list(self._members):
+        for member in self._snapshot():
             member.clear()
 
 
 _caches: dict[str, Any] = {}
+_registry_lock = threading.Lock()
 
 
 def register_cache(cache: Any, name: str | None = None) -> Any:
@@ -205,26 +251,32 @@ def register_cache(cache: Any, name: str | None = None) -> Any:
     (e.g. an encoder exposing aggregate stats for its per-instance caches).
     Returns the cache for fluent use at definition sites.
     """
-    key = name or getattr(cache, "name", None) or f"cache_{len(_caches)}"
-    _caches[key] = cache
+    with _registry_lock:
+        key = name or getattr(cache, "name", None) or f"cache_{len(_caches)}"
+        _caches[key] = cache
     return cache
 
 
 def register_cache_group(name: str) -> WeakCacheGroup:
     """Create (or fetch) a named weak group for per-instance caches."""
-    group = _caches.get(name)
-    if not isinstance(group, WeakCacheGroup):
-        group = WeakCacheGroup(name)
-        _caches[name] = group
-    return group
+    with _registry_lock:
+        group = _caches.get(name)
+        if not isinstance(group, WeakCacheGroup):
+            group = WeakCacheGroup(name)
+            _caches[name] = group
+        return group
 
 
 def cache_stats() -> dict[str, dict[str, int]]:
     """Size / capacity / hit / miss / eviction counters for every registered cache."""
-    return {name: cache.stats() for name, cache in sorted(_caches.items())}
+    with _registry_lock:
+        registered = sorted(_caches.items())
+    return {name: cache.stats() for name, cache in registered}
 
 
 def clear_caches() -> None:
     """Empty every registered cache (bench isolation, fault-drill cleanup)."""
-    for cache in _caches.values():
+    with _registry_lock:
+        registered = list(_caches.values())
+    for cache in registered:
         cache.clear()

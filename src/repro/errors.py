@@ -22,6 +22,16 @@ Hierarchy
     ``MissingKeyError(KeyError)`` -- evaluation/Galois key material absent
     ``BackendExactnessError(ArithmeticError)`` -- a kernel backend failed an
     exactness sentinel (known-answer probe or strict-mode spot check)
+    ``ServingError`` -- the serving-runtime branch (``repro.serving``)
+        ``ServiceOverloaded(RuntimeError)`` -- admission control shed the
+        request (queue full); safe for the *client* to retry with backoff
+        ``ServiceUnavailable(RuntimeError)`` -- the server is draining or
+        stopped and accepts no new work
+        ``DeadlineExceeded(TimeoutError)`` -- the request's deadline passed
+        (checked cooperatively at evaluator checkpoints); terminal
+        ``RequestCancelled`` -- the request's cancel scope was cancelled
+        explicitly (drain, client abandon); terminal
+        ``TenantNotFound(KeyError)`` -- no session registered for the tenant
 """
 
 from __future__ import annotations
@@ -38,6 +48,12 @@ __all__ = [
     "NoiseBudgetExhausted",
     "MissingKeyError",
     "BackendExactnessError",
+    "ServingError",
+    "ServiceOverloaded",
+    "ServiceUnavailable",
+    "DeadlineExceeded",
+    "RequestCancelled",
+    "TenantNotFound",
     "operand_signature",
 ]
 
@@ -138,3 +154,52 @@ class BackendExactnessError(ReproError, ArithmeticError):
     miscalibration).  The dispatch layer quarantines the backend and degrades
     four_step -> butterfly -> reference instead of corrupting ciphertexts.
     """
+
+
+class ServingError(ReproError):
+    """Base class of the serving-runtime (``repro.serving``) failures.
+
+    The retry policy treats every ``ServingError`` as terminal *server-side*:
+    a shed or expired request must not silently re-enter the queue.  Clients
+    may retry :class:`ServiceOverloaded` with their own backoff.
+    """
+
+
+class ServiceOverloaded(ServingError, RuntimeError):
+    """Admission control rejected the request: the bounded queue is full.
+
+    This is load shedding, not failure of the work itself -- the request was
+    never accepted, so the client can safely retry after backing off.  The
+    message carries the queue depth and capacity so the rejection is
+    self-diagnosing.
+    """
+
+
+class ServiceUnavailable(ServingError, RuntimeError):
+    """The server is draining or stopped and accepts no new requests."""
+
+
+class DeadlineExceeded(ServingError, TimeoutError):
+    """The request's deadline passed before its circuit completed.
+
+    Raised cooperatively at evaluator checkpoints (every public operator
+    validates its operands and polls the ambient cancel scope), so a deep
+    circuit aborts between HE operations instead of running to completion on
+    a request nobody is waiting for.  Terminal: retrying cannot beat a
+    deadline that has already passed.
+    """
+
+
+class RequestCancelled(ServingError):
+    """The request's cancel scope was cancelled explicitly.
+
+    Graceful drain and client abandonment cancel in-flight scopes; the next
+    evaluator checkpoint raises this instead of finishing the circuit.
+    """
+
+
+class TenantNotFound(ServingError, KeyError):
+    """No session is registered for the requested tenant id."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep a readable message
+        return ", ".join(str(a) for a in self.args)

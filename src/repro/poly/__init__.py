@@ -30,6 +30,7 @@ from repro.poly.ntt_engine import (
     NttPlan,
     NttPlanStack,
     clear_quarantine,
+    lift_quarantine,
     plan_for,
     plan_stack_for,
     quarantine_backend,
@@ -68,6 +69,7 @@ __all__ = [
     "RnsPolynomial",
     "as_blas_operand",
     "clear_quarantine",
+    "lift_quarantine",
     "conversion_for",
     "modular_matmul",
     "plan_for",

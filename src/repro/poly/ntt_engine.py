@@ -98,6 +98,9 @@ BACKEND_FOUR_STEP = "four_step"
 BACKEND_REFERENCE = "reference"
 BACKEND_AUTO = "auto"
 BACKENDS = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_REFERENCE)
+#: Backends the quarantine ladder may remove from dispatch (the reference
+#: oracle is the floor of the ladder and can never be quarantined).
+BACKENDS_QUARANTINABLE = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP)
 
 _BACKEND_ENV = "REPRO_NTT_BACKEND"
 _CALIBRATE_ENV = "REPRO_NTT_CALIBRATE"
@@ -761,7 +764,7 @@ def quarantine_backend(name: str, **details) -> None:
     epoch so every memoised plan re-resolves on its next call.
     """
     global _DISPATCH_EPOCH
-    if name not in (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP):
+    if name not in BACKENDS_QUARANTINABLE:
         raise ParameterError(
             f"backend {name!r} cannot be quarantined (reference is the oracle)"
         )
@@ -782,6 +785,24 @@ def clear_quarantine() -> None:
     if _QUARANTINE:
         _QUARANTINE.clear()
         _DISPATCH_EPOCH += 1
+
+
+def lift_quarantine(name: str) -> bool:
+    """Lift the quarantine of one backend (half-open circuit-breaker probes).
+
+    The serving layer's circuit breaker re-admits a quarantined backend
+    tentatively after a cooldown: it lifts the quarantine, re-probes via
+    :func:`verify_plan` and lets a failed probe re-quarantine.  Records a
+    ``backend_quarantine_lifted`` event and returns whether the backend was
+    actually quarantined.
+    """
+    global _DISPATCH_EPOCH
+    if name not in _QUARANTINE:
+        return False
+    _QUARANTINE.discard(name)
+    _DISPATCH_EPOCH += 1
+    diagnostics.record_event("backend_quarantine_lifted", backend=name)
+    return True
 
 
 def set_default_backend(name: str) -> str:

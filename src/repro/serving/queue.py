@@ -1,0 +1,102 @@
+"""Bounded request queue with admission control and load shedding.
+
+The queue is the server's only buffer, and it is *bounded*: once
+``capacity`` requests are waiting, :meth:`BoundedRequestQueue.put` raises a
+typed :class:`~repro.errors.ServiceOverloaded` immediately instead of
+blocking the client or growing without bound.  Shedding at admission is the
+whole point -- a request that would only time out in the queue is cheaper to
+reject now, while the client still has its retry budget.
+
+Consumers block on :meth:`get` with a timeout so worker threads can poll
+lifecycle flags; :meth:`close` wakes them all for shutdown.  Counters
+(accepted / shed / high-water depth) feed the server's health report.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any
+
+from repro.errors import ServiceOverloaded, ServiceUnavailable
+
+__all__ = ["BoundedRequestQueue"]
+
+
+class BoundedRequestQueue:
+    """FIFO queue that rejects (never blocks) when full."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._items: deque = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self.accepted = 0
+        self.shed = 0
+        self.high_water = 0
+
+    def put(self, item: Any) -> None:
+        """Admit ``item`` or shed it with a typed rejection.
+
+        Raises :class:`ServiceOverloaded` when the queue is at capacity and
+        :class:`ServiceUnavailable` once the queue is closed (drain/stop).
+        """
+        with self._cond:
+            if self._closed:
+                raise ServiceUnavailable(
+                    "request queue is closed: the server is draining or "
+                    "stopped and accepts no new work"
+                )
+            if len(self._items) >= self.capacity:
+                self.shed += 1
+                raise ServiceOverloaded(
+                    f"request queue full ({len(self._items)}/{self.capacity} "
+                    f"waiting, {self.shed} shed so far); retry with backoff "
+                    "or raise queue_capacity/workers"
+                )
+            self._items.append(item)
+            self.accepted += 1
+            self.high_water = max(self.high_water, len(self._items))
+            self._cond.notify()
+
+    def get(self, timeout: float | None = None) -> Any | None:
+        """Pop the oldest request; ``None`` on timeout or when closed+empty."""
+        with self._cond:
+            deadline_waited = self._cond.wait_for(
+                lambda: self._items or self._closed, timeout=timeout
+            )
+            if not deadline_waited or not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def depth(self) -> int:
+        """Current number of waiting requests."""
+        with self._cond:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    def stats(self) -> dict[str, int]:
+        """Admission counters for the health report."""
+        with self._cond:
+            return {
+                "depth": len(self._items),
+                "capacity": self.capacity,
+                "accepted": self.accepted,
+                "shed": self.shed,
+                "high_water": self.high_water,
+            }

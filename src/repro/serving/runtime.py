@@ -1,0 +1,480 @@
+"""The multi-tenant encrypted-inference server: workers, lifecycle, resilience.
+
+One :class:`InferenceServer` owns a :class:`~repro.serving.queue.BoundedRequestQueue`,
+a pool of worker threads, a :class:`~repro.serving.retry.RetryPolicy` and a
+:class:`~repro.serving.breaker.CircuitBreaker`.  The resilience contract --
+the property the chaos harness drills -- is that every admitted, well-formed
+request either completes with a correct result or fails with a typed
+:class:`~repro.errors.ReproError`, under faults and overload alike:
+
+* admission control sheds excess load as
+  :class:`~repro.errors.ServiceOverloaded` before it queues;
+* each request runs inside a :class:`~repro.cancellation.CancelScope` whose
+  deadline the evaluator polls at every operation, so slow circuits abort as
+  :class:`~repro.errors.DeadlineExceeded` instead of hogging a worker;
+* retryable faults (backend exactness failures) trip the circuit breaker,
+  which quarantines the backend so the bounded retry re-dispatches down the
+  degradation ladder; terminal faults propagate immediately;
+* the breaker half-opens cooled-down backends via ``verify_plan`` re-probes,
+  restoring full capacity once the fault clears;
+* :meth:`InferenceServer.drain` stops admission and lets in-flight work
+  finish; :meth:`InferenceServer.health` / :meth:`InferenceServer.ready`
+  expose liveness and readiness for orchestration.
+
+Every served request leaves a structured ``request_served`` /
+``request_failed`` diagnostics event carrying queue wait, attempt count,
+backend used, and remaining noise headroom.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro import diagnostics
+from repro.cancellation import CancelScope
+from repro.errors import (
+    DeadlineExceeded,
+    RequestCancelled,
+    ReproError,
+    ServiceUnavailable,
+)
+from repro.poly import ntt_engine
+from repro.serving.breaker import CircuitBreaker
+from repro.serving.queue import BoundedRequestQueue
+from repro.serving.retry import RetryPolicy, is_retryable
+from repro.serving.session import TenantRegistry, TenantSession
+
+__all__ = ["InferenceRequest", "RequestTicket", "InferenceServer"]
+
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETED = "completed"
+FAILED = "failed"
+
+_request_ids = itertools.count(1)
+
+
+@dataclass
+class InferenceRequest:
+    """One unit of work: a circuit to run in a tenant's session.
+
+    ``circuit`` is any callable ``(session, payload) -> result``; the
+    payload is typically a ciphertext (or a tuple of them) the client
+    encrypted.  ``timeout_s`` overrides the server's default deadline.
+    """
+
+    tenant_id: str
+    circuit: Callable[[TenantSession, Any], Any]
+    payload: Any = None
+    timeout_s: float | None = None
+    request_id: str = field(
+        default_factory=lambda: f"req-{next(_request_ids):06d}"
+    )
+
+
+class RequestTicket:
+    """Client handle for a submitted request: poll, wait, cancel, inspect."""
+
+    def __init__(self, request: InferenceRequest, deadline: float | None):
+        self.request = request
+        self.scope = CancelScope(deadline=deadline, label=request.request_id)
+        self.submitted_at = time.monotonic()
+        self.status = QUEUED
+        self.diagnostics: dict[str, Any] = {
+            "request_id": request.request_id,
+            "tenant": request.tenant_id,
+        }
+        self._done = threading.Event()
+        self._result: Any = None
+        self._error: BaseException | None = None
+
+    # ----------------------------------------------------------- client side
+    def done(self) -> bool:
+        """Whether the request has completed or failed."""
+        return self._done.is_set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until done (or timeout); returns :meth:`done`."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> Any:
+        """The circuit's result; re-raises its typed error on failure.
+
+        Raises :class:`~repro.errors.DeadlineExceeded` when the ticket is
+        still pending after ``timeout`` seconds of waiting.
+        """
+        if not self._done.wait(timeout):
+            raise DeadlineExceeded(
+                f"request {self.request.request_id} still "
+                f"{self.status} after waiting {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def cancel(self, reason: str = "cancelled by client") -> None:
+        """Cooperatively cancel: the next evaluator checkpoint aborts."""
+        self.scope.cancel(reason)
+
+    @property
+    def error(self) -> BaseException | None:
+        """The failure, if the request failed (``None`` while pending)."""
+        return self._error
+
+    # ----------------------------------------------------------- server side
+    def _complete(self, result: Any) -> None:
+        self._result = result
+        self.status = COMPLETED
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self.status = FAILED
+        self._done.set()
+
+
+class InferenceServer:
+    """Bounded-queue, deadline-aware, fault-rerouting inference runtime."""
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        *,
+        workers: int = 2,
+        queue_capacity: int = 32,
+        default_timeout_s: float | None = 30.0,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        probe_interval_s: float = 0.25,
+        rng_seed: int | None = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.registry = registry
+        self.queue = BoundedRequestQueue(queue_capacity)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self.default_timeout_s = default_timeout_s
+        self.probe_interval_s = probe_interval_s
+        self._worker_count = workers
+        self._threads: list[threading.Thread] = []
+        self._rng = random.Random(rng_seed)
+        self._lock = threading.Lock()
+        self._running = False
+        self._draining = False
+        self._in_flight = 0
+        self._idle = threading.Condition(self._lock)
+        #: Tickets admitted but not yet finalised (incl. still-queued ones) --
+        #: the drain condition and the forced-shutdown cancellation target.
+        self._outstanding: set[RequestTicket] = set()
+        self._last_probe = 0.0
+        self._probe_lock = threading.Lock()
+        self.served = 0
+        self.failed = 0
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> "InferenceServer":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+            self._draining = False
+        for index in range(self._worker_count):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-serving-worker-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        diagnostics.record_event(
+            "server_started",
+            workers=self._worker_count,
+            queue_capacity=self.queue.capacity,
+        )
+        return self
+
+    def drain(self, timeout: float | None = None) -> bool:
+        """Stop admission, let queued + in-flight requests finish.
+
+        Returns ``True`` when the server is idle within ``timeout``;
+        ``False`` (with admission still closed) otherwise -- callers can
+        follow up with :meth:`shutdown` to cancel stragglers.
+        """
+        with self._lock:
+            self._draining = True
+        diagnostics.record_event("server_draining")
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._idle:
+            while self._outstanding:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(timeout=0.05 if remaining is None else min(remaining, 0.05))
+        return True
+
+    def shutdown(self, *, drain_timeout: float | None = 5.0) -> None:
+        """Graceful stop: drain, cancel stragglers, join the workers."""
+        drained = self.drain(timeout=drain_timeout)
+        if not drained:
+            # Cancel whatever is still outstanding; running circuits abort
+            # at their next evaluator checkpoint as typed RequestCancelled,
+            # still-queued tickets fail the moment a worker picks them up.
+            diagnostics.record_event("server_drain_timeout")
+            with self._lock:
+                stragglers = list(self._outstanding)
+            for ticket in stragglers:
+                ticket.cancel("server shutdown")
+            self.drain(timeout=5.0)
+        with self._lock:
+            self._running = False
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+        diagnostics.record_event(
+            "server_stopped", served=self.served, failed=self.failed
+        )
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- admission
+    def submit(self, request: InferenceRequest) -> RequestTicket:
+        """Admit a request (or shed it) and return its ticket.
+
+        Raises :class:`~repro.errors.ServiceUnavailable` when not accepting
+        (stopped/draining), :class:`~repro.errors.TenantNotFound` for an
+        unknown tenant, and :class:`~repro.errors.ServiceOverloaded` when the
+        bounded queue is full.
+        """
+        with self._lock:
+            if not self._running or self._draining:
+                raise ServiceUnavailable(
+                    "server is not accepting requests "
+                    f"(running={self._running}, draining={self._draining})"
+                )
+        # Fail unknown tenants at admission, not on a worker thread.
+        self.registry.session(request.tenant_id)
+        timeout_s = (
+            request.timeout_s
+            if request.timeout_s is not None
+            else self.default_timeout_s
+        )
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        ticket = RequestTicket(request, deadline)
+        with self._idle:
+            self._outstanding.add(ticket)
+        try:
+            self.queue.put(ticket)
+        except ReproError:
+            with self._idle:
+                self._outstanding.discard(ticket)
+                self._idle.notify_all()
+            diagnostics.record_event(
+                "request_shed",
+                request_id=request.request_id,
+                tenant=request.tenant_id,
+                queue_depth=self.queue.depth(),
+            )
+            raise
+        return ticket
+
+    # ------------------------------------------------------------ health
+    def ready(self) -> bool:
+        """Readiness: accepting work and the queue has admission headroom."""
+        with self._lock:
+            accepting = self._running and not self._draining
+        return accepting and self.queue.depth() < self.queue.capacity
+
+    def health(self) -> dict[str, Any]:
+        """Structured liveness report for operators and probes.
+
+        ``status`` is ``ok`` (healthy), ``degraded`` (serving, but a backend
+        is quarantined or the queue is saturated -- capacity or latency is
+        reduced), ``draining`` or ``stopped``.
+        """
+        quarantined = sorted(ntt_engine.quarantined_backends())
+        queue_stats = self.queue.stats()
+        with self._lock:
+            running, draining = self._running, self._draining
+            in_flight = self._in_flight
+        if not running:
+            status = "stopped"
+        elif draining:
+            status = "draining"
+        elif quarantined or queue_stats["depth"] >= queue_stats["capacity"]:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "ready": self.ready(),
+            "workers": self._worker_count,
+            "in_flight": in_flight,
+            "queue": queue_stats,
+            "served": self.served,
+            "failed": self.failed,
+            "quarantined_backends": quarantined,
+            "breaker": {
+                name: vars(snap) for name, snap in self.breaker.snapshot().items()
+            },
+        }
+
+    # ---------------------------------------------------------------- workers
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self.queue.get(timeout=0.05)
+            if ticket is None:
+                with self._lock:
+                    if not self._running:
+                        return
+                self._maybe_probe()
+                continue
+            with self._lock:
+                self._in_flight += 1
+            try:
+                self._serve(ticket)
+            finally:
+                with self._idle:
+                    self._in_flight -= 1
+                    self._idle.notify_all()
+                self._maybe_probe()
+
+    def _maybe_probe(self) -> None:
+        """Periodic circuit-breaker recovery probe (one worker at a time)."""
+        now = time.monotonic()
+        if now - self._last_probe < self.probe_interval_s:
+            return
+        if not self._probe_lock.acquire(blocking=False):
+            return
+        try:
+            self._last_probe = now
+            self.breaker.maybe_probe(self._probe_plans())
+        finally:
+            self._probe_lock.release()
+
+    def _probe_plans(self) -> list:
+        """One representative plan stack per registered tenant ring."""
+        plans = []
+        seen = set()
+        for session in self.registry.sessions():
+            key = (
+                session.params.degree,
+                tuple(session.params.modulus_basis.moduli),
+            )
+            if key in seen:
+                continue
+            seen.add(key)
+            plans.append(ntt_engine.plan_stack_for(key[1], key[0]))
+        return plans
+
+    def _resolved_backend(self, session: TenantSession) -> str:
+        """The backend the tenant's full-chain plan stack dispatches to now."""
+        stack = ntt_engine.plan_stack_for(
+            tuple(session.params.modulus_basis.moduli), session.params.degree
+        )
+        return stack.resolve_backend()
+
+    def _serve(self, ticket: RequestTicket) -> None:
+        request = ticket.request
+        started = time.monotonic()
+        queue_wait = started - ticket.submitted_at
+        ticket.status = RUNNING
+        ticket.diagnostics["queue_wait_s"] = round(queue_wait, 6)
+        attempts = 0
+        backend = "unknown"
+        error: BaseException | None = None
+        result: Any = None
+        # Past-deadline or cancelled tickets are shed without touching a
+        # session: the queue wait already consumed their budget.
+        try:
+            ticket.scope.check()
+            session = self.registry.session(request.tenant_id)
+        except BaseException as exc:  # noqa: BLE001 - finalised below, typed
+            self._finalise(ticket, None, exc, attempts, backend, started)
+            return
+        while True:
+            attempts += 1
+            backend = self._resolved_backend(session)
+            try:
+                with ticket.scope:
+                    result = request.circuit(session, request.payload)
+                self.breaker.record_success(backend)
+                error = None
+                break
+            except BaseException as exc:  # noqa: BLE001 - classified below
+                error = exc
+                if isinstance(exc, ReproError) and is_retryable(exc):
+                    self.breaker.record_failure(
+                        backend, request_id=request.request_id
+                    )
+                if not self.retry_policy.should_retry(exc, attempts):
+                    break
+                delay = self.retry_policy.delay(attempts, self._rng)
+                remaining = ticket.scope.remaining()
+                if remaining is not None and delay >= remaining:
+                    break  # no deadline headroom for another attempt
+                diagnostics.record_event(
+                    "request_retry",
+                    request_id=request.request_id,
+                    tenant=request.tenant_id,
+                    attempt=attempts,
+                    backend=backend,
+                    error=type(exc).__name__,
+                    backoff_s=round(delay, 4),
+                )
+                time.sleep(delay)
+        if error is None:
+            noise_headroom = None
+            try:
+                noise_headroom = session.noise_headroom_bits(result)
+            except Exception:  # diagnostics must never fail a served request
+                noise_headroom = None
+            ticket.diagnostics["noise_headroom_bits"] = (
+                None if noise_headroom is None else round(noise_headroom, 2)
+            )
+        self._finalise(ticket, result, error, attempts, backend, started)
+
+    def _finalise(
+        self,
+        ticket: RequestTicket,
+        result: Any,
+        error: BaseException | None,
+        attempts: int,
+        backend: str,
+        started: float,
+    ) -> None:
+        request = ticket.request
+        ticket.diagnostics.update(
+            attempts=attempts,
+            backend=backend,
+            service_s=round(time.monotonic() - started, 6),
+        )
+        if error is None:
+            self.served += 1
+            ticket._complete(result)
+            diagnostics.record_event(
+                "request_served", **ticket.diagnostics
+            )
+        else:
+            self.failed += 1
+            ticket.diagnostics["error"] = type(error).__name__
+            ticket._fail(error)
+            diagnostics.record_event(
+                "request_failed", **ticket.diagnostics
+            )
+        with self._idle:
+            self._outstanding.discard(ticket)
+            self._idle.notify_all()

@@ -1,0 +1,154 @@
+"""Per-tenant serving contexts: parameter sets, key material, warmed plans.
+
+A *session* is everything the server needs to evaluate circuits for one
+tenant: the CKKS parameter set, an encoder, and an evaluator holding the
+tenant's **evaluation** keys (relinearisation / Galois).  Secret keys never
+enter a session -- encryption and decryption stay client-side, exactly as in
+the paper's Fig. 1 threat model; the registry is the server-side key
+registry the ROADMAP's serving item calls for.
+
+Sessions are built once at registration and shared by every worker thread:
+the evaluator is stateless apart from counters, the encoder's plaintext
+cache and the key digits' eval-domain cache are bounded thread-safe LRUs,
+and :meth:`TenantSession.warm` pre-builds the NTT plan stacks for every
+level of the tenant's modulus chain so the first request does not pay the
+table-construction latency.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import diagnostics
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.evaluator import CkksEvaluator
+from repro.ckks.keys import GaloisKeySet, RelinearizationKey
+from repro.ckks.params import CkksParameters
+from repro.errors import ParameterError, TenantNotFound
+from repro.poly.ntt_engine import plan_stack_for
+
+__all__ = ["TenantSession", "TenantRegistry"]
+
+
+@dataclass
+class TenantSession:
+    """One tenant's server-side evaluation context (no secret material)."""
+
+    tenant_id: str
+    params: CkksParameters
+    encoder: CkksEncoder
+    evaluator: CkksEvaluator
+    created_at: float = field(default_factory=time.time)
+    warmed: bool = False
+
+    def warm(self) -> None:
+        """Pre-build the NTT plan stacks for every level of the chain.
+
+        Covers the base basis at each level plus the key-switch extended
+        basis at the top level, so neither a fresh request nor its first
+        rotation pays plan construction.  Idempotent: the stacks land in the
+        process-wide bounded plan cache and repeated warms are hits.
+        """
+        moduli = self.params.modulus_basis.moduli
+        degree = self.params.degree
+        for level in range(1, self.params.limbs + 1):
+            plan_stack_for(tuple(moduli[:level]), degree)
+        plan_stack_for(
+            tuple(self.params.extended_basis(self.params.limbs).moduli), degree
+        )
+        self.warmed = True
+        diagnostics.record_event(
+            "session_warmed",
+            tenant=self.tenant_id,
+            degree=degree,
+            limbs=self.params.limbs,
+        )
+
+    def noise_headroom_bits(self, ciphertext) -> float | None:
+        """Remaining noise budget of a result ciphertext, for diagnostics."""
+        if getattr(ciphertext, "noise_bits", None) is None:
+            return None
+        return self.evaluator.noise.budget_bits(
+            ciphertext.level, ciphertext.noise_bits
+        )
+
+
+class TenantRegistry:
+    """Thread-safe map of tenant id -> :class:`TenantSession`.
+
+    Registration installs the tenant's evaluation keys and (by default)
+    warms the NTT plans; lookup failures raise a typed
+    :class:`~repro.errors.TenantNotFound` naming the remedy.
+    """
+
+    def __init__(self) -> None:
+        self._sessions: dict[str, TenantSession] = {}
+        self._lock = threading.Lock()
+
+    def register(
+        self,
+        tenant_id: str,
+        params: CkksParameters,
+        *,
+        relin_key: RelinearizationKey | None = None,
+        galois_keys: GaloisKeySet | None = None,
+        warm: bool = True,
+    ) -> TenantSession:
+        """Create (or replace) the session for ``tenant_id``."""
+        if not tenant_id:
+            raise ParameterError("tenant_id must be a non-empty string")
+        session = TenantSession(
+            tenant_id=tenant_id,
+            params=params,
+            encoder=CkksEncoder(params),
+            evaluator=CkksEvaluator(
+                params, relin_key=relin_key, galois_keys=galois_keys
+            ),
+        )
+        if warm:
+            session.warm()
+        with self._lock:
+            self._sessions[tenant_id] = session
+        diagnostics.record_event(
+            "tenant_registered", tenant=tenant_id, warm=warm
+        )
+        return session
+
+    def session(self, tenant_id: str) -> TenantSession:
+        """The session for ``tenant_id``; typed error when absent."""
+        with self._lock:
+            session = self._sessions.get(tenant_id)
+        if session is None:
+            raise TenantNotFound(
+                f"no session registered for tenant {tenant_id!r}; register "
+                "its parameter set and evaluation keys with "
+                "TenantRegistry.register(tenant_id, params, relin_key=..., "
+                "galois_keys=...) before submitting requests"
+            )
+        return session
+
+    def remove(self, tenant_id: str) -> bool:
+        """Drop a tenant's session; returns whether one existed."""
+        with self._lock:
+            return self._sessions.pop(tenant_id, None) is not None
+
+    def tenants(self) -> list[str]:
+        """Registered tenant ids (sorted snapshot)."""
+        with self._lock:
+            return sorted(self._sessions)
+
+    def sessions(self) -> Iterable[TenantSession]:
+        """Snapshot of the registered sessions."""
+        with self._lock:
+            return list(self._sessions.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def __contains__(self, tenant_id: str) -> bool:
+        with self._lock:
+            return tenant_id in self._sessions

@@ -1,4 +1,4 @@
-"""Test-support utilities: the fault-injection harness for guardrail drills."""
+"""Test-support utilities: fault drills and the serving chaos harness."""
 
 from repro.testing.faults import (
     FaultHandle,
@@ -12,6 +12,7 @@ from repro.testing.faults import (
 __all__ = [
     "FaultHandle",
     "calibration_lie",
+    "chaos",
     "corrupted_butterfly_tables",
     "corrupted_four_step_tables",
     "flipped_ciphertext_bit",

@@ -1,0 +1,400 @@
+"""Chaos harness: replay every fault drill *under concurrent serving load*.
+
+PR 6's :mod:`repro.testing.faults` drills prove the guardrail contract for a
+single-threaded caller.  This module replays each drill against a live
+:class:`~repro.serving.runtime.InferenceServer` with many requests in
+flight, which is where resilience claims usually die: a fault now lands
+while other threads share the plan caches, the quarantine set and the
+dispatch epoch.  The drilled property is the serving contract:
+
+    every admitted, well-formed request either **completes with a
+    decode-checked correct result** (possibly after retry/reroute) or
+    **fails with a typed** :class:`~repro.errors.ReproError` --
+    zero silent corruption, zero hangs.
+
+The harness owns the client side the server never sees (secret keys,
+decryptors, plaintext expectations): results are decrypted and compared
+against the plaintext model, so "completed" is claimed only for verified
+slots.  Strict mode plus a spot-check stride of 1 is forced for the whole
+run -- with per-pass known-answer checks active, a half-restored table can
+never slip a wrong transform through unnoticed, even at drill boundaries.
+
+Used by ``tests/test_serving.py`` and the ``bench_serving_load.py`` CI gate
+(``silent == 0`` and ``hung == 0``).
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import diagnostics
+from repro.ckks.encoding import CkksEncoder
+from repro.ckks.encryptor import Decryptor, Encryptor
+from repro.ckks.keys import KeyGenerator
+from repro.ckks.params import CkksParameters
+from repro.errors import ReproError
+from repro.poly import ntt_engine
+from repro.poly.gemm_mod import set_strict
+from repro.serving import (
+    CircuitBreaker,
+    InferenceRequest,
+    InferenceServer,
+    RetryPolicy,
+    TenantRegistry,
+)
+from repro.testing.faults import (
+    calibration_lie,
+    corrupted_butterfly_tables,
+    corrupted_four_step_tables,
+    perturbed_gemm_outputs,
+)
+from repro.workloads import run_encrypted_linear_layer
+
+__all__ = [
+    "ChaosOutcome",
+    "ChaosReport",
+    "ClientTenant",
+    "build_tenants",
+    "prepare_work",
+    "run_chaos",
+]
+
+#: Ring small enough for fast drills, wide enough that four_step dispatches.
+DEGREE = 64
+LIMBS = 4
+SCALE_BITS = 26
+#: Per-ticket watchdog: a request not finished by then counts as *hung* --
+#: the gate treats that exactly as badly as silent corruption.
+WATCHDOG_S = 60.0
+
+
+@dataclass
+class ClientTenant:
+    """The client half of one tenant: secret material + plaintext model.
+
+    Lives only in tests/benches -- the server's
+    :class:`~repro.serving.session.TenantSession` never holds any of this.
+    """
+
+    tenant_id: str
+    params: CkksParameters
+    encoder: CkksEncoder
+    encryptor: Encryptor
+    decryptor: Decryptor
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def encrypt_features(self, features: np.ndarray):
+        return self.encryptor.encrypt(self.encoder.encode(features))
+
+    def expected(self, features: np.ndarray) -> np.ndarray:
+        return (self.weights * features + self.bias) ** 2
+
+    def decode(self, ciphertext) -> np.ndarray:
+        return self.encoder.decode(self.decryptor.decrypt(ciphertext)).real
+
+    def circuit(self, session, payload):
+        """score = (w * x + b)^2 -- the example's model, run server-side."""
+        linear = run_encrypted_linear_layer(
+            session.evaluator, session.encoder, payload, self.weights, self.bias
+        )
+        return session.evaluator.rescale(session.evaluator.square(linear))
+
+
+def build_tenants(
+    registry: TenantRegistry,
+    tenant_ids=("alice", "bob"),
+    *,
+    degree: int = DEGREE,
+    limbs: int = LIMBS,
+    seed: int = 7,
+) -> list[ClientTenant]:
+    """Register ``tenant_ids`` and return their client-side kits."""
+    clients = []
+    for index, tenant_id in enumerate(tenant_ids):
+        params = CkksParameters.create(
+            degree=degree, limbs=limbs, log_q=28, dnum=2, scale_bits=SCALE_BITS
+        )
+        keygen = KeyGenerator(params, rng=np.random.default_rng(seed + index))
+        registry.register(
+            tenant_id, params, relin_key=keygen.relinearization_key()
+        )
+        rng = np.random.default_rng(100 + index)
+        clients.append(
+            ClientTenant(
+                tenant_id=tenant_id,
+                params=params,
+                encoder=CkksEncoder(params),
+                encryptor=Encryptor(params, keygen.public_key(), keygen),
+                decryptor=Decryptor(params, keygen.secret_key),
+                weights=rng.uniform(-1, 1, params.slot_count),
+                bias=rng.uniform(-0.2, 0.2, params.slot_count),
+            )
+        )
+    return clients
+
+
+@dataclass
+class ChaosOutcome:
+    """Classification of one drill's request batch."""
+
+    drill: str
+    requests: int = 0
+    correct: int = 0
+    typed_failures: int = 0
+    silent: int = 0
+    hung: int = 0
+    shed: int = 0
+    retries: int = 0
+    latencies_s: list = field(default_factory=list)
+    errors: list = field(default_factory=list)
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate over every drill; ``ok`` is the CI gate predicate."""
+
+    outcomes: list
+
+    @property
+    def requests(self) -> int:
+        return sum(o.requests for o in self.outcomes)
+
+    @property
+    def silent(self) -> int:
+        return sum(o.silent for o in self.outcomes)
+
+    @property
+    def hung(self) -> int:
+        return sum(o.hung for o in self.outcomes)
+
+    @property
+    def correct(self) -> int:
+        return sum(o.correct for o in self.outcomes)
+
+    @property
+    def typed_failures(self) -> int:
+        return sum(o.typed_failures for o in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return self.silent == 0 and self.hung == 0
+
+    def summary(self) -> dict:
+        return {
+            "requests": self.requests,
+            "correct": self.correct,
+            "typed_failures": self.typed_failures,
+            "silent": self.silent,
+            "hung": self.hung,
+            "ok": self.ok,
+            "drills": [
+                {
+                    "drill": o.drill,
+                    "requests": o.requests,
+                    "correct": o.correct,
+                    "typed_failures": o.typed_failures,
+                    "silent": o.silent,
+                    "hung": o.hung,
+                    "retries": o.retries,
+                    "errors": o.errors[:4],
+                }
+                for o in self.outcomes
+            ],
+        }
+
+
+def _full_stack(client: ClientTenant):
+    """The plan stack the tenant's top-level transforms dispatch through."""
+    return ntt_engine.plan_stack_for(
+        tuple(client.params.modulus_basis.moduli), client.params.degree
+    )
+
+
+def prepare_work(
+    clients: list[ClientTenant],
+    *,
+    requests: int,
+    rng: np.random.Generator,
+    corrupt_payload_index: int | None = None,
+) -> list:
+    """Encrypt ``requests`` payloads interleaved across tenants.
+
+    Must run *before* a fault window opens: the client's own encryption
+    shares the process-wide plan caches, and a drill that corrupts them
+    would break the harness, not the server under test.  When
+    ``corrupt_payload_index`` is set, that request's ciphertext gets one
+    payload bit flipped past its modulus (non-canonical residue) -- the
+    flip is permanent because the server consumes the ciphertext
+    asynchronously; it must surface as a typed failure, never a wrong
+    decode.
+    """
+    work = []
+    for index in range(requests):
+        client = clients[index % len(clients)]
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        ciphertext = client.encrypt_features(features)
+        if index == corrupt_payload_index:
+            original = int(ciphertext.c0.residues[0, 0])
+            ciphertext.c0.residues[0, 0] = np.uint64(original ^ (1 << 63))
+        work.append((index, client, features, ciphertext))
+    return work
+
+
+def _submit_and_wait(
+    server: InferenceServer, work: list, outcome: ChaosOutcome
+) -> list:
+    """Submit every prepared request and wait the tickets out (fault live).
+
+    Returns ``(index, client, features, encrypted_result, latency)`` for the
+    completed slots; failures are classified here, decode checks happen in
+    :func:`_classify_results` once the fault window has closed.
+    """
+    tickets = []
+    for index, client, features, ciphertext in work:
+        try:
+            ticket = server.submit(
+                InferenceRequest(client.tenant_id, client.circuit, payload=ciphertext)
+            )
+        except ReproError:
+            outcome.shed += 1
+            continue
+        tickets.append((index, client, features, ticket))
+    completed = []
+    for index, client, features, ticket in tickets:
+        outcome.requests += 1
+        try:
+            result = ticket.result(timeout=WATCHDOG_S)
+        except ReproError as exc:
+            if ticket.done():
+                outcome.typed_failures += 1
+                outcome.errors.append(f"req{index}:{type(exc).__name__}")
+            else:
+                outcome.hung += 1
+                outcome.errors.append(f"req{index}:HUNG")
+            continue
+        except Exception as exc:  # untyped escape = silent-contract breach
+            outcome.silent += 1
+            outcome.errors.append(f"req{index}:untyped:{type(exc).__name__}")
+            continue
+        diag = ticket.diagnostics
+        latency = diag.get("queue_wait_s", 0.0) + diag.get("service_s", 0.0)
+        outcome.retries += max(0, diag.get("attempts", 1) - 1)
+        completed.append((index, client, features, result, latency))
+    return completed
+
+
+def _classify_results(
+    completed: list, outcome: ChaosOutcome, *, tolerance: float = 1e-3
+) -> None:
+    """Decode completed results against the plaintext model (fault lifted)."""
+    for index, client, features, result, latency in completed:
+        decoded = client.decode(result)
+        if np.abs(decoded - client.expected(features)).max() <= tolerance:
+            outcome.correct += 1
+            outcome.latencies_s.append(latency)
+        else:
+            outcome.silent += 1
+            outcome.errors.append(f"req{index}:wrong-decode")
+
+
+def run_chaos(
+    *,
+    requests_per_drill: int = 10,
+    workers: int = 8,
+    seed: int = 7,
+    drills: list[str] | None = None,
+) -> ChaosReport:
+    """Replay every fault drill against a live server under concurrent load.
+
+    ``workers`` is the in-flight concurrency (the acceptance bar is >= 8).
+    Each drill gets a fresh server (shared warm plan caches) so breaker and
+    quarantine state cannot leak between drills; strict mode + per-pass spot
+    checks are forced for the whole run.
+    """
+    registry = TenantRegistry()
+    clients = build_tenants(registry, seed=seed)
+    rng = np.random.default_rng(seed)
+    stack = _full_stack(clients[0])
+
+    def drill_none():
+        return nullcontext(), None
+
+    def drill_bit_flip():
+        # The flip itself lands in prepare_work on the victim request.
+        return nullcontext(), requests_per_drill // 2
+
+    def drill_four_step():
+        return corrupted_four_step_tables(stack), None
+
+    def drill_butterfly():
+        # Force the ladder onto butterfly first, then corrupt it: dispatch
+        # must fall through to the reference oracle.
+        ntt_engine.quarantine_backend(
+            ntt_engine.BACKEND_FOUR_STEP, reason="chaos drill setup"
+        )
+        return corrupted_butterfly_tables(stack), None
+
+    def drill_gemm():
+        return perturbed_gemm_outputs(), None
+
+    def drill_calibration():
+        return calibration_lie(), None
+
+    all_drills = [
+        ("baseline_no_fault", drill_none),
+        ("ciphertext_bit_flip", drill_bit_flip),
+        ("four_step_table_corruption", drill_four_step),
+        ("butterfly_table_corruption", drill_butterfly),
+        ("gemm_output_perturbation", drill_gemm),
+        ("calibration_lie", drill_calibration),
+    ]
+    if drills is not None:
+        all_drills = [(n, f) for n, f in all_drills if n in drills]
+
+    previous_strict = set_strict(True)
+    previous_stride = os.environ.get("REPRO_NTT_SPOT_STRIDE")
+    os.environ["REPRO_NTT_SPOT_STRIDE"] = "1"
+    outcomes = []
+    try:
+        for name, setup in all_drills:
+            ntt_engine.clear_quarantine()
+            diagnostics.clear_events()
+            outcome = ChaosOutcome(drill=name)
+            server = InferenceServer(
+                registry,
+                workers=workers,
+                queue_capacity=max(4 * requests_per_drill, 16),
+                default_timeout_s=WATCHDOG_S / 2,
+                retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.005),
+                breaker=CircuitBreaker(cooldown_s=0.2),
+                probe_interval_s=0.1,
+                rng_seed=seed,
+            )
+            with server:
+                context, corrupt_index = setup()
+                work = prepare_work(
+                    clients,
+                    requests=requests_per_drill,
+                    rng=rng,
+                    corrupt_payload_index=corrupt_index,
+                )
+                with context:
+                    completed = _submit_and_wait(server, work, outcome)
+            ntt_engine.clear_quarantine()
+            ntt_engine.reset_sentinels()
+            _classify_results(completed, outcome)
+            outcomes.append(outcome)
+    finally:
+        set_strict(previous_strict)
+        if previous_stride is None:
+            os.environ.pop("REPRO_NTT_SPOT_STRIDE", None)
+        else:
+            os.environ["REPRO_NTT_SPOT_STRIDE"] = previous_stride
+        ntt_engine.clear_quarantine()
+        ntt_engine.reset_sentinels()
+    return ChaosReport(outcomes=outcomes)

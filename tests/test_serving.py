@@ -1,0 +1,542 @@
+"""Serving-runtime tests: queue, deadlines, retry, breaker, server, chaos.
+
+Exercises the resilience contract of :mod:`repro.serving` piece by piece
+(bounded admission, cooperative cancellation, taxonomy-driven retry
+classification, circuit-breaker recovery) and then end to end: a live
+server under concurrent load with every fault drill replayed by the
+:mod:`repro.testing.chaos` harness, gated on zero silent corruption and
+zero hangs.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import diagnostics
+from repro.errors import (
+    BackendExactnessError,
+    DeadlineExceeded,
+    NoiseBudgetExhausted,
+    ParameterError,
+    ReproError,
+    RequestCancelled,
+    ServiceOverloaded,
+    ServiceUnavailable,
+    ServingError,
+    TenantNotFound,
+)
+from repro.poly import ntt_engine
+from repro.serving import (
+    BoundedRequestQueue,
+    CancelScope,
+    CircuitBreaker,
+    InferenceRequest,
+    InferenceServer,
+    RetryPolicy,
+    TenantRegistry,
+    cancel_scope,
+    checkpoint,
+    current_scope,
+    is_retryable,
+)
+from repro.testing.chaos import build_tenants, prepare_work, run_chaos
+
+
+@pytest.fixture
+def registry_and_clients():
+    registry = TenantRegistry()
+    clients = build_tenants(registry, ("alice", "bob"))
+    return registry, clients
+
+
+@pytest.fixture(autouse=True)
+def _clean_dispatch():
+    yield
+    ntt_engine.clear_quarantine()
+    ntt_engine.reset_sentinels()
+
+
+# ---------------------------------------------------------------------------
+# Error taxonomy additions
+# ---------------------------------------------------------------------------
+
+
+class TestServingErrors:
+    def test_hierarchy(self):
+        for exc in (
+            ServiceOverloaded,
+            ServiceUnavailable,
+            DeadlineExceeded,
+            RequestCancelled,
+            TenantNotFound,
+        ):
+            assert issubclass(exc, ServingError)
+            assert issubclass(exc, ReproError)
+
+    def test_compat_ancestry(self):
+        # catchable by callers written against stdlib types
+        assert issubclass(DeadlineExceeded, TimeoutError)
+        assert issubclass(TenantNotFound, KeyError)
+        with pytest.raises(TimeoutError):
+            raise DeadlineExceeded("late")
+
+    def test_tenant_not_found_message_is_flat(self):
+        # KeyError would repr() the message; ours must stay readable
+        assert "register" in str(TenantNotFound("no tenant; register it"))
+
+
+# ---------------------------------------------------------------------------
+# Bounded queue
+# ---------------------------------------------------------------------------
+
+
+class TestBoundedQueue:
+    def test_sheds_instead_of_blocking(self):
+        queue = BoundedRequestQueue(2)
+        queue.put("a")
+        queue.put("b")
+        started = time.monotonic()
+        with pytest.raises(ServiceOverloaded) as info:
+            queue.put("c")
+        assert time.monotonic() - started < 0.5  # rejected, not blocked
+        assert "queue_capacity" in str(info.value) or "retry" in str(info.value)
+        assert queue.stats()["shed"] == 1
+
+    def test_fifo_and_counters(self):
+        queue = BoundedRequestQueue(4)
+        for item in ("a", "b", "c"):
+            queue.put(item)
+        assert [queue.get(0.01) for _ in range(3)] == ["a", "b", "c"]
+        stats = queue.stats()
+        assert stats["accepted"] == 3
+        assert stats["high_water"] == 3
+        assert stats["depth"] == 0
+
+    def test_get_timeout_returns_none(self):
+        assert BoundedRequestQueue(1).get(timeout=0.01) is None
+
+    def test_close_rejects_and_wakes(self):
+        queue = BoundedRequestQueue(1)
+        got = []
+        consumer = threading.Thread(target=lambda: got.append(queue.get(5.0)))
+        consumer.start()
+        queue.close()
+        consumer.join(timeout=2.0)
+        assert not consumer.is_alive()
+        assert got == [None]
+        with pytest.raises(ServiceUnavailable):
+            queue.put("x")
+
+
+# ---------------------------------------------------------------------------
+# Cooperative cancellation
+# ---------------------------------------------------------------------------
+
+
+class TestCancellation:
+    def test_checkpoint_without_scope_is_noop(self):
+        assert current_scope() is None
+        checkpoint()  # must not raise
+
+    def test_deadline_raises_at_checkpoint(self):
+        clock = iter([0.0, 0.0, 10.0]).__next__
+        with cancel_scope(timeout=1.0, clock=clock, label="t"):
+            checkpoint()  # clock=0.0 < deadline=1.0
+            with pytest.raises(DeadlineExceeded):
+                checkpoint()  # clock=10.0
+
+    def test_cancel_from_other_thread(self):
+        scope = cancel_scope(label="victim")
+        with scope:
+            threading.Thread(target=lambda: scope.cancel("drain")).start()
+            deadline = time.monotonic() + 2.0
+            with pytest.raises(RequestCancelled, match="drain"):
+                while time.monotonic() < deadline:
+                    checkpoint()
+                    time.sleep(0.001)
+
+    def test_nested_scope_honours_parent(self):
+        outer = cancel_scope(label="outer")
+        with outer, cancel_scope(label="inner"):
+            outer.cancel("parent gone")
+            with pytest.raises(RequestCancelled, match="parent gone"):
+                checkpoint()
+
+    def test_scope_uninstalls_on_exit(self):
+        with cancel_scope():
+            assert current_scope() is not None
+        assert current_scope() is None
+
+    def test_evaluator_polls_checkpoints(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        session = registry.session(client.tenant_id)
+        ciphertext = client.encrypt_features(np.ones(client.params.slot_count))
+        scope = CancelScope(label="req")
+        scope.cancel("gone")
+        with scope, pytest.raises(RequestCancelled):
+            session.evaluator.square(ciphertext)
+
+
+# ---------------------------------------------------------------------------
+# Retry policy
+# ---------------------------------------------------------------------------
+
+
+class TestRetryPolicy:
+    def test_classification(self):
+        assert is_retryable(BackendExactnessError("backend lied"))
+        for terminal in (
+            ParameterError("bad"),
+            NoiseBudgetExhausted("empty"),
+            DeadlineExceeded("late"),
+            ServiceOverloaded("full"),
+            RuntimeError("unknown"),
+        ):
+            assert not is_retryable(terminal)
+
+    def test_backoff_is_bounded_and_jittered(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay_s=0.01, max_delay_s=0.05, jitter=0.5
+        )
+        rng = random.Random(0)
+        delays = [policy.delay(attempt, rng) for attempt in range(1, 6)]
+        assert all(0 < d <= 0.05 for d in delays)
+        # jitter must actually vary the delay
+        assert len({policy.delay(3, rng) for _ in range(8)}) > 1
+
+    def test_should_retry_respects_budget(self):
+        policy = RetryPolicy(max_attempts=2)
+        err = BackendExactnessError("x")
+        assert policy.should_retry(err, 1)
+        assert not policy.should_retry(err, 2)
+        assert not policy.should_retry(ParameterError("x"), 1)
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+
+
+class TestCircuitBreaker:
+    def test_trip_quarantines_backend(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_s=99.0)
+        assert not breaker.record_failure(ntt_engine.BACKEND_FOUR_STEP)
+        assert breaker.record_failure(ntt_engine.BACKEND_FOUR_STEP)
+        assert ntt_engine.BACKEND_FOUR_STEP in ntt_engine.quarantined_backends()
+        assert breaker.state(ntt_engine.BACKEND_FOUR_STEP) == "open"
+
+    def test_success_decays_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3)
+        breaker.record_failure(ntt_engine.BACKEND_FOUR_STEP)
+        breaker.record_success(ntt_engine.BACKEND_FOUR_STEP)
+        snap = breaker.snapshot()[ntt_engine.BACKEND_FOUR_STEP]
+        assert snap.failures == 0 and snap.state == "closed"
+
+    def test_probe_recovers_healthy_backend(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(cooldown_s=1.0, clock=lambda: clock["now"])
+        backend = ntt_engine.BACKEND_FOUR_STEP
+        breaker.record_failure(backend)
+        assert backend in ntt_engine.quarantined_backends()
+        params = clients[0].params
+        plans = [
+            ntt_engine.plan_stack_for(
+                tuple(params.modulus_basis.moduli), params.degree
+            )
+        ]
+        assert breaker.maybe_probe(plans) == {}  # still cooling down
+        clock["now"] = 2.0
+        outcomes = breaker.maybe_probe(plans)
+        assert outcomes == {backend: True}
+        assert backend not in ntt_engine.quarantined_backends()
+        assert breaker.state(backend) == "closed"
+
+    def test_failed_probe_reopens_with_doubled_cooldown(self):
+        clock = {"now": 0.0}
+        breaker = CircuitBreaker(cooldown_s=1.0, clock=lambda: clock["now"])
+        backend = ntt_engine.BACKEND_FOUR_STEP
+        breaker.record_failure(backend)
+
+        class AlwaysBadPlan:
+            pass
+
+        real_verify = ntt_engine.verify_plan
+        ntt_engine.verify_plan = lambda plan: False
+        try:
+            clock["now"] = 2.0
+            outcomes = breaker.maybe_probe([AlwaysBadPlan()])
+        finally:
+            ntt_engine.verify_plan = real_verify
+        assert outcomes == {backend: False}
+        assert breaker.state(backend) == "open"
+        assert breaker.snapshot()[backend].cooldown_s == pytest.approx(2.0)
+        # the re-opened circuit must have restored the quarantine
+        assert backend in ntt_engine.quarantined_backends()
+
+    def test_adopts_external_quarantine(self):
+        ntt_engine.quarantine_backend(
+            ntt_engine.BACKEND_BUTTERFLY, reason="sentinel"
+        )
+        breaker = CircuitBreaker(cooldown_s=99.0)
+        breaker.observe_quarantine()
+        assert breaker.state(ntt_engine.BACKEND_BUTTERFLY) == "open"
+
+
+# ---------------------------------------------------------------------------
+# Sessions and registry
+# ---------------------------------------------------------------------------
+
+
+class TestTenantRegistry:
+    def test_unknown_tenant_names_remedy(self, registry_and_clients):
+        registry, _ = registry_and_clients
+        with pytest.raises(TenantNotFound) as info:
+            registry.session("mallory")
+        message = str(info.value)
+        assert "mallory" in message
+        assert "register" in message
+
+    def test_sessions_are_shared_and_warm(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        session = registry.session(clients[0].tenant_id)
+        assert session is registry.session(clients[0].tenant_id)
+        assert session.warmed
+
+    def test_empty_tenant_id_rejected(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        with pytest.raises(ParameterError):
+            registry.register("", clients[0].params)
+
+
+# ---------------------------------------------------------------------------
+# End-to-end server behaviour
+# ---------------------------------------------------------------------------
+
+
+class TestInferenceServer:
+    def test_roundtrip_correct_and_diagnosed(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(5)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        diagnostics.clear_events()
+        with InferenceServer(registry, workers=2) as server:
+            ticket = server.submit(
+                InferenceRequest(
+                    client.tenant_id,
+                    client.circuit,
+                    payload=client.encrypt_features(features),
+                )
+            )
+            result = ticket.result(timeout=30.0)
+        decoded = client.decode(result)
+        assert np.abs(decoded - client.expected(features)).max() < 1e-3
+        diag = ticket.diagnostics
+        assert diag["attempts"] == 1
+        assert diag["backend"] in ntt_engine.BACKENDS
+        assert diag["queue_wait_s"] >= 0.0
+        assert diag["service_s"] > 0.0
+        assert diag["noise_headroom_bits"] is None or diag["noise_headroom_bits"] > 0
+        kinds = [e["kind"] for e in diagnostics.events()]
+        assert "request_served" in kinds
+
+    def test_unknown_tenant_rejected_at_admission(self, registry_and_clients):
+        registry, _ = registry_and_clients
+        with InferenceServer(registry, workers=1) as server:
+            with pytest.raises(TenantNotFound):
+                server.submit(InferenceRequest("mallory", lambda s, p: p))
+
+    def test_overload_sheds_typed(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        release = threading.Event()
+
+        def slow_circuit(session, payload):
+            release.wait(10.0)
+            return payload
+
+        server = InferenceServer(registry, workers=1, queue_capacity=1)
+        with server:
+            tickets = []
+            shed = 0
+            # 1 running + 1 queued fit; the rest must shed as typed errors
+            for _ in range(6):
+                try:
+                    tickets.append(
+                        server.submit(
+                            InferenceRequest(client.tenant_id, slow_circuit)
+                        )
+                    )
+                except ServiceOverloaded:
+                    shed += 1
+                time.sleep(0.02)
+            assert shed >= 1
+            assert not server.ready()  # queue saturated
+            release.set()
+            for ticket in tickets:
+                ticket.result(timeout=10.0)
+
+    def test_deadline_exceeded_is_typed(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+
+        def endless(session, payload):
+            while True:
+                checkpoint()
+                time.sleep(0.005)
+
+        with InferenceServer(registry, workers=1) as server:
+            ticket = server.submit(
+                InferenceRequest(client.tenant_id, endless, timeout_s=0.1)
+            )
+            with pytest.raises(DeadlineExceeded):
+                ticket.result(timeout=10.0)
+            assert ticket.status == "failed"
+
+    def test_client_cancel_is_typed(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        entered = threading.Event()
+
+        def endless(session, payload):
+            entered.set()
+            while True:
+                checkpoint()
+                time.sleep(0.005)
+
+        with InferenceServer(registry, workers=1) as server:
+            ticket = server.submit(InferenceRequest(client.tenant_id, endless))
+            assert entered.wait(5.0)
+            ticket.cancel("client gave up")
+            with pytest.raises(RequestCancelled):
+                ticket.result(timeout=10.0)
+
+    def test_drain_refuses_new_work_and_finishes_old(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        server = InferenceServer(registry, workers=2)
+        server.start()
+        rng = np.random.default_rng(6)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        tickets = [
+            server.submit(
+                InferenceRequest(
+                    client.tenant_id,
+                    client.circuit,
+                    payload=client.encrypt_features(features),
+                )
+            )
+            for _ in range(4)
+        ]
+        assert server.drain(timeout=30.0)
+        with pytest.raises(ServiceUnavailable):
+            server.submit(InferenceRequest(client.tenant_id, client.circuit))
+        assert all(t.done() for t in tickets)
+        assert server.health()["status"] == "draining"
+        server.shutdown()
+        assert server.health()["status"] == "stopped"
+
+    def test_health_reports_degraded_under_quarantine(self, registry_and_clients):
+        registry, _ = registry_and_clients
+        with InferenceServer(registry, workers=1) as server:
+            assert server.health()["status"] == "ok"
+            ntt_engine.quarantine_backend(
+                ntt_engine.BACKEND_FOUR_STEP, reason="test"
+            )
+            health = server.health()
+            assert health["status"] == "degraded"
+            assert health["quarantined_backends"] == [ntt_engine.BACKEND_FOUR_STEP]
+
+    def test_retry_reroutes_after_backend_fault(self, registry_and_clients):
+        """A circuit that fails retryably once must heal via quarantine+retry."""
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(8)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        calls = {"n": 0}
+
+        def flaky_circuit(session, payload):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise BackendExactnessError("injected transient fault")
+            return client.circuit(session, payload)
+
+        with InferenceServer(registry, workers=1) as server:
+            ticket = server.submit(
+                InferenceRequest(
+                    client.tenant_id,
+                    flaky_circuit,
+                    payload=client.encrypt_features(features),
+                )
+            )
+            result = ticket.result(timeout=30.0)
+        assert ticket.diagnostics["attempts"] == 2
+        decoded = client.decode(result)
+        assert np.abs(decoded - client.expected(features)).max() < 1e-3
+
+    def test_terminal_error_not_retried(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        calls = {"n": 0}
+
+        def broken_circuit(session, payload):
+            calls["n"] += 1
+            raise ParameterError("malformed request")
+
+        with InferenceServer(registry, workers=1) as server:
+            ticket = server.submit(
+                InferenceRequest(client.tenant_id, broken_circuit)
+            )
+            with pytest.raises(ParameterError):
+                ticket.result(timeout=10.0)
+        assert calls["n"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Chaos: every fault drill under concurrent load
+# ---------------------------------------------------------------------------
+
+
+class TestChaos:
+    def test_all_drills_under_concurrent_load(self):
+        report = run_chaos(requests_per_drill=8, workers=8)
+        assert report.silent == 0, report.summary()
+        assert report.hung == 0, report.summary()
+        assert report.ok
+        by_drill = {o.drill: o for o in report.outcomes}
+        # every admitted well-formed request completed correctly...
+        baseline = by_drill["baseline_no_fault"]
+        assert baseline.correct == baseline.requests
+        # ...the corrupted-payload victim failed typed, its peers completed
+        flip = by_drill["ciphertext_bit_flip"]
+        assert flip.typed_failures == 1
+        assert flip.correct == flip.requests - 1
+        # ...and table corruption healed by reroute, not by luck
+        for drill in (
+            "four_step_table_corruption",
+            "butterfly_table_corruption",
+            "gemm_output_perturbation",
+        ):
+            outcome = by_drill[drill]
+            assert outcome.correct == outcome.requests, outcome.errors
+
+    def test_prepare_work_flips_victim_payload(self):
+        registry = TenantRegistry()
+        clients = build_tenants(registry, ("solo",))
+        work = prepare_work(
+            clients,
+            requests=2,
+            rng=np.random.default_rng(1),
+            corrupt_payload_index=1,
+        )
+        healthy, corrupted = work[0][3], work[1][3]
+        modulus = corrupted.c0.basis.moduli[0]
+        assert int(corrupted.c0.residues[0, 0]) >= modulus
+        assert int(healthy.c0.residues[0, 0]) < modulus
