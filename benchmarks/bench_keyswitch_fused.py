@@ -49,14 +49,25 @@ HE_MULT_GATE = 2.0
 ROTATION_GATE = 1.3
 
 
-def best_of(fn, repeats: int) -> float:
-    fn()  # warm-up (populates plan / conversion / key-eval caches)
-    best = float("inf")
+def paired_best_of(fn_a, fn_b, repeats: int) -> tuple[float, float]:
+    """Best-of timing for two kernels with *interleaved* trials.
+
+    The two sides of a speedup ratio must see the same machine: timing all
+    of A then all of B lets CPU-frequency or background-load drift between
+    the blocks bias the ratio.  Alternating A/B each trial exposes both to
+    the same drift, so the min-of estimators stay comparable.
+    """
+    fn_a()  # warm-up (populates plan / conversion / key-eval caches)
+    fn_b()
+    best_a = best_b = float("inf")
     for _ in range(repeats):
         start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
 
 
 def build_instance() -> dict:
@@ -105,8 +116,11 @@ def bench_switch_key(instance: dict, repeats: int) -> dict:
         assert np.array_equal(
             fused_poly.residues, loop_poly.residues
         ), "fused switch_key drifted from the unfused oracle"
-    t_loop = best_of(lambda: switch_key_unfused(d, relin, params, level), repeats)
-    t_fused = best_of(lambda: switch_key(d, relin, params, level), repeats)
+    t_loop, t_fused = paired_best_of(
+        lambda: switch_key_unfused(d, relin, params, level),
+        lambda: switch_key(d, relin, params, level),
+        repeats,
+    )
     return {"loop_ms": t_loop * 1e3, "fused_ms": t_fused * 1e3}
 
 
@@ -137,8 +151,11 @@ def bench_he_mult(instance: dict, repeats: int) -> dict:
     fused = evaluator.multiply(ct, ct)
     assert np.array_equal(fused.c0.residues, baseline.c0.residues)
     assert np.array_equal(fused.c1.residues, baseline.c1.residues)
-    t_loop = best_of(lambda: pr1_he_mult(evaluator, ct, ct), repeats)
-    t_fused = best_of(lambda: evaluator.multiply(ct, ct), repeats)
+    t_loop, t_fused = paired_best_of(
+        lambda: pr1_he_mult(evaluator, ct, ct),
+        lambda: evaluator.multiply(ct, ct),
+        repeats,
+    )
     return {"loop_ms": t_loop * 1e3, "fused_ms": t_fused * 1e3}
 
 
@@ -160,8 +177,7 @@ def bench_rotations(instance: dict, repeats: int) -> dict:
         hoist_slots = encoder.decode(decryptor.decrypt(hoist))
         assert np.abs(seq_slots - hoist_slots).max() < 1e-2, "hoisted rotation drifted"
 
-    t_seq = best_of(sequential, repeats)
-    t_hoist = best_of(hoisted, repeats)
+    t_seq, t_hoist = paired_best_of(sequential, hoisted, repeats)
     return {"loop_ms": t_seq * 1e3, "fused_ms": t_hoist * 1e3}
 
 
@@ -174,7 +190,7 @@ def main() -> int:
         "--json", metavar="PATH", help="write a machine-readable summary"
     )
     args = parser.parse_args()
-    repeats = 3 if args.quick else 10
+    repeats = 5 if args.quick else 10
 
     print(
         f"Fused key-switch microbenchmark (N=2^{DEGREE.bit_length() - 1}, "

@@ -14,13 +14,22 @@ same concurrency via :func:`repro.testing.chaos.run_chaos` and records the
 same latency percentiles for the requests that completed while faults were
 live, plus the outcome classification.
 
-The gates are the resilience booleans, not machine-dependent latency
-numbers (those are recorded for the perf trajectory):
+Phase 1 runs twice: once serving each request alone, once with **dynamic
+batching** enabled (``max_batch_size=8``, 2 ms linger, shared ``batch_key``)
+so the workers coalesce compatible queued requests into stacked evaluator
+calls.  The comparison is the serving-level proof of the batch axis: the
+same stream must sustain more req/s without giving up tail latency.
 
-* ``fault_free_all_correct`` -- every fault-free request completes and
+The gates are the resilience booleans plus the batching ratios (absolute
+latencies stay machine-dependent trajectory data):
+
+* ``fault_free_all_correct``       -- every fault-free request completes and
   decodes correctly;
-* ``no_silent_corruption``  -- chaos ``silent == 0``;
-* ``no_hangs``              -- chaos ``hung == 0``.
+* ``batched_all_correct``          -- ditto with dynamic batching on;
+* ``dynamic_batching_throughput``  -- batched req/s >= 1.2x sequential;
+* ``dynamic_batching_p99``         -- batched p99 <= 1.5x sequential;
+* ``no_silent_corruption``         -- chaos ``silent == 0``;
+* ``no_hangs``                     -- chaos ``hung == 0``.
 """
 
 from __future__ import annotations
@@ -48,8 +57,21 @@ def _percentiles(samples_s: list[float]) -> dict:
     }
 
 
-def run_fault_free_phase(requests: int, seed: int = 7) -> dict:
-    """Sustained load, no faults: throughput, latency, decode correctness."""
+def run_fault_free_phase(
+    requests: int,
+    seed: int = 7,
+    *,
+    max_batch_size: int = 1,
+    max_batch_wait_s: float = 0.0,
+    batch_key: str | None = None,
+) -> dict:
+    """Sustained load, no faults: throughput, latency, decode correctness.
+
+    With ``max_batch_size > 1`` (and a shared ``batch_key``) the server
+    coalesces compatible queued requests into stacked evaluator calls --
+    the dynamic-batching configuration the ``dynamic_batching_*`` gates
+    compare against this same phase run solo.
+    """
     registry = TenantRegistry()
     clients = build_tenants(registry, seed=seed)
     rng = np.random.default_rng(seed)
@@ -64,13 +86,20 @@ def run_fault_free_phase(requests: int, seed: int = 7) -> dict:
         queue_capacity=max(2 * requests, 16),
         default_timeout_s=120.0,
         rng_seed=seed,
+        max_batch_size=max_batch_size,
+        max_batch_wait_s=max_batch_wait_s,
     ) as server:
         tickets = [
             (
                 client,
                 features,
                 server.submit(
-                    InferenceRequest(client.tenant_id, client.circuit, payload=ct)
+                    InferenceRequest(
+                        client.tenant_id,
+                        client.circuit,
+                        payload=ct,
+                        batch_key=batch_key,
+                    )
                 ),
             )
             for _, client, features, ct in work
@@ -96,6 +125,8 @@ def run_fault_free_phase(requests: int, seed: int = 7) -> dict:
         "elapsed_s": round(elapsed, 3),
         "throughput_rps": round(len(latencies) / elapsed, 2) if elapsed else None,
         "queue_high_water": health["queue"]["high_water"],
+        "batches_served": health["batching"]["batches_served"],
+        "batched_requests": health["batching"]["batched_requests"],
         **_percentiles(latencies),
     }
 
@@ -140,6 +171,21 @@ def main() -> int:
         f"p50 {fault_free['p50_ms']} ms, p99 {fault_free['p99_ms']} ms"
     )
 
+    batched = run_fault_free_phase(
+        fault_free_requests,
+        max_batch_size=8,
+        max_batch_wait_s=0.002,
+        batch_key="load",
+    )
+    print(
+        f"batched:    {batched['completed']}/{batched['requests']} completed, "
+        f"{batched['correct']} correct, "
+        f"{batched['throughput_rps']} req/s, "
+        f"p50 {batched['p50_ms']} ms, p99 {batched['p99_ms']} ms "
+        f"({batched['batched_requests']} requests over "
+        f"{batched['batches_served']} batches)"
+    )
+
     faulted = run_faulted_phase(requests_per_drill)
     print(
         f"faulted:    {faulted['requests']} requests over "
@@ -151,12 +197,43 @@ def main() -> int:
     ntt_engine.clear_quarantine()
     ntt_engine.reset_sentinels()
 
+    throughput_ratio = (
+        batched["throughput_rps"] / fault_free["throughput_rps"]
+        if fault_free["throughput_rps"]
+        else 0.0
+    )
+    p99_ratio = (
+        batched["p99_ms"] / fault_free["p99_ms"] if fault_free["p99_ms"] else None
+    )
     gates = [
         {
             "name": "fault_free_all_correct",
             "threshold": fault_free["requests"],
             "value": fault_free["correct"],
             "passed": fault_free["correct"] == fault_free["requests"],
+        },
+        {
+            "name": "batched_all_correct",
+            "threshold": batched["requests"],
+            "value": batched["correct"],
+            "passed": batched["correct"] == batched["requests"],
+        },
+        {
+            # Dynamic batching must raise sustained req/s over the same
+            # stream served one request at a time ...
+            "name": "dynamic_batching_throughput",
+            "threshold": 1.2,
+            "speedup": round(throughput_ratio, 2),
+            "passed": throughput_ratio >= 1.2,
+        },
+        {
+            # ... without trading away tail latency: coalescing makes
+            # members wait for the slowest batch-mate, so the p99 ratio
+            # (batched / sequential, lower is better) is bounded.
+            "name": "dynamic_batching_p99",
+            "threshold": 1.5,
+            "value": round(p99_ratio, 2) if p99_ratio is not None else None,
+            "passed": p99_ratio is not None and p99_ratio <= 1.5,
         },
         {
             "name": "no_silent_corruption",
@@ -174,8 +251,9 @@ def main() -> int:
     passed = all(gate["passed"] for gate in gates)
     print()
     for gate in gates:
+        metric = gate.get("value", gate.get("speedup"))
         print(
-            f"gate {gate['name']}: value={gate['value']} "
+            f"gate {gate['name']}: value={metric} "
             f"threshold={gate['threshold']} -> "
             f"{'PASS' if gate['passed'] else 'FAIL'}"
         )
@@ -189,6 +267,7 @@ def main() -> int:
                 "requests_per_drill": requests_per_drill,
             },
             "fault_free": fault_free,
+            "batched": batched,
             "faulted": faulted,
             "gates": gates,
             "passed": passed,

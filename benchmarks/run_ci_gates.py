@@ -42,9 +42,14 @@ GATES = [
     ("keyswitch_fused", "benchmarks/bench_keyswitch_fused.py"),
     ("linear_transform", "benchmarks/bench_linear_transform.py"),
     ("poly_eval", "benchmarks/bench_poly_eval.py"),
+    ("batched_evaluator", "benchmarks/bench_batched_evaluator.py"),
     ("fault_injection", "benchmarks/bench_fault_injection.py"),
     ("serving_load", "benchmarks/bench_serving_load.py"),
 ]
+
+#: A gated speedup series may drop at most this fraction below the previous
+#: trajectory snapshot before ``trajectory_check`` fails the run.
+REGRESSION_TOLERANCE = 0.10
 
 
 def run_gate(name: str, script: str, repo_root: str, quick: bool) -> dict:
@@ -140,6 +145,116 @@ def write_trajectory_snapshot(
     return path
 
 
+def _series_speedups(gate_results: list) -> dict:
+    """Extract ``(gate, series) -> speedup`` for every numeric speedup gate.
+
+    Only ``speedup``-keyed series are trajectory-diffed: they are the
+    higher-is-better perf ratios.  Value/threshold correctness counters
+    (silent faults, hang counts) are pass/fail in their own gate and carry
+    no regression semantics.  Gates whose summary is ``null`` (crashed or
+    failed before writing JSON) contribute nothing.
+    """
+    series = {}
+    for result in gate_results:
+        summary = result.get("summary")
+        if not summary:
+            continue
+        for gate in summary.get("gates", []):
+            value = gate.get("speedup")
+            if isinstance(value, (int, float)):
+                series[(result["gate"], gate["name"])] = float(value)
+    return series
+
+
+def _previous_snapshot(directory: str, new_index: int) -> tuple[int, dict] | None:
+    """The highest-indexed ``BENCH_<n>.json`` with ``n < new_index``."""
+    best = None
+    if os.path.isdir(directory):
+        for name in os.listdir(directory):
+            match = re.fullmatch(r"BENCH_(\d+)\.json", name)
+            if match and int(match.group(1)) < new_index:
+                index = int(match.group(1))
+                if best is None or index > best:
+                    best = index
+    if best is None:
+        return None
+    try:
+        with open(os.path.join(directory, f"BENCH_{best}.json")) as handle:
+            return best, json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def trajectory_check(results: list, directory: str, new_index: int) -> dict:
+    """Pseudo-gate: diff this run's speedup series against the last snapshot.
+
+    Fails when any gated speedup regressed more than
+    :data:`REGRESSION_TOLERANCE` (10%) versus the previous ``BENCH_<n>.json``
+    -- the point of keeping the trajectory in-repo is that a perf PR cannot
+    silently trade away an earlier PR's win.  Series present only on one
+    side (new gates, removed gates, a previous null summary) are skipped:
+    absence is visible in the snapshots themselves.
+    """
+    started = time.perf_counter()
+    previous = _previous_snapshot(directory, new_index)
+    current = _series_speedups(results)
+    regressions = []
+    compared = 0
+    if previous is None:
+        baseline_index = None
+        baseline = {}
+    else:
+        baseline_index, snapshot = previous
+        baseline = _series_speedups(snapshot.get("gates", []))
+        for key, prev_value in sorted(baseline.items()):
+            new_value = current.get(key)
+            if new_value is None:
+                continue
+            compared += 1
+            floor = (1.0 - REGRESSION_TOLERANCE) * prev_value
+            if new_value < floor:
+                regressions.append(
+                    {
+                        "gate": key[0],
+                        "series": key[1],
+                        "previous": prev_value,
+                        "current": new_value,
+                        "floor": floor,
+                    }
+                )
+    passed = not regressions
+    summary = {
+        "name": "trajectory_check",
+        "baseline_index": baseline_index,
+        "tolerance": REGRESSION_TOLERANCE,
+        "series_compared": compared,
+        "regressions": regressions,
+        "passed": passed,
+    }
+    if baseline_index is None:
+        print("trajectory_check: no previous snapshot; nothing to diff")
+    else:
+        print(
+            f"trajectory_check: {compared} speedup series vs "
+            f"BENCH_{baseline_index}.json, {len(regressions)} regressed "
+            f"beyond {REGRESSION_TOLERANCE:.0%}"
+        )
+        for regression in regressions:
+            print(
+                f"  REGRESSION {regression['gate']}/{regression['series']}: "
+                f"{regression['previous']:.2f} -> {regression['current']:.2f} "
+                f"(floor {regression['floor']:.2f})"
+            )
+    return {
+        "gate": "trajectory_check",
+        "script": "(driver)",
+        "exit_code": 0 if passed else 1,
+        "elapsed_s": round(time.perf_counter() - started, 3),
+        "passed": passed,
+        "summary": summary,
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -189,6 +304,23 @@ def main() -> int:
         results.append(run_gate(name, script, repo_root, quick=not args.full))
         print(flush=True)
 
+    trajectory_dir = (
+        args.trajectory_dir
+        if os.path.isabs(args.trajectory_dir)
+        else os.path.join(repo_root, args.trajectory_dir)
+    )
+    snapshot_index = (
+        args.pr_index
+        if args.pr_index is not None
+        else _next_trajectory_index(trajectory_dir)
+    )
+    if not args.no_trajectory:
+        print("=== gate: trajectory_check (driver) ===", flush=True)
+        results.append(
+            trajectory_check(results, trajectory_dir, snapshot_index)
+        )
+        print(flush=True)
+
     all_passed = all(result["passed"] for result in results)
     aggregate = {
         "python": platform.python_version(),
@@ -208,13 +340,8 @@ def main() -> int:
         print(f"{result['gate']:<20} {result['elapsed_s']:>8.1f}s {verdict:>8}")
     print(f"\nsummary written to {args.output}")
     if not args.no_trajectory:
-        trajectory_dir = (
-            args.trajectory_dir
-            if os.path.isabs(args.trajectory_dir)
-            else os.path.join(repo_root, args.trajectory_dir)
-        )
         snapshot_path = write_trajectory_snapshot(
-            aggregate, trajectory_dir, repo_root, args.pr_index
+            aggregate, trajectory_dir, repo_root, snapshot_index
         )
         print(f"trajectory snapshot written to {snapshot_path}")
     return 0 if all_passed else 1

@@ -1,0 +1,147 @@
+"""Ciphertext batching: stack compatible ciphertexts along a leading axis.
+
+The whole evaluator substrate operates on ``(..., L, N)`` residue tensors
+(:class:`~repro.poly.rns_poly.RnsPolynomial` carries arbitrary leading batch
+axes), so a stack of ``B`` compatible ciphertexts -- same ring, level, scale
+and component domains -- evaluates through every public
+:class:`~repro.ckks.evaluator.CkksEvaluator` operator as one ``(B, 2, L, N)``
+pass: one stacked BConv GEMM with the batch folded into the columns, one
+batched NTT cascade, one broadcast elementwise kernel, instead of ``B``
+sequential calls.  Every kernel underneath is exact per slice, so the batched
+result is **bit-identical** to the sequential loop -- the property tests pin
+it.
+
+This module holds the packing discipline: :func:`stack_ciphertexts` validates
+compatibility and builds the batched ciphertext, :func:`unstack_ciphertext`
+splits it back into independent ciphertexts.  Noise tracking is conservative
+across the batch (the stacked ciphertext carries the worst member's bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ckks.ciphertext import Ciphertext
+from repro.errors import IncompatibleOperands, ParameterError
+from repro.poly.rns_poly import RnsPolynomial
+
+__all__ = ["stack_ciphertexts", "unstack_ciphertext", "batch_size"]
+
+
+def _check_compatible(cts: list[Ciphertext]) -> None:
+    head = cts[0]
+    for index, ct in enumerate(cts[1:], start=1):
+        if ct.level != head.level:
+            raise IncompatibleOperands(
+                f"batch member {index} at level {ct.level} differs from "
+                f"member 0 at level {head.level}",
+                ct,
+                head,
+            )
+        if not np.isclose(ct.scale, head.scale, rtol=1e-9):
+            raise IncompatibleOperands(
+                f"batch member {index} scale {ct.scale:.6g} differs from "
+                f"member 0 scale {head.scale:.6g}",
+                ct,
+                head,
+            )
+        if ct.c0.basis.moduli != head.c0.basis.moduli:
+            raise IncompatibleOperands(
+                f"batch member {index} lives in a different RNS basis",
+                ct,
+                head,
+            )
+        if (ct.c2 is None) != (head.c2 is None):
+            raise IncompatibleOperands(
+                "cannot stack linear and quadratic ciphertexts together",
+                ct,
+                head,
+            )
+
+
+def _stack_component(polys: list[RnsPolynomial]) -> RnsPolynomial:
+    domain = polys[0].domain
+    if any(p.domain != domain for p in polys):
+        # Normalise once rather than rejecting: domain is an internal detail.
+        polys = [p.to_coeff() for p in polys]
+        domain = polys[0].domain
+    for p in polys:
+        if p.batch_shape != ():
+            raise ParameterError(
+                "cannot stack an already-batched ciphertext; unstack first"
+            )
+    residues = np.stack([p.residues for p in polys], axis=0)
+    return RnsPolynomial(polys[0].basis, residues, domain)
+
+
+def stack_ciphertexts(cts: list[Ciphertext]) -> Ciphertext:
+    """Stack ``B`` compatible ciphertexts into one ``(B, ..)`` batched one.
+
+    All members must share level, scale (to float rounding), RNS basis and
+    linear/quadratic shape.  The batched ciphertext's ``noise_bits`` is the
+    maximum over the members (``None`` when any member is untracked) --
+    conservative for every member, so the noise guard still fires before any
+    member's budget is truly gone.
+    """
+    cts = list(cts)
+    if not cts:
+        raise ParameterError("cannot stack an empty ciphertext batch")
+    if len(cts) == 1:
+        return cts[0]
+    _check_compatible(cts)
+    head = cts[0]
+    noise = None
+    bits = [ct.noise_bits for ct in cts]
+    if all(b is not None for b in bits):
+        noise = max(bits)
+    return Ciphertext(
+        c0=_stack_component([ct.c0 for ct in cts]),
+        c1=_stack_component([ct.c1 for ct in cts]),
+        scale=head.scale,
+        level=head.level,
+        c2=(
+            _stack_component([ct.c2 for ct in cts])
+            if head.c2 is not None
+            else None
+        ),
+        noise_bits=noise,
+    )
+
+
+def batch_size(ct: Ciphertext) -> int:
+    """Number of stacked members (1 for a plain ciphertext)."""
+    shape = ct.c0.batch_shape
+    if len(shape) > 1:
+        raise ParameterError(
+            f"ciphertext carries {len(shape)} batch axes; expected at most one"
+        )
+    return shape[0] if shape else 1
+
+
+def unstack_ciphertext(ct: Ciphertext) -> list[Ciphertext]:
+    """Split a batched ciphertext back into its independent members.
+
+    A plain (unbatched) ciphertext comes back as a one-element list.  Every
+    member inherits the batch's scale/level/noise bookkeeping; the residue
+    slices are copies so members stay independent of the stacked tensor.
+    """
+    count = batch_size(ct)
+    if count == 1 and ct.c0.batch_shape == ():
+        return [ct]
+
+    def member(poly: RnsPolynomial, index: int) -> RnsPolynomial:
+        return RnsPolynomial(
+            poly.basis, poly.residues[index].copy(), poly.domain
+        )
+
+    return [
+        Ciphertext(
+            c0=member(ct.c0, i),
+            c1=member(ct.c1, i),
+            scale=ct.scale,
+            level=ct.level,
+            c2=member(ct.c2, i) if ct.c2 is not None else None,
+            noise_bits=ct.noise_bits,
+        )
+        for i in range(count)
+    ]

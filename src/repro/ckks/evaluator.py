@@ -101,17 +101,31 @@ class CkksEvaluator:
             self._noise_model = NoiseModel(self.params)
         return self._noise_model
 
-    def _count(self, operator: str) -> None:
-        self.operation_counts[operator] = self.operation_counts.get(operator, 0) + 1
+    def _count(self, operator: str, weight: int = 1) -> None:
+        self.operation_counts[operator] = (
+            self.operation_counts.get(operator, 0) + weight
+        )
 
-    def count_operation(self, operator: str) -> None:
+    @staticmethod
+    def _batch_weight(ciphertext) -> int:
+        """Logical operation multiplicity of one call on a (possibly) batched
+        ciphertext: a ``(B, 2, L, N)`` stack performs B members' worth of work
+        in one kernel pass, and the measured counters track logical operations
+        so schedule models stay grounded regardless of batching."""
+        weight = 1
+        for dim in ciphertext.c0.batch_shape:
+            weight *= int(dim)
+        return weight
+
+    def count_operation(self, operator: str, weight: int = 1) -> None:
         """Record an operator executed outside the evaluator's own methods.
 
         The BSGS engine key-switches its giant steps through
         :func:`repro.ckks.keyswitch.switch_galois_eval` directly; it reports
         them here so measured rotation counts cover the whole transform.
+        ``weight`` carries the batch multiplicity for stacked ciphertexts.
         """
-        self._count(operator)
+        self._count(operator, weight)
 
     def _galois_operator(self, exponent: int) -> str:
         """Counter bucket for an automorphism (conjugation is not a rotation)."""
@@ -213,7 +227,7 @@ class CkksEvaluator:
         self.validate(lhs, name="lhs")
         self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs)
-        self._count("he_add")
+        self._count("he_add", self._batch_weight(lhs))
         return self._stamp(
             Ciphertext(
                 c0=lhs.c0.add(rhs.c0),
@@ -229,7 +243,7 @@ class CkksEvaluator:
         self.validate(lhs, name="lhs")
         self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs)
-        self._count("he_add")
+        self._count("he_add", self._batch_weight(lhs))
         return self._stamp(
             Ciphertext(
                 c0=lhs.c0.sub(rhs.c0),
@@ -284,7 +298,7 @@ class CkksEvaluator:
         self.validate(lhs, name="lhs")
         self.validate(rhs, name="rhs")
         self._check_compatible(lhs, rhs, check_scale=False)
-        self._count("he_mult")
+        self._count("he_mult", self._batch_weight(lhs))
         a0, a1 = lhs.c0.to_eval(), lhs.c1.to_eval()
         b0, b1 = rhs.c0.to_eval(), rhs.c1.to_eval()
         d0 = a0.multiply(b0).to_coeff()
@@ -321,7 +335,7 @@ class CkksEvaluator:
         self._check_scale_headroom(
             ciphertext, plaintext, ciphertext.scale * plaintext.scale
         )
-        self._count("plain_mult")
+        self._count("plain_mult", self._batch_weight(ciphertext))
         poly = _match_level(plaintext.poly, ciphertext.level).to_eval()
         noise = None
         if ciphertext.noise_bits is not None:
@@ -348,7 +362,7 @@ class CkksEvaluator:
         once.  Bit-identical to ``multiply(ct, ct)``.
         """
         self.validate(ciphertext, name="ciphertext")
-        self._count("he_mult")
+        self._count("he_mult", self._batch_weight(ciphertext))
         c0_eval = ciphertext.c0.to_eval()
         c1_eval = ciphertext.c1.to_eval()
         d0 = c0_eval.multiply(c0_eval).to_coeff()
@@ -410,7 +424,7 @@ class CkksEvaluator:
                 "cannot rescale a ciphertext at the last level: the modulus "
                 "chain is exhausted -- bootstrap() to refresh levels"
             )
-        self._count("rescale")
+        self._count("rescale", self._batch_weight(ciphertext))
         new_level = level - 1
         last_modulus = self.params.modulus_basis.moduli[level - 1]
         c0 = _rescale_poly(ciphertext.c0, self.params, level)
@@ -474,7 +488,7 @@ class CkksEvaluator:
                 )
             else:
                 plain_scale = self.params.scale
-        self._count("scalar_mult")
+        self._count("scalar_mult", self._batch_weight(ciphertext))
         integer = int(round(float(scalar) * plain_scale))
         noise = None
         if ciphertext.noise_bits is not None:
@@ -502,7 +516,7 @@ class CkksEvaluator:
         )
         basis = self.params.basis_at_level(ciphertext.level)
         poly = RnsPolynomial.from_signed_coefficients(coefficients, basis)
-        self._count("he_add")
+        self._count("he_add", self._batch_weight(ciphertext))
         noise = None
         if ciphertext.noise_bits is not None:
             noise = self.noise.add_plain_bits(ciphertext.noise_bits)
@@ -692,7 +706,10 @@ class CkksEvaluator:
                 "rotation requires Galois keys; construct the evaluator with "
                 "galois_keys=KeyGenerator.galois_keys(...)"
             )
-        self._count(self._galois_operator(exponent))
+        self._count(
+            self._galois_operator(exponent),
+            self._batch_weight(hoisted.ciphertext),
+        )
         key: GaloisKey = self.galois_keys.key_for(exponent)
         ciphertext = hoisted.ciphertext
         # The automorphism acts on the NTT domain as a pure evaluation-point
@@ -773,7 +790,9 @@ class CkksEvaluator:
                 "evaluator with galois_keys=KeyGenerator.galois_keys(...)"
             )
         self.validate(ciphertext, name="ciphertext")
-        self._count(self._galois_operator(exponent))
+        self._count(
+            self._galois_operator(exponent), self._batch_weight(ciphertext)
+        )
         key: GaloisKey = self.galois_keys.key_for(exponent)
         rotated_c0 = ciphertext.c0.automorphism(exponent)
         rotated_c1 = ciphertext.c1.automorphism(exponent)
@@ -860,12 +879,12 @@ def _rescale_poly(
     poly = poly.to_coeff()
     last_index = level - 1
     last_modulus = params.modulus_basis.moduli[last_index]
-    last_limb = poly.residues[last_index]
+    last_limb = poly.residues[..., last_index, :]
     new_basis = params.basis_at_level(level - 1)
     moduli = new_basis.moduli_array[:, None]
     residues = subtract_and_divide(
-        poly.residues[:last_index],
-        last_limb[None, :] % moduli,
+        poly.residues[..., :last_index, :],
+        last_limb[..., None, :] % moduli,
         last_modulus,
         new_basis,
     )

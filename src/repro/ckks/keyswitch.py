@@ -53,8 +53,11 @@ def decompose_and_extend(
     """Digit-decompose ``poly`` and basis-extend every digit in one stacked BConv.
 
     Returns the coefficient-domain ``(dnum, level + alpha, N)`` tensor of all
-    extended digits.  This is the per-ciphertext half of key switching that
-    rotation hoisting computes once and reuses across many rotations.
+    extended digits -- ``(..., dnum, level + alpha, N)`` for a batched input,
+    with the whole batch folded into the *columns* of the one block GEMM so a
+    ciphertext stack pays a single (larger) BConv rather than ``B`` small
+    ones.  This is the per-ciphertext half of key switching that rotation
+    hoisting computes once and reuses across many rotations.
     """
     level_basis = params.basis_at_level(level)
     poly = poly.to_coeff()
@@ -69,7 +72,23 @@ def decompose_and_extend(
         params.extended_basis(level),
         tuple(digit_partition(level, params.dnum)),
     )
-    return conversion.convert_stacked(poly.residues)
+    residues = poly.residues
+    if residues.ndim == 2:
+        return conversion.convert_stacked(residues)
+    batch_shape = residues.shape[:-2]
+    limbs, degree = residues.shape[-2:]
+    # Fold every leading axis into the GEMM column axis: (..., L, N) becomes
+    # (L, B*N) column blocks, so the conversion runs as one block matmul for
+    # the whole batch (bit-exact: each column is converted independently).
+    folded = np.ascontiguousarray(
+        np.moveaxis(residues.reshape(-1, limbs, degree), 0, 1).reshape(limbs, -1)
+    )
+    extended = conversion.convert_stacked(folded)
+    dnum, ext_limbs = extended.shape[0], extended.shape[1]
+    unfolded = extended.reshape(dnum, ext_limbs, -1, degree)
+    return np.ascontiguousarray(
+        np.moveaxis(unfolded, 2, 0).reshape(*batch_shape, dnum, ext_limbs, degree)
+    )
 
 
 def switch_extended_eval(
@@ -89,16 +108,36 @@ def switch_extended_eval(
     """
     level_basis = params.basis_at_level(level)
     extended = params.extended_basis(level)
-    b_stack, a_stack = key.stacked_eval_digits(level)
-    if digits_eval.shape != b_stack.shape:
-        raise ParameterError("key material does not match the digit partition")
-    acc0 = _modular_inner_product(digits_eval, b_stack, extended)
-    acc1 = _modular_inner_product(digits_eval, a_stack, extended)
-    stacked = stacked_ntt_inverse(extended, np.stack([acc0, acc1]))
+    acc0, acc1 = switch_extended_eval_lazy(digits_eval, key, params, level)
+    stacked = stacked_ntt_inverse(extended, np.stack([acc0, acc1], axis=-3))
     down = mod_down_stacked(stacked, params, level)
     return (
-        RnsPolynomial(level_basis, down[0], COEFF_DOMAIN),
-        RnsPolynomial(level_basis, down[1], COEFF_DOMAIN),
+        RnsPolynomial(level_basis, down[..., 0, :, :], COEFF_DOMAIN),
+        RnsPolynomial(level_basis, down[..., 1, :, :], COEFF_DOMAIN),
+    )
+
+
+def switch_extended_eval_lazy(
+    digits_eval: np.ndarray,
+    key: KeySwitchKey,
+    params: CkksParameters,
+    level: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Key-switch inner products only, staying in the extended eval basis.
+
+    The double-hoisting primitive: returns the ``(..., level + alpha, N)``
+    accumulator pair still ``P``-scaled in the extended evaluation basis,
+    letting the caller defer the inverse NTT and ModDown past further
+    accumulation (the BSGS engine sums many baby terms per giant step and
+    pays one domain exit for the whole sum).
+    """
+    extended = params.extended_basis(level)
+    b_stack, a_stack = key.stacked_eval_digits(level)
+    if digits_eval.shape[-3:] != b_stack.shape:
+        raise ParameterError("key material does not match the digit partition")
+    return (
+        _modular_inner_product(digits_eval, b_stack, extended),
+        _modular_inner_product(digits_eval, a_stack, extended),
     )
 
 
@@ -109,17 +148,22 @@ def _modular_inner_product(
 
     The digit axis is contracted by an integer einsum in chunks sized so the
     uint64 partial sums cannot overflow (operands are reduced, so each
-    product is below ``q**2``); only the ``(L', N)`` accumulator ever pays a
-    modular reduction.
+    product is below ``q**2``); only the ``(..., L', N)`` accumulator ever
+    pays a modular reduction.  ``digits_eval`` may carry leading batch axes
+    (a ciphertext stack sharing one key); the contraction broadcasts the key
+    across them in the same einsum.
     """
     moduli = basis.moduli_array[:, None]
     product_bits = 2 * max((int(q) - 1).bit_length() for q in basis.moduli)
     chunk = max(1, 1 << max(0, 63 - product_bits))
+    digit_count = digits_eval.shape[-3]
     accumulator: np.ndarray | None = None
-    for start in range(0, digits_eval.shape[0], chunk):
-        stop = min(start + chunk, digits_eval.shape[0])
+    for start in range(0, digit_count, chunk):
+        stop = min(start + chunk, digit_count)
         partial = np.einsum(
-            "dln,dln->ln", digits_eval[start:stop], key_stack[start:stop]
+            "...dln,dln->...ln",
+            digits_eval[..., start:stop, :, :],
+            key_stack[start:stop],
         )
         partial %= moduli
         if accumulator is None:
@@ -182,11 +226,12 @@ def switch_galois_eval(
             [
                 np.take(c0_eval, indices, axis=-1),
                 np.take(c1_eval, indices, axis=-1),
-            ]
+            ],
+            axis=-3,
         ),
     )
-    rotated0 = RnsPolynomial(basis, rotated_pair[0], COEFF_DOMAIN)
-    rotated1 = RnsPolynomial(basis, rotated_pair[1], COEFF_DOMAIN)
+    rotated0 = RnsPolynomial(basis, rotated_pair[..., 0, :, :], COEFF_DOMAIN)
+    rotated1 = RnsPolynomial(basis, rotated_pair[..., 1, :, :], COEFF_DOMAIN)
     ks0, ks1 = switch_key(rotated1, key, params, level)
     return rotated0.add(ks0), ks1
 
@@ -223,7 +268,7 @@ def switch_key_unfused(
     for (start, stop), (b_j, a_j) in zip(partitions, digit_keys):
         digit_basis = _sub_basis(level_basis, start, stop)
         digit_poly = RnsPolynomial(
-            digit_basis, poly.residues[start:stop], "coeff"
+            digit_basis, poly.residues[..., start:stop, :], "coeff"
         )
         # Basis-extend the digit to the full level + special basis (BConv);
         # the conversion constants are compiled once per basis pair.

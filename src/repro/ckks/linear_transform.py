@@ -35,6 +35,7 @@ from typing import Mapping
 
 import numpy as np
 
+from repro.ckks.batch import stack_ciphertexts, unstack_ciphertext
 from repro.ckks.ciphertext import Ciphertext
 from repro.ckks.encoding import (
     CkksEncoder,
@@ -42,10 +43,22 @@ from repro.ckks.encoding import (
     matrix_from_diagonals,
     rotate_slots,
 )
-from repro.ckks.keyswitch import switch_galois_eval
+from repro.ckks.keyswitch import (
+    mod_down_stacked,
+    switch_extended_eval_lazy,
+    switch_galois_eval,
+    switch_key,
+)
 from repro.diagnostics import BoundedLruCache, register_cache_group
 from repro.errors import IncompatibleOperands, MissingKeyError, ParameterError
-from repro.poly.rns_poly import EVAL_DOMAIN, RnsPolynomial
+from repro.numtheory.crt import RnsBasis
+from repro.poly.ring import automorphism_eval_indices
+from repro.poly.rns_poly import (
+    COEFF_DOMAIN,
+    EVAL_DOMAIN,
+    RnsPolynomial,
+    stacked_ntt_inverse,
+)
 
 
 #: Bound on memoised transforms per encoder (each holds per-level
@@ -96,6 +109,33 @@ def _conditional_add(
     return np.where(total >= moduli, total - moduli, total)
 
 
+def _encode_at_basis(
+    encoder: CkksEncoder, vector: np.ndarray, scale: float, basis: RnsBasis
+) -> RnsPolynomial:
+    """Encode a slot vector directly over an arbitrary RNS basis.
+
+    Double hoisting multiplies plaintexts against ``P``-scaled accumulators
+    that still live in the *extended* (level + special) basis, so the
+    diagonal plaintexts need residues over that basis -- same inverse
+    embedding and rounding as :meth:`CkksEncoder.encode`, different modulus
+    set.
+    """
+    slots = encoder.params.slot_count
+    padded = np.zeros(slots, dtype=np.complex128)
+    values = np.asarray(vector, dtype=np.complex128).ravel()
+    if values.size > slots:
+        raise ParameterError(f"cannot pack {values.size} values into {slots} slots")
+    padded[: values.size] = values
+    full = np.concatenate([padded, np.conj(padded)])
+    coeffs = np.conj(encoder._embedding.T) @ full / encoder.params.degree
+    rounded = np.round(np.real(coeffs) * scale)
+    if not np.all(np.abs(rounded) < float(1 << 62)):
+        raise ParameterError(
+            "plaintext coefficients overflow int64 at this scale"
+        )
+    return RnsPolynomial.from_signed_coefficients(rounded.astype(np.int64), basis)
+
+
 def _bsgs_cost(indices: list[int], n1: int) -> int:
     """Key-switched rotations a BSGS split at ``n1`` pays for these diagonals."""
     babies = {k % n1 for k in indices} - {0}
@@ -144,6 +184,9 @@ class DiagonalLinearTransform:
     level_matched: bool = False
     _groups: dict[int, list[int]] = field(init=False, repr=False)
     _plain_cache: dict[int, dict[tuple[int, int], np.ndarray]] = field(
+        init=False, repr=False, default_factory=dict
+    )
+    _extended_plain_cache: dict[int, dict[tuple[int, int], np.ndarray]] = field(
         init=False, repr=False, default_factory=dict
     )
 
@@ -296,12 +339,50 @@ class DiagonalLinearTransform:
             self._plain_cache[level] = cached
         return cached
 
-    def apply(self, evaluator, ciphertext: Ciphertext) -> Ciphertext:
+    def _extended_plaintexts_at(
+        self, level: int
+    ) -> dict[tuple[int, int], np.ndarray]:
+        """Eval-domain *extended-basis* plaintext tensors for double hoisting.
+
+        Companion cache to :meth:`_plaintexts_at`: same pre-rotated diagonals,
+        encoded over ``level + alpha`` limbs so they can multiply accumulators
+        that have not left the key-switch basis yet.
+        """
+        cached = self._extended_plain_cache.get(level)
+        if cached is None:
+            extended = self.encoder.params.extended_basis(level)
+            scale = self.plaintext_scale(level)
+            cached = {}
+            for g, babies in self._groups.items():
+                for b in babies:
+                    pre_rotated = np.roll(
+                        self.diagonals[g * self.n1 + b], g * self.n1
+                    )
+                    poly = _encode_at_basis(
+                        self.encoder, pre_rotated, scale, extended
+                    )
+                    residues = poly.to_eval().residues
+                    residues.flags.writeable = False
+                    cached[(g, b)] = residues
+            self._extended_plain_cache[level] = cached
+        return cached
+
+    def apply(
+        self, evaluator, ciphertext: Ciphertext, *, double_hoist: bool = False
+    ) -> Ciphertext:
         """Evaluate the transform on a ciphertext (BSGS + double hoisting).
 
         Returns a ciphertext at the same level whose scale is multiplied by
         the plaintext scale; callers rescale when they are ready to drop the
         level.  Decrypts to ``matrix() @ slots`` up to CKKS noise.
+
+        ``double_hoist=True`` shares the one hoisted decomposition across the
+        giant steps too: baby key-switch results stay ``P``-scaled in the
+        extended evaluation basis (no per-baby inverse NTT or ModDown) and
+        each giant step pays a single slightly wider domain exit for its whole
+        inner sum.  Decrypts to the same slots; the deferred ModDown rounds
+        differently, so this path is decode-equivalent (not bit-identical) to
+        the default and is therefore opt-in.
         """
         params = evaluator.params
         if params.slot_count != self.slots:
@@ -312,6 +393,8 @@ class DiagonalLinearTransform:
                 params,
             )
         evaluator.validate(ciphertext, name="ciphertext")
+        if double_hoist:
+            return self._apply_double_hoisted(evaluator, ciphertext)
         level = ciphertext.level
         basis = params.basis_at_level(level)
         moduli = basis.moduli_array[:, None]
@@ -366,7 +449,9 @@ class DiagonalLinearTransform:
                     )
                 exponent = self.encoder.slot_rotation_exponent(g * self.n1)
                 key = evaluator.galois_keys.key_for(exponent)
-                evaluator.count_operation("rotate")
+                evaluator.count_operation(
+                    "rotate", evaluator._batch_weight(ciphertext)
+                )
                 c0, c1 = switch_galois_eval(acc0, acc1, key, exponent, params, level)
                 term = Ciphertext(c0=c0, c1=c1, scale=result_scale, level=level)
             output = term if output is None else evaluator.add(output, term)
@@ -385,6 +470,158 @@ class DiagonalLinearTransform:
             output.noise_bits = bits
             model.guard(level, bits)
         return output
+
+    def _apply_double_hoisted(self, evaluator, ciphertext: Ciphertext) -> Ciphertext:
+        """True double-hoisting: one decomposition, one domain exit per giant.
+
+        Every baby term is represented ``P``-scaled over the extended
+        (level + special) evaluation basis: key-switch inner products are
+        born there (:func:`switch_extended_eval_lazy`), and the rotated
+        ``c0`` side is lifted by multiplying its level limbs with
+        ``[P]_{q_i}`` (its special limbs are exactly zero, so the eventual
+        ModDown's division by ``P`` is exact on that component).  The
+        plaintext diagonals multiply in the same basis, each giant step's
+        inner sum accumulates there, and only the finished sum pays the
+        gather + inverse NTT + ModDown -- ``n2`` domain exits total instead
+        of ``n1`` per-baby ones.
+        """
+        if evaluator.galois_keys is None and (
+            [b for b in self.baby_steps if b != 0] or self.giant_steps
+        ):
+            raise MissingKeyError(
+                "double-hoisted evaluation requires Galois keys; generate "
+                "them with KeyGenerator.galois_keys_for_steps("
+                "required_rotation_steps(transform))"
+            )
+        params = evaluator.params
+        level = ciphertext.level
+        degree = params.degree
+        level_basis = params.basis_at_level(level)
+        extended = params.extended_basis(level)
+        level_moduli = level_basis.moduli_array[:, None]
+        ext_moduli = extended.moduli_array[:, None]
+        special_product = params.special_basis.modulus_product
+        p_factors = np.array(
+            [special_product % q for q in level_basis.moduli], dtype=np.uint64
+        )[:, None]
+        plaintexts = self._extended_plaintexts_at(level)
+
+        c0_eval = ciphertext.c0.to_eval().residues
+        c1_eval = ciphertext.c1.to_eval().residues
+        alpha = extended.size - level
+        zeros = np.zeros(
+            ciphertext.c0.batch_shape + (alpha, degree), dtype=np.uint64
+        )
+        nonzero = [b for b in self.baby_steps if b != 0]
+        hoisted = evaluator.hoist(ciphertext) if nonzero else None
+
+        baby_parts: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for b in self.baby_steps:
+            if b == 0:
+                ext0 = np.concatenate(
+                    [(c0_eval * p_factors) % level_moduli, zeros], axis=-2
+                )
+                ext1 = np.concatenate(
+                    [(c1_eval * p_factors) % level_moduli, zeros], axis=-2
+                )
+            else:
+                exponent = self.encoder.slot_rotation_exponent(b)
+                key = evaluator.galois_keys.key_for(exponent)
+                evaluator.count_operation(
+                    "rotate", evaluator._batch_weight(ciphertext)
+                )
+                indices = automorphism_eval_indices(degree, exponent)
+                rotated_digits = np.take(hoisted.digits_eval, indices, axis=-1)
+                ext0, ext1 = switch_extended_eval_lazy(
+                    rotated_digits, key, params, level
+                )
+                lifted = (
+                    np.take(c0_eval, indices, axis=-1) * p_factors
+                ) % level_moduli
+                ext0[..., :level, :] = _conditional_add(
+                    ext0[..., :level, :], lifted, level_moduli
+                )
+            baby_parts[b] = (ext0, ext1)
+
+        output: Ciphertext | None = None
+        result_scale = ciphertext.scale * self.plaintext_scale(level)
+        for g in sorted(self._groups):
+            acc0: np.ndarray | None = None
+            acc1: np.ndarray | None = None
+            for b in self._groups[g]:
+                plain = plaintexts[(g, b)]
+                part0, part1 = baby_parts[b]
+                term0 = (part0 * plain) % ext_moduli
+                term1 = (part1 * plain) % ext_moduli
+                if acc0 is None:
+                    acc0, acc1 = term0, term1
+                else:
+                    acc0 = _conditional_add(acc0, term0, ext_moduli)
+                    acc1 = _conditional_add(acc1, term1, ext_moduli)
+            if g != 0:
+                exponent = self.encoder.slot_rotation_exponent(g * self.n1)
+                indices = automorphism_eval_indices(degree, exponent)
+                acc0 = np.take(acc0, indices, axis=-1)
+                acc1 = np.take(acc1, indices, axis=-1)
+            pair = stacked_ntt_inverse(
+                extended, np.stack([acc0, acc1], axis=-3)
+            )
+            down = mod_down_stacked(pair, params, level)
+            m0 = RnsPolynomial(level_basis, down[..., 0, :, :], COEFF_DOMAIN)
+            m1 = RnsPolynomial(level_basis, down[..., 1, :, :], COEFF_DOMAIN)
+            if g == 0:
+                term = Ciphertext(c0=m0, c1=m1, scale=result_scale, level=level)
+            else:
+                key = evaluator.galois_keys.key_for(exponent)
+                evaluator.count_operation(
+                    "rotate", evaluator._batch_weight(ciphertext)
+                )
+                ks0, ks1 = switch_key(m1, key, params, level)
+                term = Ciphertext(
+                    c0=m0.add(ks0), c1=ks1, scale=result_scale, level=level
+                )
+            output = term if output is None else evaluator.add(output, term)
+        if ciphertext.noise_bits is not None:
+            model = evaluator.noise
+            bits = ciphertext.noise_bits
+            if nonzero:
+                bits = model.keyswitch_bits(bits)
+            bits = model.multiply_plain_bits(
+                bits, ciphertext.scale, self.plaintext_scale(level)
+            )
+            if self.giant_steps:
+                bits = model.keyswitch_bits(bits)
+            bits += math.log2(max(self.diagonal_count(), 1))
+            output.noise_bits = bits
+            model.guard(level, bits)
+        return output
+
+    def apply_batch(
+        self,
+        evaluator,
+        ciphertexts: list[Ciphertext],
+        *,
+        double_hoist: bool = False,
+    ) -> list[Ciphertext]:
+        """Evaluate the transform on ``B`` compatible ciphertexts at once.
+
+        The batch is stacked along a leading axis and runs through one
+        :meth:`apply`: the cached plaintext tensors, the shared hoisted baby
+        rotations and the per-giant key switches are all paid once for the
+        whole batch (the batch rides the stacked BConv/NTT/einsum kernels).
+        Bit-identical to applying the transform to each member sequentially
+        with the same ``double_hoist`` setting.
+        """
+        ciphertexts = list(ciphertexts)
+        if not ciphertexts:
+            raise ParameterError("apply_batch needs at least one ciphertext")
+        if len(ciphertexts) == 1:
+            return [
+                self.apply(evaluator, ciphertexts[0], double_hoist=double_hoist)
+            ]
+        stacked = stack_ciphertexts(ciphertexts)
+        result = self.apply(evaluator, stacked, double_hoist=double_hoist)
+        return unstack_ciphertext(result)
 
 
 def bsgs_rotation_counts(diagonal_indices, slots: int, n1: int | None = None):

@@ -27,13 +27,14 @@ from __future__ import annotations
 
 import math
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro import diagnostics
 from repro.ckks.params import CkksParameters
 from repro.errors import NoiseBudgetExhausted
 
-__all__ = ["NoisePolicy", "NoiseModel"]
+__all__ = ["NoisePolicy", "NoiseModel", "policy_override"]
 
 _TRACK_ENV = "REPRO_NOISE_TRACK"
 _WARN_ENV = "REPRO_NOISE_WARN_BITS"
@@ -181,6 +182,33 @@ class NoiseModel:
     def decode_error_bound(self, scale: float, noise_bits: float) -> float:
         """Upper bound on the absolute slot-value error of a decode."""
         return 2.0**noise_bits / scale
+
+
+@contextmanager
+def policy_override(model: NoiseModel, **overrides):
+    """Temporarily adjust fields of ``model.policy``, restoring on exit.
+
+    For code that *knowingly* runs past the default guard -- e.g. a
+    benchmark's deliberately-wasteful baseline whose worst-case estimate
+    trips the raise margin even though its measured decode error is checked
+    independently.  Scoped so the relaxation can never leak into served
+    requests::
+
+        with policy_override(evaluator.noise, raise_margin_bits=-16.0):
+            evaluate_chebyshev_horner(evaluator, series, ct)
+    """
+    policy = model.policy
+    saved = {}
+    for name, value in overrides.items():
+        if not hasattr(policy, name):
+            raise AttributeError(f"NoisePolicy has no field {name!r}")
+        saved[name] = getattr(policy, name)
+        setattr(policy, name, value)
+    try:
+        yield model
+    finally:
+        for name, value in saved.items():
+            setattr(policy, name, value)
 
 
 def _log2_sum(a_bits: float, b_bits: float) -> float:

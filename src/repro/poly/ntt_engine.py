@@ -398,11 +398,14 @@ class _FourStepExec:
 
     Subclasses provide per-direction constant packs via ``_pack`` plus the
     modulus columns; this base runs the cascade through a per-thread buffer
-    pool so the hot loop performs **zero** element-wise allocations and the
-    whole working set (two tile buffers, one double-height GEMM buffer, one
-    scratch) stays cache-resident.  Operands with extra leading axes (e.g.
-    the fused key switch's ``(dnum, L', N)`` digit tensor) are tiled one
-    base-rank slice at a time for the same reason.
+    pool so the hot loop performs **zero** element-wise allocations.
+    Operands with extra leading axes (a ciphertext batch's ``(B, L, N)``
+    stack, the fused key switch's ``(dnum, L', N)`` digit tensor) fold those
+    axes into the GEMM batch dimension and ride through ONE cascade: the
+    constant packs broadcast from the right, so a single set of doubled-
+    height BLAS calls transforms every slice at once -- bigger GEMMs
+    amortise the per-call fixed costs that dominate small tiles, which is
+    where batched ciphertext evaluation gets its throughput.
 
     Value ranges: the reciprocal reductions use an *underestimating* inverse
     (``_under_inv``), so every intermediate stays non-negative in ``[0, 2q)``
@@ -435,13 +438,30 @@ class _FourStepExec:
             local.pools[key] = pool
         return pool
 
+    #: Rings at or below this degree fold extra leading axes into ONE
+    #: cascade: small tiles are dominated by per-call fixed costs, and the
+    #: bigger GEMMs amortise them across the whole stack.  Larger rings
+    #: iterate per slice instead -- their tiles already saturate BLAS, and
+    #: folding would only grow the working set past cache for no gain.
+    _FOLD_DEGREE_CAP = 2048
+
     def transform(self, matrix: np.ndarray, forward: bool) -> np.ndarray:
-        """Transform a ``(..., [L,] N)`` operand, tiling extra leading axes."""
+        """Transform a ``(..., [L,] N)`` operand in ONE batched cascade.
+
+        On rings up to :data:`_FOLD_DEGREE_CAP`, extra leading axes are
+        flattened into a single batch axis and fed through the cascade
+        together -- the constant packs broadcast, so the whole stacked
+        tensor shares one set of BLAS calls.  Beyond the cap the slices run
+        sequentially through the same cascade (identical results either
+        way; the kernels are exact per slice).
+        """
         matrix = np.asarray(matrix, dtype=np.uint64)
         base_rank = len(self._lead) + 1
         if matrix.ndim == base_rank:
             return self._cascade(matrix, forward)
         flat = matrix.reshape(-1, *matrix.shape[-base_rank:])
+        if self.rows * self.cols <= self._FOLD_DEGREE_CAP:
+            return self._cascade(flat, forward).reshape(matrix.shape)
         out = np.empty_like(flat)
         for index in range(flat.shape[0]):
             out[index] = self._cascade(flat[index], forward)
@@ -452,7 +472,7 @@ class _FourStepExec:
             self._fwd_pack if forward else self._inv_pack
         )
         q_f, q_u, inv_q = self._q_f, self._q_u, self._under_inv
-        pool = self._buffers(self._lead, a, b)
+        pool = self._buffers(data.shape[:-1], a, b)
         tile, gemm = pool["tile"], pool["gemm"]
         scratch = pool["scratch_t"].reshape(tile.shape)
 

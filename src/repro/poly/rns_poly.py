@@ -85,7 +85,12 @@ class RnsPolynomial:
     basis:
         The RNS basis whose moduli index the rows of ``residues``.
     residues:
-        ``(L, N)`` uint64 residue matrix.
+        ``(..., L, N)`` uint64 residue tensor.  The trailing two axes are the
+        limb and coefficient axes; any leading axes are stacked operands (a
+        ciphertext batch) that every operation carries through unchanged --
+        the arithmetic below is written against the trailing axes only, so a
+        batched element behaves exactly like ``B`` independent ``(L, N)``
+        elements.
     domain:
         Either ``"coeff"`` (coefficient domain) or ``"eval"`` (NTT domain).
     """
@@ -97,9 +102,10 @@ class RnsPolynomial:
     def __post_init__(self) -> None:
         self.residues = np.asarray(self.residues, dtype=np.uint64)
         expected = (self.basis.size, self.basis.degree)
-        if self.residues.shape != expected:
+        if self.residues.ndim < 2 or self.residues.shape[-2:] != expected:
             raise ValueError(
-                f"residue matrix has shape {self.residues.shape}, expected {expected}"
+                f"residue matrix has shape {self.residues.shape}, expected "
+                f"(..., {expected[0]}, {expected[1]})"
             )
         if self.domain not in (COEFF_DOMAIN, EVAL_DOMAIN):
             raise ValueError(f"unknown domain {self.domain!r}")
@@ -147,9 +153,14 @@ class RnsPolynomial:
         """Number of limbs L."""
         return self.basis.size
 
+    @property
+    def batch_shape(self) -> tuple[int, ...]:
+        """Leading (stacked-operand) axes; ``()`` for a plain element."""
+        return self.residues.shape[:-2]
+
     def limb(self, index: int) -> np.ndarray:
-        """Residue row for limb ``index``."""
-        return self.residues[index]
+        """Residue row(s) for limb ``index``."""
+        return self.residues[..., index, :]
 
     def ring(self, index: int) -> PolyRing:
         """The single-limb ring for limb ``index``."""
@@ -162,6 +173,11 @@ class RnsPolynomial:
         """
         if self.domain != COEFF_DOMAIN:
             raise ValueError("reconstruction requires the coefficient domain")
+        if self.residues.ndim != 2:
+            raise ValueError(
+                "reconstruction requires a plain (L, N) element; index the "
+                "batch axis first"
+            )
         return self.basis.compose_array(self.residues)
 
     def to_signed_coefficients(self) -> list[int]:
@@ -191,26 +207,14 @@ class RnsPolynomial:
         """
         if self.domain == EVAL_DOMAIN:
             return self
-        stack = self._plan_stack()
-        if stack is not None:
-            residues = stack.forward(self.residues)
-        else:
-            residues = np.stack(
-                [self.ring(i).ntt(self.residues[i]) for i in range(self.limb_count)]
-            )
+        residues = _stacked_transform(self.basis, self.residues, forward=True)
         return RnsPolynomial(self.basis, residues, EVAL_DOMAIN)
 
     def to_coeff(self) -> "RnsPolynomial":
         """Return the coefficient-domain version (no-op if already there)."""
         if self.domain == COEFF_DOMAIN:
             return self
-        stack = self._plan_stack()
-        if stack is not None:
-            residues = stack.inverse(self.residues)
-        else:
-            residues = np.stack(
-                [self.ring(i).intt(self.residues[i]) for i in range(self.limb_count)]
-            )
+        residues = _stacked_transform(self.basis, self.residues, forward=False)
         return RnsPolynomial(self.basis, residues, COEFF_DOMAIN)
 
     # ------------------------------------------------------------- arithmetic
@@ -279,9 +283,9 @@ class RnsPolynomial:
         target, wrap = automorphism_tables(self.degree, exponent % (2 * self.degree))
         moduli = self.basis.moduli_array[:, None]
         negated = np.where(source.residues == 0, source.residues, moduli - source.residues)
-        values = np.where(wrap[None, :], negated, source.residues)
+        values = np.where(wrap, negated, source.residues)
         residues = np.empty_like(source.residues)
-        residues[:, target] = values
+        residues[..., target] = values
         return RnsPolynomial(self.basis, residues, COEFF_DOMAIN)
 
     # --------------------------------------------------------- basis surgery
@@ -290,4 +294,6 @@ class RnsPolynomial:
         if not 1 <= count <= self.limb_count:
             raise ValueError("invalid limb count")
         new_basis = RnsBasis(moduli=self.basis.moduli[:count], degree=self.degree)
-        return RnsPolynomial(new_basis, self.residues[:count].copy(), self.domain)
+        return RnsPolynomial(
+            new_basis, self.residues[..., :count, :].copy(), self.domain
+        )

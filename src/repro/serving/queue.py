@@ -71,6 +71,28 @@ class BoundedRequestQueue:
                 return None
             return self._items.popleft()
 
+    def drain_matching(self, match, limit: int) -> list:
+        """Pop up to ``limit`` waiting items for which ``match(item)`` is true.
+
+        Used by the dynamic batcher: after popping a leader the worker drains
+        the queued requests that can coalesce with it (same tenant / batch
+        key) without disturbing the FIFO order of the rest.  Returns the
+        drained items oldest-first; an empty list when nothing matches.
+        """
+        if limit <= 0:
+            return []
+        with self._cond:
+            taken: list = []
+            kept: deque = deque()
+            while self._items:
+                item = self._items.popleft()
+                if len(taken) < limit and match(item):
+                    taken.append(item)
+                else:
+                    kept.append(item)
+            self._items = kept
+            return taken
+
     def close(self) -> None:
         """Stop admitting; wake every blocked consumer."""
         with self._cond:

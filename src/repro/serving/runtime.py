@@ -37,8 +37,11 @@ from typing import Any, Callable
 
 from repro import diagnostics
 from repro.cancellation import CancelScope
+from repro.ckks.batch import stack_ciphertexts, unstack_ciphertext
+from repro.ckks.ciphertext import Ciphertext
 from repro.errors import (
     DeadlineExceeded,
+    ParameterError,
     RequestCancelled,
     ReproError,
     ServiceUnavailable,
@@ -72,6 +75,14 @@ class InferenceRequest:
     circuit: Callable[[TenantSession, Any], Any]
     payload: Any = None
     timeout_s: float | None = None
+    #: Dynamic-batching opt-in.  Requests from the same tenant carrying the
+    #: same non-``None`` key promise that (a) their circuits are
+    #: interchangeable (the leader's callable runs for the whole batch) and
+    #: (b) their payloads are single ciphertexts that stack -- same ring,
+    #: level and scale.  The server then coalesces queued compatible
+    #: requests into one stacked evaluator pass; ``None`` (default) always
+    #: serves solo.
+    batch_key: str | None = None
     request_id: str = field(
         default_factory=lambda: f"req-{next(_request_ids):06d}"
     )
@@ -152,15 +163,30 @@ class InferenceServer:
         breaker: CircuitBreaker | None = None,
         probe_interval_s: float = 0.25,
         rng_seed: int | None = None,
+        max_batch_size: int = 1,
+        max_batch_wait_s: float = 0.0,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if max_batch_wait_s < 0:
+            raise ValueError("max_batch_wait_s must be >= 0")
         self.registry = registry
         self.queue = BoundedRequestQueue(queue_capacity)
         self.retry_policy = retry_policy or RetryPolicy()
         self.breaker = breaker or CircuitBreaker()
         self.default_timeout_s = default_timeout_s
         self.probe_interval_s = probe_interval_s
+        #: Dynamic-batching knobs: a worker that pops a keyed request drains
+        #: up to ``max_batch_size - 1`` queued compatible requests, waiting at
+        #: most ``max_batch_wait_s`` for stragglers, and serves the whole
+        #: batch as one stacked evaluator call.  ``max_batch_size=1`` (the
+        #: default) disables coalescing entirely.
+        self.max_batch_size = int(max_batch_size)
+        self.max_batch_wait_s = float(max_batch_wait_s)
+        self.batches_served = 0
+        self.batched_requests = 0
         self._worker_count = workers
         self._threads: list[threading.Thread] = []
         self._rng = random.Random(rng_seed)
@@ -327,6 +353,12 @@ class InferenceServer:
             "served": self.served,
             "failed": self.failed,
             "quarantined_backends": quarantined,
+            "batching": {
+                "max_batch_size": self.max_batch_size,
+                "max_batch_wait_s": self.max_batch_wait_s,
+                "batches_served": self.batches_served,
+                "batched_requests": self.batched_requests,
+            },
             "breaker": {
                 name: vars(snap) for name, snap in self.breaker.snapshot().items()
             },
@@ -342,15 +374,171 @@ class InferenceServer:
                         return
                 self._maybe_probe()
                 continue
+            batch = self._collect_batch(ticket)
             with self._lock:
-                self._in_flight += 1
+                self._in_flight += len(batch)
             try:
-                self._serve(ticket)
+                if len(batch) == 1:
+                    self._serve(batch[0])
+                else:
+                    self._serve_batch(batch)
             finally:
                 with self._idle:
-                    self._in_flight -= 1
+                    self._in_flight -= len(batch)
                     self._idle.notify_all()
                 self._maybe_probe()
+
+    def _collect_batch(self, leader: RequestTicket) -> list[RequestTicket]:
+        """Coalesce queued requests compatible with ``leader`` (FIFO order).
+
+        Drains same-tenant requests carrying the leader's ``batch_key``; when
+        the batch is not yet full and ``max_batch_wait_s`` allows, lingers
+        briefly (never past the leader's own deadline) re-draining for
+        stragglers.  Requests without a batch key never coalesce.
+        """
+        request = leader.request
+        if self.max_batch_size <= 1 or request.batch_key is None:
+            return [leader]
+
+        def matches(ticket: RequestTicket) -> bool:
+            other = ticket.request
+            return (
+                other.tenant_id == request.tenant_id
+                and other.batch_key == request.batch_key
+            )
+
+        batch = [leader]
+        batch.extend(
+            self.queue.drain_matching(matches, self.max_batch_size - 1)
+        )
+        wait = self.max_batch_wait_s
+        remaining = leader.scope.remaining()
+        if remaining is not None:
+            wait = min(wait, max(0.0, remaining - 1e-3))
+        if len(batch) < self.max_batch_size and wait > 0:
+            linger_until = time.monotonic() + wait
+            while len(batch) < self.max_batch_size:
+                now = time.monotonic()
+                if now >= linger_until:
+                    break
+                time.sleep(min(5e-4, linger_until - now))
+                batch.extend(
+                    self.queue.drain_matching(
+                        matches, self.max_batch_size - len(batch)
+                    )
+                )
+        return batch
+
+    def _serve_batch(self, batch: list[RequestTicket]) -> None:
+        """Serve coalesced tickets as ONE stacked evaluator call.
+
+        The members' single-ciphertext payloads are stacked into a
+        ``(B, 2, L, N)`` ciphertext, the leader's circuit runs once under a
+        scope holding the *tightest* member deadline, and the result is
+        unstacked back per member.  Every member's own scope is re-checked
+        before completion, so per-request cancellation and deadlines hold
+        exactly as in solo serving.  Any batched-path failure falls back to
+        serving the unfinished members sequentially through :meth:`_serve` --
+        batching is a throughput optimisation, never a correctness or
+        availability risk.
+        """
+        started = time.monotonic()
+        live: list[RequestTicket] = []
+        for ticket in batch:
+            ticket.status = RUNNING
+            ticket.diagnostics["queue_wait_s"] = round(
+                started - ticket.submitted_at, 6
+            )
+            try:
+                ticket.scope.check()
+            except BaseException as exc:  # noqa: BLE001 - typed, finalised
+                self._finalise(ticket, None, exc, 0, "unknown", started)
+            else:
+                live.append(ticket)
+        if not live:
+            return
+        if len(live) == 1:
+            self._serve(live[0])
+            return
+        leader = live[0]
+        request = leader.request
+        try:
+            session = self.registry.session(request.tenant_id)
+            payloads = [ticket.request.payload for ticket in live]
+            if not all(isinstance(p, Ciphertext) for p in payloads):
+                raise ParameterError(
+                    "dynamic batching requires single-ciphertext payloads"
+                )
+            stacked = stack_ciphertexts(payloads)
+        except BaseException as exc:  # noqa: BLE001 - fall back to solo serve
+            diagnostics.record_event(
+                "batch_fallback",
+                tenant=request.tenant_id,
+                batch_key=request.batch_key,
+                batch_size=len(live),
+                reason=type(exc).__name__,
+            )
+            for ticket in live:
+                self._serve(ticket)
+            return
+        deadlines = [
+            ticket.scope.deadline
+            for ticket in live
+            if ticket.scope.deadline is not None
+        ]
+        batch_scope = CancelScope(
+            deadline=min(deadlines) if deadlines else None,
+            label=f"batch-{request.request_id}",
+        )
+        backend = self._resolved_backend(session)
+        try:
+            with batch_scope:
+                result = request.circuit(session, stacked)
+            members = unstack_ciphertext(result)
+            if len(members) != len(live):
+                raise ParameterError(
+                    f"batched circuit returned {len(members)} members for a "
+                    f"batch of {len(live)}"
+                )
+        except BaseException as exc:  # noqa: BLE001 - fall back to solo serve
+            if isinstance(exc, ReproError) and is_retryable(exc):
+                self.breaker.record_failure(
+                    backend, request_id=request.request_id
+                )
+            diagnostics.record_event(
+                "batch_fallback",
+                tenant=request.tenant_id,
+                batch_key=request.batch_key,
+                batch_size=len(live),
+                backend=backend,
+                reason=type(exc).__name__,
+            )
+            for ticket in live:
+                if not ticket.done():
+                    self._serve(ticket)
+            return
+        self.breaker.record_success(backend)
+        self.batches_served += 1
+        self.batched_requests += len(live)
+        for ticket, member in zip(live, members):
+            try:
+                ticket.scope.check()
+            except BaseException as exc:  # noqa: BLE001 - typed, finalised
+                self._finalise(ticket, None, exc, 1, backend, started)
+                continue
+            headroom = None
+            try:
+                headroom = session.noise_headroom_bits(member)
+            except Exception:  # diagnostics must never fail a request
+                headroom = None
+            ticket.diagnostics.update(
+                batched=True,
+                batch_size=len(live),
+                noise_headroom_bits=(
+                    None if headroom is None else round(headroom, 2)
+                ),
+            )
+            self._finalise(ticket, member, None, 1, backend, started)
 
     def _maybe_probe(self) -> None:
         """Periodic circuit-breaker recovery probe (one worker at a time)."""

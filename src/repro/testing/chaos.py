@@ -246,19 +246,30 @@ def prepare_work(
 
 
 def _submit_and_wait(
-    server: InferenceServer, work: list, outcome: ChaosOutcome
+    server: InferenceServer,
+    work: list,
+    outcome: ChaosOutcome,
+    *,
+    batch_key: str | None = None,
 ) -> list:
     """Submit every prepared request and wait the tickets out (fault live).
 
     Returns ``(index, client, features, encrypted_result, latency)`` for the
     completed slots; failures are classified here, decode checks happen in
-    :func:`_classify_results` once the fault window has closed.
+    :func:`_classify_results` once the fault window has closed.  With
+    ``batch_key`` set, every request opts into dynamic batching, so faults
+    land mid-batch and the server's sequential fallback is what's drilled.
     """
     tickets = []
     for index, client, features, ciphertext in work:
         try:
             ticket = server.submit(
-                InferenceRequest(client.tenant_id, client.circuit, payload=ciphertext)
+                InferenceRequest(
+                    client.tenant_id,
+                    client.circuit,
+                    payload=ciphertext,
+                    batch_key=batch_key,
+                )
             )
         except ReproError:
             outcome.shed += 1
@@ -308,13 +319,18 @@ def run_chaos(
     workers: int = 8,
     seed: int = 7,
     drills: list[str] | None = None,
+    max_batch_size: int = 1,
+    max_batch_wait_s: float = 0.0,
 ) -> ChaosReport:
     """Replay every fault drill against a live server under concurrent load.
 
     ``workers`` is the in-flight concurrency (the acceptance bar is >= 8).
     Each drill gets a fresh server (shared warm plan caches) so breaker and
     quarantine state cannot leak between drills; strict mode + per-pass spot
-    checks are forced for the whole run.
+    checks are forced for the whole run.  ``max_batch_size > 1`` turns on
+    dynamic batching and tags every request with a shared batch key, so the
+    drills land their faults mid-batch: the serving contract (zero silent,
+    zero hung) must hold through the batched path's sequential fallback too.
     """
     registry = TenantRegistry()
     clients = build_tenants(registry, seed=seed)
@@ -374,6 +390,8 @@ def run_chaos(
                 breaker=CircuitBreaker(cooldown_s=0.2),
                 probe_interval_s=0.1,
                 rng_seed=seed,
+                max_batch_size=max_batch_size,
+                max_batch_wait_s=max_batch_wait_s,
             )
             with server:
                 context, corrupt_index = setup()
@@ -384,7 +402,12 @@ def run_chaos(
                     corrupt_payload_index=corrupt_index,
                 )
                 with context:
-                    completed = _submit_and_wait(server, work, outcome)
+                    completed = _submit_and_wait(
+                        server,
+                        work,
+                        outcome,
+                        batch_key="chaos" if max_batch_size > 1 else None,
+                    )
             ntt_engine.clear_quarantine()
             ntt_engine.reset_sentinels()
             _classify_results(completed, outcome)

@@ -120,6 +120,16 @@ class TestBoundedQueue:
     def test_get_timeout_returns_none(self):
         assert BoundedRequestQueue(1).get(timeout=0.01) is None
 
+    def test_drain_matching_takes_matches_keeps_order(self):
+        queue = BoundedRequestQueue(8)
+        for item in ("a1", "b1", "a2", "b2", "a3"):
+            queue.put(item)
+        taken = queue.drain_matching(lambda item: item.startswith("a"), 2)
+        assert taken == ["a1", "a2"]
+        # non-matches and the over-limit match keep their FIFO order
+        assert [queue.get(0.01) for _ in range(3)] == ["b1", "b2", "a3"]
+        assert queue.drain_matching(lambda item: True, 0) == []
+
     def test_close_rejects_and_wakes(self):
         queue = BoundedRequestQueue(1)
         got = []
@@ -497,6 +507,270 @@ class TestInferenceServer:
             with pytest.raises(ParameterError):
                 ticket.result(timeout=10.0)
         assert calls["n"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Dynamic batching
+# ---------------------------------------------------------------------------
+
+
+class TestDynamicBatching:
+    """Coalescing queued requests must change throughput, never semantics."""
+
+    def _blocked_server(self, registry, **knobs):
+        """One-worker server whose first request parks until released."""
+        server = InferenceServer(registry, workers=1, **knobs)
+        server.start()
+        entered, release = threading.Event(), threading.Event()
+
+        def barrier_circuit(session, payload):
+            entered.set()
+            release.wait(10.0)
+            return payload
+
+        return server, barrier_circuit, entered, release
+
+    def test_knob_validation(self, registry_and_clients):
+        registry, _ = registry_and_clients
+        with pytest.raises(ValueError):
+            InferenceServer(registry, max_batch_size=0)
+        with pytest.raises(ValueError):
+            InferenceServer(registry, max_batch_wait_s=-1.0)
+
+    def test_health_reports_batching(self, registry_and_clients):
+        registry, _ = registry_and_clients
+        with InferenceServer(
+            registry, workers=1, max_batch_size=4, max_batch_wait_s=0.01
+        ) as server:
+            batching = server.health()["batching"]
+        assert batching["max_batch_size"] == 4
+        assert batching["max_batch_wait_s"] == pytest.approx(0.01)
+        assert batching["batches_served"] == 0
+        assert batching["batched_requests"] == 0
+
+    def test_coalesced_results_bit_exact(self, registry_and_clients):
+        """A coalesced batch must return exactly the solo-serving results."""
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(21)
+        feature_sets = [
+            rng.uniform(-1, 1, client.params.slot_count) for _ in range(4)
+        ]
+        payloads = [client.encrypt_features(f) for f in feature_sets]
+        session = registry.session(client.tenant_id)
+        oracles = [client.circuit(session, ct) for ct in payloads]
+
+        server, barrier, entered, release = self._blocked_server(
+            registry, max_batch_size=4, max_batch_wait_s=0.05
+        )
+        try:
+            server.submit(InferenceRequest(client.tenant_id, barrier))
+            assert entered.wait(5.0)
+            tickets = [
+                server.submit(
+                    InferenceRequest(
+                        client.tenant_id,
+                        client.circuit,
+                        payload=ct,
+                        batch_key="stream",
+                    )
+                )
+                for ct in payloads
+            ]
+            release.set()
+            results = [t.result(timeout=30.0) for t in tickets]
+        finally:
+            release.set()
+            server.shutdown()
+        for ticket, result, oracle, features in zip(
+            tickets, results, oracles, feature_sets
+        ):
+            assert ticket.diagnostics["batched"] is True
+            assert ticket.diagnostics["batch_size"] == 4
+            assert np.array_equal(
+                result.c0.to_coeff().residues, oracle.c0.to_coeff().residues
+            )
+            assert np.array_equal(
+                result.c1.to_coeff().residues, oracle.c1.to_coeff().residues
+            )
+            decoded = client.decode(result)
+            assert np.abs(decoded - client.expected(features)).max() < 1e-3
+        assert server.batches_served == 1
+        assert server.batched_requests == 4
+
+    def test_requests_without_key_never_coalesce(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(22)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        server, barrier, entered, release = self._blocked_server(
+            registry, max_batch_size=4, max_batch_wait_s=0.05
+        )
+        try:
+            server.submit(InferenceRequest(client.tenant_id, barrier))
+            assert entered.wait(5.0)
+            tickets = [
+                server.submit(
+                    InferenceRequest(
+                        client.tenant_id,
+                        client.circuit,
+                        payload=client.encrypt_features(features),
+                    )
+                )
+                for _ in range(3)
+            ]
+            release.set()
+            for ticket in tickets:
+                ticket.result(timeout=30.0)
+        finally:
+            release.set()
+            server.shutdown()
+        assert server.batches_served == 0
+        assert all("batched" not in t.diagnostics for t in tickets)
+
+    def test_deadline_preserved_mid_batch(self, registry_and_clients):
+        """A member whose deadline lapses in the queue fails typed; its
+        batch-mates still coalesce and complete."""
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(23)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        server, barrier, entered, release = self._blocked_server(
+            registry, max_batch_size=4, max_batch_wait_s=0.05
+        )
+        try:
+            server.submit(InferenceRequest(client.tenant_id, barrier))
+            assert entered.wait(5.0)
+            healthy = [
+                server.submit(
+                    InferenceRequest(
+                        client.tenant_id,
+                        client.circuit,
+                        payload=client.encrypt_features(features),
+                        batch_key="stream",
+                    )
+                )
+                for _ in range(2)
+            ]
+            doomed = server.submit(
+                InferenceRequest(
+                    client.tenant_id,
+                    client.circuit,
+                    payload=client.encrypt_features(features),
+                    batch_key="stream",
+                    timeout_s=0.05,
+                )
+            )
+            time.sleep(0.2)  # let the doomed member's deadline lapse queued
+            release.set()
+            with pytest.raises(DeadlineExceeded):
+                doomed.result(timeout=30.0)
+            for ticket in healthy:
+                result = ticket.result(timeout=30.0)
+                decoded = client.decode(result)
+                assert np.abs(decoded - client.expected(features)).max() < 1e-3
+                assert ticket.diagnostics["batched"] is True
+                assert ticket.diagnostics["batch_size"] == 2
+        finally:
+            release.set()
+            server.shutdown()
+
+    def test_cancellation_preserved_mid_batch(self, registry_and_clients):
+        registry, clients = registry_and_clients
+        client = clients[0]
+        rng = np.random.default_rng(24)
+        features = rng.uniform(-1, 1, client.params.slot_count)
+        server, barrier, entered, release = self._blocked_server(
+            registry, max_batch_size=4, max_batch_wait_s=0.05
+        )
+        try:
+            server.submit(InferenceRequest(client.tenant_id, barrier))
+            assert entered.wait(5.0)
+            tickets = [
+                server.submit(
+                    InferenceRequest(
+                        client.tenant_id,
+                        client.circuit,
+                        payload=client.encrypt_features(features),
+                        batch_key="stream",
+                    )
+                )
+                for _ in range(3)
+            ]
+            tickets[1].cancel("client gave up while queued")
+            release.set()
+            with pytest.raises(RequestCancelled):
+                tickets[1].result(timeout=30.0)
+            for ticket in (tickets[0], tickets[2]):
+                result = ticket.result(timeout=30.0)
+                decoded = client.decode(result)
+                assert np.abs(decoded - client.expected(features)).max() < 1e-3
+        finally:
+            release.set()
+            server.shutdown()
+
+    def test_incompatible_payloads_fall_back_to_solo(self, registry_and_clients):
+        """Stacking failures degrade to sequential serving, never to errors."""
+        registry, clients = registry_and_clients
+        client = clients[0]
+
+        def echo(session, payload):
+            return payload
+
+        diagnostics.clear_events()
+        server, barrier, entered, release = self._blocked_server(
+            registry, max_batch_size=4, max_batch_wait_s=0.05
+        )
+        try:
+            server.submit(InferenceRequest(client.tenant_id, barrier))
+            assert entered.wait(5.0)
+            tickets = [
+                server.submit(
+                    InferenceRequest(
+                        client.tenant_id,
+                        echo,
+                        payload=payload,
+                        batch_key="stream",
+                    )
+                )
+                for payload in ("not-a-ciphertext", "also-not")
+            ]
+            release.set()
+            results = [t.result(timeout=30.0) for t in tickets]
+        finally:
+            release.set()
+            server.shutdown()
+        assert results == ["not-a-ciphertext", "also-not"]
+        assert server.batches_served == 0
+        assert all("batched" not in t.diagnostics for t in tickets)
+        events = [
+            e for e in diagnostics.events() if e["kind"] == "batch_fallback"
+        ]
+        assert events and events[-1]["reason"] == "ParameterError"
+
+    def test_chaos_with_dynamic_batching(self):
+        """Every fault drill with coalescing on: quarantine reroute must
+        still heal mid-batch, with zero silent corruption and zero hangs."""
+        report = run_chaos(
+            requests_per_drill=8,
+            workers=4,
+            max_batch_size=4,
+            max_batch_wait_s=0.01,
+        )
+        assert report.silent == 0, report.summary()
+        assert report.hung == 0, report.summary()
+        assert report.ok
+        by_drill = {o.drill: o for o in report.outcomes}
+        flip = by_drill["ciphertext_bit_flip"]
+        assert flip.typed_failures == 1
+        assert flip.correct == flip.requests - 1
+        for drill in (
+            "four_step_table_corruption",
+            "butterfly_table_corruption",
+            "gemm_output_perturbation",
+        ):
+            outcome = by_drill[drill]
+            assert outcome.correct == outcome.requests, outcome.errors
 
 
 # ---------------------------------------------------------------------------
