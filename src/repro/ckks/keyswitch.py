@@ -31,7 +31,8 @@ import numpy as np
 from repro.ckks.keys import KeySwitchKey, digit_partition
 from repro.ckks.params import CkksParameters
 from repro.errors import IncompatibleOperands, ParameterError
-from repro.numtheory.crt import RnsBasis, subtract_and_divide
+from repro.numtheory.crt import RnsBasis, inverse_column
+from repro.poly import fused_kernels
 from repro.poly.basis_conversion import (
     conversion_for,
     stacked_conversion_for,
@@ -294,8 +295,10 @@ def mod_down_stacked(
     run once over every stacked operand: the BConv correction for all leading
     operands is one batched matmul (the generalized
     :meth:`BasisConversion.convert_residues`) and the subtract+divide is one
-    :func:`subtract_and_divide` broadcast.  Returns the ``(..., level, N)``
-    coefficient-domain result tensor.
+    broadcast of the fused ``moddown_sub_div`` kernel
+    (`repro.poly.fused_kernels`), the executable form of the coalesced
+    vector segment in `repro.core.schedule.moddown_execution_schedule`.
+    Returns the ``(..., level, N)`` coefficient-domain result tensor.
     """
     level_basis = params.basis_at_level(level)
     special = params.special_basis
@@ -303,11 +306,11 @@ def mod_down_stacked(
         raise ParameterError("ModDown input must live in the extended basis")
     conversion = conversion_for(special, level_basis)
     correction = conversion.convert_residues(stacked[..., level:, :])
-    return subtract_and_divide(
+    return fused_kernels.moddown_sub_div(
         stacked[..., :level, :],
         correction,
-        special.modulus_product,
-        level_basis,
+        level_basis.moduli_array[:, None],
+        inverse_column(special.modulus_product, level_basis.moduli),
     )
 
 

@@ -1,0 +1,311 @@
+"""Scheduling pass: compile a lowered :class:`KernelGraph` into fused segments.
+
+`repro.core.compiler.CrossCompiler` lowers every HE kernel into an ordered
+list of device operations (matmuls, element-wise vector work, permutations,
+type conversions).  Until now that graph was *modelling only* -- the hot path
+ran an equivalent but hand-scheduled sequence of eager NumPy passes.  This
+module is the small scheduling pass that turns the graph into the executable
+form the ``fused`` NTT backend runs (`repro.poly.ntt_engine.FusedTables`):
+
+* **Segment formation** -- each MatMulOp anchors a *gemm* segment that
+  absorbs its data-layout prologue (chunk decompose, tile relayout: the
+  offline hi/lo constant split of `repro.poly.gemm_mod`) and its
+  merge/reduce epilogue VectorOp, so the whole post-GEMM chain executes as
+  ONE fused kernel.  The mid-cascade twiddle multiply (plus any explicit
+  transpose Permutation next to it) forms a *twist* segment; runs of
+  standalone VectorOps (ModDown's subtract + divide, BConv's step-1 scale)
+  coalesce into *vector* segments.
+* **Constant-pack reuse** -- trailing ``bit-reverse`` Permutations and the
+  inverse transform's ``scale-by-n-inverse`` fold into the final gemm
+  segment: the executable backend embeds both into its offline matrices
+  (``m1_inv`` carries ``N^{-1}``), so they cost nothing at runtime.
+* **Lazy-reduction placement** -- mirroring ``gemm_mod.lazy_mod_reduce``:
+  every interior gemm segment reduces *lazily* (outputs in ``[0, 2q)``,
+  kernel ``merge_lazy``), and only the final segment canonicalises
+  (``merge_canonical``).  The twist consumes lazy inputs directly.
+* **Batch-axis folding** -- schedules are shape-polymorphic: one compiled
+  schedule serves any ``(..., L, N)`` stack because every kernel broadcasts
+  over leading axes (the PR 8 batch axis); ``metadata["batch"]`` records the
+  batch the graph was lowered for, not a constraint.
+
+Each segment names the `repro.poly.fused_kernels` kernel that executes it;
+the parity tests assert a traced fused transform runs exactly the kernel
+sequence its schedule names, and that the op bookkeeping matches
+`ntt_engine.transform_counts`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.compiler import CompilerOptions, CrossCompiler
+from repro.core.config import SecurityParams
+from repro.core.kernel_ir import (
+    KernelGraph,
+    MatMulOp,
+    MemoryOp,
+    PermuteOp,
+    TypeConvertOp,
+    VectorOp,
+)
+
+#: Segment reduction placements.
+REDUCE_LAZY = "lazy"
+REDUCE_CANONICAL = "canonical"
+REDUCE_NONE = "none"
+
+
+@dataclass(frozen=True)
+class FusedSegment:
+    """One fused execution unit: a run of graph ops executed as one kernel.
+
+    Attributes
+    ----------
+    kind:
+        ``"gemm"`` (MatMul + layout prologue + merge epilogue), ``"twist"``
+        (mid-cascade element-wise twiddle, transpose fused in) or
+        ``"vector"`` (a coalesced run of standalone VectorOps).
+    category:
+        The anchor op's breakdown bucket (`kernel_ir.Category` value).
+    op_names:
+        Names of the lowered ops this segment covers, in issue order.
+    reduction:
+        Where the segment's outputs land: :data:`REDUCE_LAZY` (``[0, 2q)``),
+        :data:`REDUCE_CANONICAL` (``[0, q)``) or :data:`REDUCE_NONE`.
+    kernel:
+        The `repro.poly.fused_kernels` entry point executing the segment's
+        element-wise work (gemm segments additionally run one BLAS matmul).
+    """
+
+    kind: str
+    category: str
+    op_names: tuple[str, ...]
+    reduction: str
+    kernel: str
+
+
+@dataclass
+class ExecutionSchedule:
+    """A compiled kernel graph: ordered fused segments plus shape metadata."""
+
+    name: str
+    segments: list[FusedSegment] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def gemm_count(self) -> int:
+        """Number of matrix-engine calls the schedule issues."""
+        return sum(1 for segment in self.segments if segment.kind == "gemm")
+
+    @property
+    def kernel_sequence(self) -> tuple[str, ...]:
+        """The fused kernels executed, in order (the parity-test contract)."""
+        return tuple(segment.kernel for segment in self.segments)
+
+    @property
+    def covered_ops(self) -> tuple[str, ...]:
+        """Every lowered op name the segments absorbed, in issue order."""
+        return tuple(
+            name for segment in self.segments for name in segment.op_names
+        )
+
+
+def _vector_kernel(names: list[str]) -> str:
+    """Choose the fused kernel for a coalesced run of standalone VectorOps."""
+    text = " ".join(names)
+    has_mul = "modmul" in text or "scale" in text
+    has_add = "modadd" in text or "modsub" in text or "sub" in text
+    if has_mul and has_add:
+        # Subtract-then-divide runs as the single fused ModDown kernel.
+        return "moddown_sub_div"
+    if has_mul:
+        return "vec_mod_mul"
+    return "vec_mod_add"
+
+
+def schedule_graph(graph: KernelGraph) -> ExecutionSchedule:
+    """Compile a lowered graph into the fused segments the backend executes.
+
+    The pass is a single in-order walk: layout ops (TypeConvert, Copy+Reshape
+    Permutes, Memory loads) buffer as the *pending prologue* of the next
+    anchor; MatMulOps open gemm segments that then absorb their
+    ``*-reduce`` epilogue; twiddle VectorOps (and an adjacent explicit
+    transpose) become twist segments; remaining VectorOps coalesce.  After
+    the walk, reduction placement is assigned: interior reducing segments
+    are lazy, the last one canonicalises.
+    """
+    raw: list[dict] = []
+    pending: list[str] = []
+
+    def flush_pending_into(names: list[str]) -> None:
+        names[:0] = pending
+        pending.clear()
+
+    for op in graph.ops:
+        if isinstance(op, (TypeConvertOp, MemoryOp)):
+            pending.append(op.name)
+            continue
+        if isinstance(op, PermuteOp):
+            if op.pattern == "transpose":
+                # Explicit runtime transpose: fuses into the next twist.
+                pending.append(op.name)
+            elif raw and op.pattern == "shuffle":
+                # Trailing bit-reverse: folded into the previous segment's
+                # constant pack (MAT embedding), nothing executes at runtime.
+                raw[-1]["names"].append(op.name)
+            else:
+                pending.append(op.name)
+            continue
+        if isinstance(op, MatMulOp):
+            names = [op.name]
+            flush_pending_into(names)
+            raw.append(
+                {
+                    "kind": "gemm",
+                    "category": op.category.value,
+                    "names": names,
+                    "open": True,
+                }
+            )
+            continue
+        if isinstance(op, VectorOp):
+            lowered = op.name.lower()
+            if raw and raw[-1].get("open") and (
+                "reduce" in lowered or "merge" in lowered
+            ):
+                raw[-1]["names"].append(op.name)
+                raw[-1]["open"] = False
+            elif "twiddle" in lowered or "twist" in lowered:
+                names = [op.name]
+                flush_pending_into(names)
+                raw.append(
+                    {
+                        "kind": "twist",
+                        "category": op.category.value,
+                        "names": names,
+                        "open": False,
+                    }
+                )
+            elif "scale-by-n-inverse" in lowered and raw:
+                # N^{-1} rides the final constant matrix (m1_inv): constant-
+                # pack reuse, no runtime op.
+                raw[-1]["names"].append(op.name)
+            elif raw and raw[-1]["kind"] == "vector":
+                raw[-1]["names"].append(op.name)
+            else:
+                names = [op.name]
+                flush_pending_into(names)
+                raw.append(
+                    {
+                        "kind": "vector",
+                        "category": op.category.value,
+                        "names": names,
+                        "open": False,
+                    }
+                )
+            continue
+        pending.append(op.name)
+    if pending and raw:
+        raw[-1]["names"].extend(pending)
+        pending.clear()
+
+    # Lazy-reduction placement: the last reducing segment canonicalises,
+    # every earlier one stays lazy (outputs in [0, 2q), consumed directly).
+    reducing = [i for i, seg in enumerate(raw) if seg["kind"] in ("gemm", "twist")]
+    last_reducing = reducing[-1] if reducing else None
+    segments = []
+    for index, seg in enumerate(raw):
+        if seg["kind"] == "gemm":
+            canonical = index == last_reducing
+            reduction = REDUCE_CANONICAL if canonical else REDUCE_LAZY
+            kernel = "merge_canonical" if canonical else "merge_lazy"
+        elif seg["kind"] == "twist":
+            reduction = (
+                REDUCE_CANONICAL if index == last_reducing else REDUCE_LAZY
+            )
+            kernel = "twist_split"
+        else:
+            reduction = REDUCE_CANONICAL
+            kernel = _vector_kernel(seg["names"])
+        segments.append(
+            FusedSegment(
+                kind=seg["kind"],
+                category=seg["category"],
+                op_names=tuple(seg["names"]),
+                reduction=reduction,
+                kernel=kernel,
+            )
+        )
+    return ExecutionSchedule(
+        name=graph.name, segments=segments, metadata=dict(graph.metadata)
+    )
+
+
+# --------------------------------------------------------------- entry points
+def _ring_compiler(degree: int, limbs: int) -> CrossCompiler:
+    """A compiler instance whose tile shape matches the runtime backend.
+
+    ``lane_count`` is pinned to the four-step ``n1`` so the lowered graph's
+    ``(rows, cols)`` metadata equals the ``FourStepTables`` factorisation
+    (``n1 = 2**ceil(log2(N)/2)``), and ``use_mat=True`` reflects that the
+    executable backend embeds transpose/bit-reverse into its constant packs.
+    """
+    log2n = degree.bit_length() - 1
+    rows = 1 << ((log2n + 1) // 2)
+    params = SecurityParams(
+        name=f"ring-{degree}", degree=degree, log_q=28, limbs=max(limbs, 1)
+    )
+    options = CompilerOptions(
+        use_bat=True, use_mat=True, ntt_algorithm="three_step", lane_count=rows
+    )
+    return CrossCompiler(params=params, options=options)
+
+
+def ntt_execution_schedule(
+    degree: int, limbs: int = 1, batch: int = 1, inverse: bool = False
+) -> ExecutionSchedule:
+    """The compiled schedule of one (I)NTT pass over ``(batch, limbs, N)``.
+
+    Lowers the matrix-form NTT through `CrossCompiler.ntt` and schedules it:
+    the result is always ``gemm(lazy) -> twist(lazy) -> gemm(canonical)``,
+    i.e. kernels ``merge_lazy, twist_split, merge_canonical`` around two
+    BLAS calls -- exactly what ``FusedTables._cascade`` executes.
+    """
+    compiler = _ring_compiler(degree, limbs)
+    graph = compiler.ntt(limbs=limbs, batch=batch, inverse=inverse)
+    schedule = schedule_graph(graph)
+    schedule.metadata.setdefault("limbs", limbs)
+    schedule.metadata.setdefault("batch", batch)
+    schedule.metadata["inverse"] = inverse
+    return schedule
+
+
+def bconv_execution_schedule(
+    degree: int, limbs_in: int, limbs_out: int, batch: int = 1
+) -> ExecutionSchedule:
+    """The compiled schedule of one basis conversion (BConv) pass.
+
+    ``vector(vec_mod_mul)`` (the hat-inverse scaling) followed by one
+    ``gemm(canonical)`` -- the stacked split-GEMM of
+    `repro.poly.basis_conversion`.
+    """
+    compiler = _ring_compiler(degree, max(limbs_in, limbs_out))
+    graph = compiler.bconv(limbs_in=limbs_in, limbs_out=limbs_out, batch=batch)
+    return schedule_graph(graph)
+
+
+def moddown_execution_schedule(degree: int, limbs: int, aux: int) -> ExecutionSchedule:
+    """The compiled schedule of the fused ModDown correction.
+
+    BConv of the ``aux`` special limbs down to the ``limbs`` basis, then the
+    subtract-and-divide pair coalesced into the single ``moddown_sub_div``
+    kernel (`repro.ckks.keyswitch.mod_down_stacked`'s executable form).
+    """
+    compiler = _ring_compiler(degree, limbs)
+    graph = KernelGraph(
+        name="moddown", metadata={"limbs": limbs, "aux": aux, "degree": degree}
+    )
+    graph.merge(compiler.bconv(limbs_in=aux, limbs_out=limbs, name="moddown/bconv"))
+    graph.merge(compiler.vec_mod_sub(limbs=limbs, name="moddown/sub"))
+    graph.merge(compiler.vec_mod_mul(limbs=limbs, name="moddown/p-inverse-scale"))
+    return schedule_graph(graph)

@@ -34,7 +34,7 @@ are not planned; callers fall back to the big-int-safe reference path.
 
 Backends
 --------
-Since PR 5 the butterfly cascade is one of three interchangeable, bit-exact
+Since PR 5 the butterfly cascade is one of several interchangeable, bit-exact
 backends behind every plan (the paper's thesis is that the NTT *is* a block
 matmul, so it should run on the matrix engine):
 
@@ -43,7 +43,12 @@ matmul, so it should run on the matrix engine):
   a precomputed ``(n1, n1)`` twiddle-matrix matmul, a cached mod-``q`` twist,
   and row NTTs as an ``(n2, n2)`` matmul, both matmuls executed by the exact
   hi/lo split-float64 BLAS GEMM kernel shared with BConv
-  (`repro.poly.gemm_mod`); and
+  (`repro.poly.gemm_mod`);
+* ``fused`` -- the same GEMM cascade with every element-wise stage compiled
+  to ONE fused kernel (`repro.poly.fused_kernels`: numexpr or numba when
+  installed, an eager-identical NumPy fallback otherwise), executing the
+  schedule `repro.core.schedule` derives from the compiler's lowered
+  ``KernelGraph``; and
 * ``reference`` -- the per-call table-building oracle
   (`repro.poly.ntt_reference`).
 
@@ -74,6 +79,7 @@ import numpy as np
 from repro import diagnostics
 from repro.diagnostics import BoundedLruCache, register_cache
 from repro.errors import BackendExactnessError, ParameterError
+from repro.poly import fused_kernels
 from repro.numtheory.bitrev import bit_reverse_indices, is_power_of_two
 from repro.numtheory.modular import mod_inv, primitive_nth_root_of_unity
 from repro.poly.gemm_mod import (
@@ -95,12 +101,14 @@ _SHIFT32 = np.uint64(32)
 #: Backend identifiers (``NttPlan.backend`` / ``REPRO_NTT_BACKEND`` values).
 BACKEND_BUTTERFLY = "butterfly"
 BACKEND_FOUR_STEP = "four_step"
+BACKEND_FUSED = "fused"
 BACKEND_REFERENCE = "reference"
 BACKEND_AUTO = "auto"
-BACKENDS = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_REFERENCE)
+BACKENDS = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_FUSED, BACKEND_REFERENCE)
 #: Backends the quarantine ladder may remove from dispatch (the reference
-#: oracle is the floor of the ladder and can never be quarantined).
-BACKENDS_QUARANTINABLE = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP)
+#: oracle is the floor of the ladder and can never be quarantined).  The
+#: degradation order is ``fused -> four_step -> butterfly -> reference``.
+BACKENDS_QUARANTINABLE = (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_FUSED)
 
 _BACKEND_ENV = "REPRO_NTT_BACKEND"
 _CALIBRATE_ENV = "REPRO_NTT_CALIBRATE"
@@ -659,15 +667,21 @@ class FourStepTables(_FourStepExec):
         return self.transform(evaluations, forward=False)
 
 
-def _twist_pack(twist: np.ndarray, moduli, shift_tw: int, scale_col) -> tuple:
+def _twist_pack(
+    twist: np.ndarray, moduli, shift_tw: int, scale_col, *, force_split: bool = False
+) -> tuple:
     """Compile an element-wise twist table into its fastest exact form.
 
     Lazy-reduced inputs are in ``[0, 2q)``; when every modulus is below the
     32-bit Shoup precision bound the twist runs as an integer lazy Shoup
     multiply (5 passes, no reduction needed after).  Wider moduli use the
     float hi/lo split (f32 tables -- entries < 2**17 are f32-exact).
+
+    ``force_split`` always compiles the float split form (stored float64):
+    the ``fused`` backend's accelerated kernels are float-only, and f64
+    tables keep every implementation's promotion behaviour identical.
     """
-    if all(int(q) < MAX_PLAN_MODULUS for q in moduli):
+    if not force_split and all(int(q) < MAX_PLAN_MODULUS for q in moduli):
         # twist < 2**30, so the << 32 stays inside uint64 (build-time only).
         # Tables are stored uint32 (both fit) to halve their cache footprint;
         # uint64-operand multiplies promote back to uint64 losslessly.
@@ -678,15 +692,18 @@ def _twist_pack(twist: np.ndarray, moduli, shift_tw: int, scale_col) -> tuple:
             np.ascontiguousarray(shoup.astype(np.uint32)),
         )
     hi, lo = split_halves(twist, shift_tw)
+    dtype = np.float64 if force_split else np.float32
     return (
         _TWIST_SPLIT,
-        np.ascontiguousarray(hi.astype(np.float32)),
-        np.ascontiguousarray(lo.astype(np.float32)),
+        np.ascontiguousarray(hi.astype(dtype)),
+        np.ascontiguousarray(lo.astype(dtype)),
         np.float64(1 << shift_tw),
     )
 
 
-def _build_pack(first, twist, second, tables, a: int, b: int) -> tuple:
+def _build_pack(
+    first, twist, second, tables, a: int, b: int, *, force_split: bool = False
+) -> tuple:
     """One direction's executable constants for :class:`_FourStepExec`."""
     shift_first = tables._shift1 if a == tables.rows else tables._shift4
     shift_second = tables._shift4 if a == tables.rows else tables._shift1
@@ -694,7 +711,9 @@ def _build_pack(first, twist, second, tables, a: int, b: int) -> tuple:
     return (
         _cat_split(first, shift_first),
         np.float64(1 << shift_first),
-        _twist_pack(twist, moduli, tables._shift_tw, tables._q_u),
+        _twist_pack(
+            twist, moduli, tables._shift_tw, tables._q_u, force_split=force_split
+        ),
         _cat_split(second, shift_second),
         np.float64(1 << shift_second),
         a,
@@ -711,7 +730,12 @@ class _FourStepStack(_FourStepExec):
     (see :class:`_FourStepExec`).
     """
 
-    def __init__(self, tables: tuple[FourStepTables, ...]):
+    def __init__(
+        self,
+        tables: tuple[FourStepTables, ...],
+        *,
+        force_split_twist: bool = False,
+    ):
         first = tables[0]
         self.rows, self.cols = first.rows, first.cols
         self._lead = (len(tables),)
@@ -742,7 +766,11 @@ class _FourStepStack(_FourStepExec):
                 stack(lambda t: _cat_split(getattr(t, first_name), sh_first)),
                 np.float64(1 << sh_first),
                 _twist_pack(
-                    stack(lambda t: getattr(t, tw_name)), moduli, shift_tw, self._q_u
+                    stack(lambda t: getattr(t, tw_name)),
+                    moduli,
+                    shift_tw,
+                    self._q_u,
+                    force_split=force_split_twist,
                 ),
                 stack(lambda t: _cat_split(getattr(t, second_name), sh_second)),
                 np.float64(1 << sh_second),
@@ -758,6 +786,97 @@ class _FourStepStack(_FourStepExec):
         )
 
 
+# --------------------------------------------------------------------- fused
+class _FusedExecMixin:
+    """Cascade override executing the compiled schedule's fused segments.
+
+    The GEMMs are the same batched BLAS calls as :class:`_FourStepExec`, but
+    every element-wise stage between them runs as ONE
+    `repro.poly.fused_kernels` kernel instead of an eager pass sequence --
+    the executable form of the ``gemm(lazy) -> twist(lazy) ->
+    gemm(canonical)`` schedule `repro.core.schedule.ntt_execution_schedule`
+    derives from the compiler's lowered graph.  In every kernel mode
+    (numexpr / numba / numpy) the arithmetic is op-for-op identical to the
+    eager cascade, so results stay bit-exact vs `repro.poly.ntt_reference`.
+
+    Constant packs are rebuilt independently of the ``four_step`` backend's
+    (fault isolation: corrupting fused constants never degrades four_step,
+    so quarantining ``fused`` heals to bit-exact service) with the float
+    split twist forced -- the accelerated kernels are float-only.
+    """
+
+    def _cascade(self, data: np.ndarray, forward: bool) -> np.ndarray:
+        first_cat, scale_first, twist, second_cat, scale_second, a, b = (
+            self._fwd_pack if forward else self._inv_pack
+        )
+        q_f, q_u, inv_q = self._q_f, self._q_u, self._under_inv
+        pool = self._buffers(data.shape[:-1], a, b)
+        tile, gemm = pool["tile"], pool["gemm"]
+
+        # Segment 1: gemm(lazy) -- split GEMM + fused hi/lo merge-reduce.
+        np.copyto(tile, data.reshape(tile.shape), casting="unsafe")
+        np.matmul(first_cat, tile, out=gemm)
+        hi, lo = gemm[..., :a, :], gemm[..., a:, :]
+        fused_kernels.merge_lazy(hi, lo, scale_first, q_f, inv_q)
+
+        # Segment 2: twist(lazy) -- fused runtime transpose + split twiddle.
+        _, tw_hi, tw_lo, scale_tw = twist
+        twisted = fused_kernels.twist_split(
+            hi.swapaxes(-1, -2), tw_hi, tw_lo, scale_tw, q_f, inv_q,
+            out=pool["twist"],
+        )
+
+        # Segment 3: gemm(canonical) -- split GEMM + fused canonical merge.
+        gemm_t = pool["gemm_t"]
+        np.matmul(second_cat, twisted, out=gemm_t)
+        hi2, lo2 = gemm_t[..., :b, :], gemm_t[..., b:, :]
+        out = fused_kernels.merge_canonical(
+            hi2, lo2, scale_second, q_f, q_u, inv_q
+        )
+        return out.reshape(data.shape)
+
+
+class FusedTables(_FusedExecMixin, FourStepTables):
+    """Per-ring constants for the ``fused`` compiled backend.
+
+    Same offline parameter compilation as :class:`FourStepTables` (rebuilt
+    fresh, never shared with the four_step backend's instances), with both
+    direction packs re-fit to the forced float-split twist the fused kernels
+    consume.  :meth:`execution_schedule` exposes the compiled schedule the
+    cascade implements.
+    """
+
+    def __init__(self, degree: int, modulus: int, psi: int):
+        super().__init__(degree, modulus, psi)
+        if not self.exact:
+            return
+        self._fwd_pack = _build_pack(
+            self.m1, self.tw_fwd, self.m4, self, self.rows, self.cols,
+            force_split=True,
+        )
+        self._inv_pack = _build_pack(
+            self.m4_inv, self.tw_inv, self.m1_inv, self, self.cols, self.rows,
+            force_split=True,
+        )
+
+    def execution_schedule(
+        self, *, inverse: bool = False, limbs: int = 1, batch: int = 1
+    ):
+        """The compiled :class:`repro.core.schedule.ExecutionSchedule`."""
+        from repro.core.schedule import ntt_execution_schedule
+
+        return ntt_execution_schedule(
+            self.degree, limbs=limbs, batch=batch, inverse=inverse
+        )
+
+
+class _FusedStack(_FusedExecMixin, _FourStepStack):
+    """Limb-stacked fused tables: one compiled cascade for all ``L`` limbs."""
+
+    def __init__(self, tables: tuple[FusedTables, ...]):
+        super().__init__(tables, force_split_twist=True)
+
+
 # ------------------------------------------------------------------ dispatch
 _DEFAULT_BACKEND = BACKEND_AUTO
 _CALIBRATION = register_cache(
@@ -771,7 +890,7 @@ _DISPATCH_EPOCH = 0
 #: Backends quarantined by a failed exactness sentinel or spot check.  A
 #: quarantined backend is never selected again (process-wide) until
 #: :func:`clear_quarantine`; :func:`resolve_backend` walks the degradation
-#: ladder ``four_step -> butterfly -> reference`` past it, recording the
+#: ladder ``fused -> four_step -> butterfly -> reference`` past it, recording the
 #: fallback in `repro.diagnostics`.  The reference oracle is the ground truth
 #: and cannot be quarantined.
 _QUARANTINE: set[str] = set()
@@ -874,6 +993,17 @@ def four_step_supported(degree: int, moduli: tuple[int, ...]) -> bool:
     )
 
 
+def fused_supported(degree: int, moduli: tuple[int, ...]) -> bool:
+    """True when the fused compiled backend is exact for every modulus.
+
+    The fused backend runs the same split-float64 GEMMs as ``four_step``
+    (only the element-wise stages between them are compiled differently), so
+    it shares the four-step exactness bound; its float split twist is exact
+    wherever the GEMM split is.
+    """
+    return four_step_supported(degree, moduli)
+
+
 def resolve_backend(
     degree: int,
     moduli: tuple[int, ...],
@@ -884,8 +1014,8 @@ def resolve_backend(
     """Pick the executable backend for a ring, never an inexact one.
 
     ``requested`` defaults to :func:`requested_backend`.  An explicit request
-    is honoured only when exact for the ring (``four_step`` falls back to
-    ``butterfly``, ``butterfly`` to ``reference`` for oversized moduli).
+    is honoured only when exact for the ring, else it walks the degradation
+    ladder ``fused -> four_step -> butterfly -> reference``.
     ``auto`` consults the memoised one-shot calibration: the closed-form
     ``N >= FOUR_STEP_MIN_DEGREE`` heuristic, or -- when
     ``REPRO_NTT_CALIBRATE=measure`` and the caller supplies a ``calibrate``
@@ -900,14 +1030,22 @@ def resolve_backend(
     choice = requested if requested is not None else requested_backend()
     butterfly_exact = all(1 < int(q) < MAX_PLAN_MODULUS for q in moduli)
     four_step_exact = four_step_supported(degree, moduli)
+    fused_exact = four_step_exact
     butterfly_ok = butterfly_exact and BACKEND_BUTTERFLY not in _QUARANTINE
     four_step_ok = four_step_exact and BACKEND_FOUR_STEP not in _QUARANTINE
+    fused_ok = fused_exact and BACKEND_FUSED not in _QUARANTINE
+    # Auto promotes the GEMM choice to ``fused`` only when an accelerated
+    # kernel implementation is importable: the numpy fallback is bit-exact
+    # but not faster, so auto keeps selecting ``four_step`` there.
+    fused_auto = fused_ok and fused_kernels.accelerated()
     if choice == BACKEND_AUTO:
         if not (butterfly_ok and four_step_ok):
             choice = BACKEND_FOUR_STEP if four_step_ok else BACKEND_BUTTERFLY
+            if choice == BACKEND_FOUR_STEP and fused_auto:
+                choice = BACKEND_FUSED
         else:
             bits = max((int(q) - 1).bit_length() for q in moduli)
-            key = (degree, len(moduli), bits)
+            key = (degree, len(moduli), bits, fused_kernels.active_mode())
             cached = _CALIBRATION.get(key)
             if cached is None:
                 if os.environ.get(_CALIBRATE_ENV, "") == "measure" and calibrate:
@@ -918,8 +1056,20 @@ def resolve_backend(
                         if degree >= FOUR_STEP_MIN_DEGREE
                         else BACKEND_BUTTERFLY
                     )
+                    if cached == BACKEND_FOUR_STEP and fused_auto:
+                        cached = BACKEND_FUSED
                 _CALIBRATION.put(key, cached)
             choice = cached
+    if choice == BACKEND_FUSED and not fused_ok:
+        if fused_exact:
+            diagnostics.record_event(
+                "backend_fallback",
+                backend=BACKEND_FUSED,
+                fallback=BACKEND_FOUR_STEP,
+                reason="quarantined",
+                degree=degree,
+            )
+        choice = BACKEND_FOUR_STEP
     if choice == BACKEND_FOUR_STEP and not four_step_ok:
         if four_step_exact:
             diagnostics.record_event(
@@ -965,7 +1115,12 @@ def _resolve_memoised(owner, degree, moduli, requested, calibrate) -> str:
     (env override included) and the calibration mode -- plus the global
     epoch, which calibration resets bump.
     """
-    key = (requested, os.environ.get(_CALIBRATE_ENV, ""), _DISPATCH_EPOCH)
+    key = (
+        requested,
+        os.environ.get(_CALIBRATE_ENV, ""),
+        fused_kernels.active_mode(),
+        _DISPATCH_EPOCH,
+    )
     cache = owner._dispatch_cache
     choice = cache.get(key)
     if choice is None:
@@ -1104,8 +1259,11 @@ class NttPlan:
         self._q = np.uint64(q)
         self._two_q = np.uint64(2 * q)
         self.bitrev = bit_reverse_indices(n)
+        self.fused_ok = self.four_step_ok
         self._four_step: FourStepTables | None = None
+        self._fused: FusedTables | None = None
         self._sentinel_state: str | None = None
+        self._fused_sentinel_state: str | None = None
         self._dispatch_cache: dict = {}
         if not self.butterfly_ok:
             return
@@ -1184,15 +1342,75 @@ class NttPlan:
                     )
         return self._four_step if self._sentinel_state == "ok" else None
 
+    def fused_tables(self) -> FusedTables:
+        """The lazily built fused compiled tables for this ring."""
+        if self._fused is None:
+            self._fused = FusedTables(self.degree, self.modulus, self.psi)
+        return self._fused
+
+    def _checked_fused(self) -> FusedTables | None:
+        """Fused tables vetted by the known-answer sentinel, else ``None``.
+
+        Mirrors :meth:`_checked_four_step` for the compiled backend: the
+        sentinel runs once, the first time dispatch selects ``fused`` for
+        this ring, and a mismatch quarantines the backend process-wide --
+        the caller heals down the ladder to ``four_step`` (whose constants
+        are built independently and stay healthy).
+        """
+        if self._fused_sentinel_state is None:
+            self._fused_sentinel_state = "failed"
+            try:
+                tables = self.fused_tables()
+            except (ParameterError, ArithmeticError) as exc:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FUSED,
+                    fallback=BACKEND_FOUR_STEP
+                    if self.four_step_ok
+                    else BACKEND_BUTTERFLY,
+                    reason=f"table build failed: {exc}",
+                    degree=self.degree,
+                    modulus=self.modulus,
+                )
+                tables = None
+            if tables is not None and not tables.exact:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FUSED,
+                    fallback=BACKEND_FOUR_STEP
+                    if self.four_step_ok
+                    else BACKEND_BUTTERFLY,
+                    reason="fused split is not exact for this ring",
+                    degree=self.degree,
+                    modulus=self.modulus,
+                )
+            elif tables is not None:
+                if not sentinel_enabled() or _sentinel_passes(
+                    tables.forward,
+                    tables.inverse,
+                    _sentinel_vector(self.degree, self.modulus),
+                    self.modulus,
+                    self.psi,
+                ):
+                    self._fused_sentinel_state = "ok"
+                else:
+                    quarantine_backend(
+                        BACKEND_FUSED,
+                        reason="known-answer sentinel mismatch at plan build",
+                        degree=self.degree,
+                        modulus=self.modulus,
+                    )
+        return self._fused if self._fused_sentinel_state == "ok" else None
+
     def _calibrate(self) -> str:
         probe = np.zeros((1, self.degree), dtype=np.uint64)
-        return _timed_best(
-            {
-                BACKEND_BUTTERFLY: self._forward_butterfly,
-                BACKEND_FOUR_STEP: self.four_step_tables().forward,
-            },
-            probe,
-        )
+        candidates = {
+            BACKEND_BUTTERFLY: self._forward_butterfly,
+            BACKEND_FOUR_STEP: self.four_step_tables().forward,
+        }
+        if self.fused_ok and fused_kernels.accelerated():
+            candidates[BACKEND_FUSED] = self.fused_tables().forward
+        return _timed_best(candidates, probe)
 
     def resolve_backend(self) -> str:
         """The backend a call dispatched right now would execute (memoised)."""
@@ -1231,6 +1449,18 @@ class NttPlan:
         forward = direction == "forward"
         backend = self.resolve_backend()
         tables: FourStepTables | None = None
+        if backend == BACKEND_FUSED:
+            tables = self._checked_fused()
+            if tables is None:
+                backend = (
+                    BACKEND_FOUR_STEP
+                    if self.four_step_ok
+                    else (
+                        BACKEND_BUTTERFLY
+                        if self.butterfly_ok
+                        else BACKEND_REFERENCE
+                    )
+                )
         if backend == BACKEND_FOUR_STEP:
             tables = self._checked_four_step()
             if tables is None:
@@ -1242,7 +1472,7 @@ class NttPlan:
                 ntt_forward_negacyclic if forward else ntt_inverse_negacyclic
             )
             return oracle(data, self.modulus, self.psi)
-        if backend == BACKEND_FOUR_STEP:
+        if backend in (BACKEND_FOUR_STEP, BACKEND_FUSED):
             out = tables.forward(data) if forward else tables.inverse(data)
         else:
             out = (
@@ -1275,10 +1505,14 @@ class NttPlan:
         return self._execute(evaluations, "inverse")
 
     def pointwise(self, a_eval: np.ndarray, b_eval: np.ndarray) -> np.ndarray:
-        """Evaluation-domain product of reduced operands."""
+        """Evaluation-domain product of reduced operands.
+
+        Executes as the ``vec_mod_mul`` fused kernel (the lowered VecModOps
+        category); the numpy implementation is the former eager expression.
+        """
         a_eval = np.asarray(a_eval, dtype=np.uint64)
         b_eval = np.asarray(b_eval, dtype=np.uint64)
-        return (a_eval * b_eval) % self._q
+        return fused_kernels.vec_mod_mul(a_eval, b_eval, self._q)
 
     def multiply(self, a_coeffs: np.ndarray, b_coeffs: np.ndarray) -> np.ndarray:
         """Negacyclic polynomial product through the cached transform."""
@@ -1315,8 +1549,12 @@ class NttPlanStack:
         # cached process-wide, so buffers are per-thread to stay reentrant
         # (NumPy releases the GIL inside ufunc loops).
         self._thread_local = threading.local()
+        self.four_step_ok = four_step_supported(self.degree, self.moduli)
+        self.fused_ok = self.four_step_ok
         self._four_step_stack: _FourStepStack | None = None
+        self._fused_stack: _FusedStack | None = None
         self._sentinel_state: str | None = None
+        self._fused_sentinel_state: str | None = None
         self._dispatch_cache: dict = {}
         if not self.butterfly_ok:
             return
@@ -1428,16 +1666,65 @@ class NttPlanStack:
                     )
         return self._four_step_stack if self._sentinel_state == "ok" else None
 
+    def fused_stack(self) -> _FusedStack:
+        """The lazily built limb-stacked fused compiled tables."""
+        if self._fused_stack is None:
+            self._fused_stack = _FusedStack(
+                tuple(plan.fused_tables() for plan in self.plans)
+            )
+        return self._fused_stack
+
+    def _checked_fused_stack(self) -> _FusedStack | None:
+        """Sentinel-vetted stacked fused tables, else ``None`` (heal).
+
+        Mirrors :meth:`_checked_four_step_stack` for the compiled backend;
+        the heal target is the independently built four_step stack.
+        """
+        if self._fused_sentinel_state is None:
+            self._fused_sentinel_state = "failed"
+            try:
+                stack = self.fused_stack()
+            except (ParameterError, ArithmeticError) as exc:
+                diagnostics.record_event(
+                    "backend_fallback",
+                    backend=BACKEND_FUSED,
+                    fallback=BACKEND_FOUR_STEP
+                    if self.four_step_ok
+                    else BACKEND_BUTTERFLY,
+                    reason=f"stack build failed: {exc}",
+                    degree=self.degree,
+                    limbs=self.limb_count,
+                )
+                stack = None
+            if stack is not None:
+                if not sentinel_enabled() or _sentinel_passes(
+                    lambda m: stack.transform(m, True),
+                    lambda m: stack.transform(m, False),
+                    self._sentinel_matrix(),
+                    self.moduli[0],
+                    self.plans[0].psi,
+                ):
+                    self._fused_sentinel_state = "ok"
+                else:
+                    quarantine_backend(
+                        BACKEND_FUSED,
+                        reason="known-answer sentinel mismatch at stack build",
+                        degree=self.degree,
+                        limbs=self.limb_count,
+                    )
+        return self._fused_stack if self._fused_sentinel_state == "ok" else None
+
     def _calibrate(self) -> str:
         probe = np.zeros((self.limb_count, self.degree), dtype=np.uint64)
         stack = self.four_step_stack()
-        return _timed_best(
-            {
-                BACKEND_BUTTERFLY: lambda m: self._butterfly_tiled(m, True),
-                BACKEND_FOUR_STEP: lambda m: stack.transform(m, True),
-            },
-            probe,
-        )
+        candidates = {
+            BACKEND_BUTTERFLY: lambda m: self._butterfly_tiled(m, True),
+            BACKEND_FOUR_STEP: lambda m: stack.transform(m, True),
+        }
+        if self.fused_ok and fused_kernels.accelerated():
+            fused = self.fused_stack()
+            candidates[BACKEND_FUSED] = lambda m: fused.transform(m, True)
+        return _timed_best(candidates, probe)
 
     def resolve_backend(self) -> str:
         """The backend a call dispatched right now would execute (memoised)."""
@@ -1467,6 +1754,18 @@ class NttPlanStack:
         _count_pass(direction, matrix.size // self.degree)
         backend = self.resolve_backend()
         stack: _FourStepStack | None = None
+        if backend == BACKEND_FUSED:
+            stack = self._checked_fused_stack()
+            if stack is None:
+                backend = (
+                    BACKEND_FOUR_STEP
+                    if self.four_step_ok
+                    else (
+                        BACKEND_BUTTERFLY
+                        if self.butterfly_ok
+                        else BACKEND_REFERENCE
+                    )
+                )
         if backend == BACKEND_FOUR_STEP:
             stack = self._checked_four_step_stack()
             if stack is None:
@@ -1475,7 +1774,7 @@ class NttPlanStack:
                 )
         if backend == BACKEND_REFERENCE:
             return self._reference_transform(matrix, forward)
-        if backend == BACKEND_FOUR_STEP:
+        if backend in (BACKEND_FOUR_STEP, BACKEND_FUSED):
             out = stack.transform(matrix, forward)
         else:
             out = self._butterfly_tiled(matrix, forward)
@@ -1581,8 +1880,10 @@ def reset_sentinels() -> None:
     """
     for _, plan in _PLAN_CACHE.items():
         plan._sentinel_state = None
+        plan._fused_sentinel_state = None
     for _, stack in _STACK_CACHE.items():
         stack._sentinel_state = None
+        stack._fused_sentinel_state = None
 
 
 def verify_plan(plan: "NttPlan | NttPlanStack") -> bool:
@@ -1602,8 +1903,12 @@ def verify_plan(plan: "NttPlan | NttPlanStack") -> bool:
     if is_stack:
         probe = plan._sentinel_matrix()
         modulus, psi = plan.moduli[0], plan.plans[0].psi
-        if backend == BACKEND_FOUR_STEP:
-            stack = plan.four_step_stack()
+        if backend in (BACKEND_FOUR_STEP, BACKEND_FUSED):
+            stack = (
+                plan.fused_stack()
+                if backend == BACKEND_FUSED
+                else plan.four_step_stack()
+            )
             forward = lambda m: stack.transform(m, True)  # noqa: E731
             inverse = lambda m: stack.transform(m, False)  # noqa: E731
         else:
@@ -1612,8 +1917,12 @@ def verify_plan(plan: "NttPlan | NttPlanStack") -> bool:
     else:
         probe = _sentinel_vector(plan.degree, plan.modulus)
         modulus, psi = plan.modulus, plan.psi
-        if backend == BACKEND_FOUR_STEP:
-            tables = plan.four_step_tables()
+        if backend in (BACKEND_FOUR_STEP, BACKEND_FUSED):
+            tables = (
+                plan.fused_tables()
+                if backend == BACKEND_FUSED
+                else plan.four_step_tables()
+            )
             forward, inverse = tables.forward, tables.inverse
         else:
             forward = plan._forward_butterfly
@@ -1622,6 +1931,8 @@ def verify_plan(plan: "NttPlan | NttPlanStack") -> bool:
     if not ok:
         if backend == BACKEND_FOUR_STEP:
             plan._sentinel_state = "failed"
+        elif backend == BACKEND_FUSED:
+            plan._fused_sentinel_state = "failed"
         quarantine_backend(
             backend,
             reason="known-answer verification failed",

@@ -5,6 +5,7 @@ from repro.testing.faults import (
     calibration_lie,
     corrupted_butterfly_tables,
     corrupted_four_step_tables,
+    corrupted_fused_tables,
     flipped_ciphertext_bit,
     perturbed_gemm_outputs,
 )
@@ -15,6 +16,7 @@ __all__ = [
     "chaos",
     "corrupted_butterfly_tables",
     "corrupted_four_step_tables",
+    "corrupted_fused_tables",
     "flipped_ciphertext_bit",
     "perturbed_gemm_outputs",
 ]

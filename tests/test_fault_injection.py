@@ -25,6 +25,7 @@ from repro.poly.gemm_mod import set_strict
 from repro.poly.ntt_engine import (
     BACKEND_BUTTERFLY,
     BACKEND_FOUR_STEP,
+    BACKEND_FUSED,
     NttPlan,
     clear_quarantine,
     plan_for,
@@ -38,6 +39,7 @@ from repro.testing import (
     calibration_lie,
     corrupted_butterfly_tables,
     corrupted_four_step_tables,
+    corrupted_fused_tables,
     flipped_ciphertext_bit,
     perturbed_gemm_outputs,
 )
@@ -46,8 +48,15 @@ DEGREE = 64
 
 
 @pytest.fixture(autouse=True)
-def clean_guardrails():
-    """Every drill starts and ends with no quarantine and a clean event log."""
+def clean_guardrails(monkeypatch):
+    """Every drill starts and ends with no quarantine and a clean event log.
+
+    The drills steer dispatch themselves (auto resolution or an explicit
+    in-test pin), so an externally pinned ``REPRO_NTT_BACKEND`` -- the CI
+    cross-backend matrix -- is cleared: it would re-route the drill away
+    from the backend whose guardrail is under test.
+    """
+    monkeypatch.delenv("REPRO_NTT_BACKEND", raising=False)
     clear_quarantine()
     diagnostics.clear_events()
     yield
@@ -153,6 +162,66 @@ class TestFourStepTableCorruption:
             out = stack.forward(matrix.copy())
             assert np.array_equal(out, truth)
             assert BACKEND_FOUR_STEP in quarantined_backends()
+        assert np.array_equal(stack.forward(matrix.copy()), truth)
+
+
+class TestFusedTableCorruption:
+    def test_sentinel_quarantines_fused_and_heals_to_four_step(
+        self, ring, monkeypatch
+    ):
+        """The fused rung falls one step down the ladder, bit-exactly."""
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        reset_sentinels()
+        plan = ring["plan"]
+        with corrupted_fused_tables(plan):
+            assert plan.resolve_backend() == BACKEND_FUSED
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"]), "healed result must be exact"
+            assert BACKEND_FUSED in quarantined_backends()
+            # The fused backend owns its constant packs: four_step survives.
+            assert BACKEND_FOUR_STEP not in quarantined_backends()
+            assert plan.resolve_backend() == BACKEND_FOUR_STEP
+            assert diagnostics.events("backend_quarantined")
+        assert not quarantined_backends()
+        assert np.array_equal(plan.forward(ring["probe"].copy()), ring["truth"])
+
+    def test_verify_plan_quarantines_vetted_fused_plan(self, ring, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        plan = ring["plan"]
+        reset_sentinels()
+        plan.forward(ring["probe"].copy())  # vet the fused tables pre-fault
+        with corrupted_fused_tables(plan):
+            assert not verify_plan(plan)
+            assert BACKEND_FUSED in quarantined_backends()
+            out = plan.forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"])
+        assert verify_plan(plan)
+
+    def test_four_step_tables_unaffected_by_fused_fault(self, ring):
+        plan = ring["plan"]
+        with corrupted_fused_tables(plan):
+            out = plan.four_step_tables().forward(ring["probe"].copy())
+            assert np.array_equal(out, ring["truth"])
+
+    def test_stack_sentinel_heals(self, monkeypatch):
+        from repro.numtheory.crt import RnsBasis
+
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        basis = RnsBasis.generate(3, 28, DEGREE)
+        stack = plan_stack_for(basis.moduli, DEGREE)
+        matrix = np.stack(
+            [
+                (np.arange(DEGREE, dtype=np.uint64) * np.uint64(31 + i))
+                % np.uint64(q)
+                for i, q in enumerate(basis.moduli)
+            ]
+        )
+        truth = stack.forward(matrix.copy())
+        reset_sentinels()
+        with corrupted_fused_tables(stack):
+            out = stack.forward(matrix.copy())
+            assert np.array_equal(out, truth)
+            assert BACKEND_FUSED in quarantined_backends()
         assert np.array_equal(stack.forward(matrix.copy()), truth)
 
 

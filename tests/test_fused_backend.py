@@ -1,0 +1,483 @@
+"""Compiler-lowering parity and exactness tests for the ``fused`` backend.
+
+The fused backend executes the compiled form of the `core.compiler` kernel
+graph.  This suite pins down the three contracts ISSUE 9 names:
+
+* **Schedule parity** -- the op sequence each lowered :class:`KernelGraph`
+  compiles to (`core.schedule`) is exactly what the executing backend runs:
+  a traced fused transform fires the schedule's kernel sequence, its GEMM
+  count equals the graph's MatMulOp count, and the booked transform /
+  Paterson-Stockmeyer accounting (`transform_counts`, `ps_operation_counts`)
+  is unchanged by the backend swap.
+* **Kernel exactness** -- every importable implementation of every fused
+  element-wise kernel (numpy always; numexpr/numba when installed) is
+  bit-identical to the eager formula, swept by hypothesis.  Accelerator-only
+  cases carry the ``fused`` marker and skip visibly on minimal installs.
+* **Backend exactness** -- the fused backend is bit-exact against the
+  `ntt_reference` oracle for plans, stacks and batched operands, and its
+  dispatch/quarantine behaviour matches the other rungs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import diagnostics
+from repro.ckks.poly_eval import ps_operation_counts
+from repro.core.kernel_ir import MatMulOp
+from repro.core.schedule import (
+    REDUCE_CANONICAL,
+    REDUCE_LAZY,
+    bconv_execution_schedule,
+    moddown_execution_schedule,
+    ntt_execution_schedule,
+    schedule_graph,
+)
+from repro.errors import ParameterError
+from repro.numtheory.crt import RnsBasis, inverse_column, subtract_and_divide
+from repro.numtheory.primes import generate_ntt_prime
+from repro.poly import fused_kernels, ntt_engine
+from repro.poly.fused_kernels import MODE_ENV
+from repro.poly.ntt_engine import (
+    BACKEND_FOUR_STEP,
+    BACKEND_FUSED,
+    BACKEND_REFERENCE,
+    FusedTables,
+    NttPlan,
+    NttPlanStack,
+    clear_quarantine,
+    fused_supported,
+    plan_for,
+    plan_stack_for,
+    quarantine_backend,
+    reset_sentinels,
+    reset_transform_counts,
+    transform_counts,
+)
+from repro.poly.ntt_reference import ntt_forward_negacyclic
+
+
+@pytest.fixture(autouse=True)
+def clean_dispatch():
+    clear_quarantine()
+    yield
+    clear_quarantine()
+    reset_sentinels()
+
+
+def _fused_plan(degree: int, modulus: int) -> NttPlan:
+    base = plan_for(degree, modulus)
+    return NttPlan(
+        degree=degree, modulus=modulus, psi=base.psi, backend=BACKEND_FUSED
+    )
+
+
+# ------------------------------------------------------------ schedule parity
+class TestScheduleLowering:
+    def test_ntt_schedule_covers_every_lowered_op(self):
+        from repro.core.schedule import _ring_compiler
+
+        compiler = _ring_compiler(4096, 8)
+        graph = compiler.ntt(limbs=8)
+        schedule = schedule_graph(graph)
+        assert sorted(schedule.covered_ops) == sorted(op.name for op in graph.ops)
+        assert schedule.gemm_count == sum(
+            1 for op in graph.ops if isinstance(op, MatMulOp)
+        )
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_ntt_kernel_sequence_and_reductions(self, inverse):
+        schedule = ntt_execution_schedule(4096, limbs=8, inverse=inverse)
+        assert schedule.kernel_sequence == (
+            "merge_lazy",
+            "twist_split",
+            "merge_canonical",
+        )
+        assert schedule.gemm_count == 2
+        reductions = [segment.reduction for segment in schedule.segments]
+        assert reductions == [REDUCE_LAZY, REDUCE_LAZY, REDUCE_CANONICAL]
+        if inverse:
+            # N^{-1} rides the final constant matrix: folded, not executed.
+            assert any(
+                "scale-by-n-inverse" in name
+                for name in schedule.segments[-1].op_names
+            )
+
+    def test_bconv_schedule(self):
+        schedule = bconv_execution_schedule(4096, limbs_in=2, limbs_out=8)
+        assert schedule.kernel_sequence == ("vec_mod_mul", "merge_canonical")
+
+    def test_moddown_schedule(self):
+        schedule = moddown_execution_schedule(64, limbs=3, aux=2)
+        assert schedule.kernel_sequence == (
+            "vec_mod_mul",
+            "merge_canonical",
+            "moddown_sub_div",
+        )
+
+    def test_schedule_is_batch_polymorphic(self):
+        lone = ntt_execution_schedule(4096, limbs=8, batch=1)
+        batched = ntt_execution_schedule(4096, limbs=8, batch=5)
+        assert lone.kernel_sequence == batched.kernel_sequence
+        assert lone.gemm_count == batched.gemm_count
+
+
+class TestExecutionParity:
+    DEGREE = 64
+
+    @pytest.fixture(scope="class")
+    def ring(self):
+        q = generate_ntt_prime(28, self.DEGREE)
+        plan = _fused_plan(self.DEGREE, q)
+        rng = np.random.default_rng(5)
+        probe = rng.integers(0, q, self.DEGREE, dtype=np.uint64)
+        return {"q": q, "plan": plan, "probe": probe}
+
+    @pytest.mark.parametrize("inverse", [False, True])
+    def test_traced_transform_matches_schedule(self, ring, inverse):
+        """A fused transform executes exactly the kernels its schedule names."""
+        plan = ring["plan"]
+        plan.forward(ring["probe"].copy())  # vet: sentinel runs outside trace
+        schedule = plan.fused_tables().execution_schedule(inverse=inverse)
+        with fused_kernels.trace() as calls:
+            if inverse:
+                plan.inverse(ring["probe"].copy())
+            else:
+                plan.forward(ring["probe"].copy())
+        assert tuple(calls) == schedule.kernel_sequence
+
+    def test_traced_stack_matches_schedule(self, rng):
+        basis = RnsBasis.generate(3, 28, self.DEGREE)
+        stack = NttPlanStack(
+            tuple(plan_for(self.DEGREE, q) for q in basis.moduli),
+            backend=BACKEND_FUSED,
+        )
+        matrix = np.stack(
+            [rng.integers(0, q, self.DEGREE, dtype=np.uint64) for q in basis.moduli]
+        )
+        stack.forward(matrix)  # vet
+        schedule = ntt_execution_schedule(self.DEGREE, limbs=3)
+        with fused_kernels.trace() as calls:
+            stack.forward(matrix)
+        assert tuple(calls) == schedule.kernel_sequence
+
+    def test_fused_pass_books_transform_counts(self, rng):
+        """One fused stacked pass books 1 pass + L limb rows, like any rung."""
+        basis = RnsBasis.generate(3, 24, 32)
+        stack = NttPlanStack(
+            tuple(plan_for(32, q) for q in basis.moduli), backend=BACKEND_FUSED
+        )
+        tensor = np.stack(
+            [
+                np.stack(
+                    [rng.integers(0, q, 32, dtype=np.uint64) for q in basis.moduli]
+                )
+                for _ in range(4)
+            ]
+        )
+        stack.forward(tensor)  # vet
+        reset_transform_counts()
+        stack.forward(tensor)
+        counts = transform_counts()
+        assert counts["forward"] == 1
+        assert counts["forward_limbs"] == 4 * 3
+        schedule = ntt_execution_schedule(32, limbs=3, batch=4)
+        assert schedule.metadata["limbs"] == 3
+        assert schedule.metadata["batch"] == 4
+
+    def test_keyswitch_single_pass_contract_under_fused(self, monkeypatch):
+        """REPRO_NTT_BACKEND=fused keeps the 1 fwd + 1 inv switch contract."""
+        from repro.ckks.keys import KeyGenerator, digit_partition
+        from repro.ckks.keyswitch import switch_key
+        from repro.ckks.params import CkksParameters
+        from repro.poly.rns_poly import RnsPolynomial
+
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        params = CkksParameters.create(
+            degree=64, limbs=3, log_q=28, dnum=2, scale_bits=21
+        )
+        keygen = KeyGenerator(params, rng=np.random.default_rng(7))
+        relin = keygen.relinearization_key()
+        level = params.limbs
+        rng = np.random.default_rng(13)
+        d = RnsPolynomial.from_signed_coefficients(
+            rng.integers(-1000, 1000, size=params.degree, dtype=np.int64),
+            params.basis_at_level(level),
+        )
+        switch_key(d, relin, params, level)  # warm caches + sentinels
+        reset_transform_counts()
+        switch_key(d, relin, params, level)
+        counts = transform_counts()
+        extended_size = params.extended_basis(level).size
+        dnum = len(digit_partition(level, params.dnum))
+        assert counts["forward"] == 1
+        assert counts["inverse"] == 1
+        assert counts["forward_limbs"] == dnum * extended_size
+        assert counts["inverse_limbs"] == 2 * extended_size
+
+    def test_moddown_executes_scheduled_kernel(self):
+        """`mod_down_stacked` runs the schedule's final ``moddown_sub_div``."""
+        from repro.ckks.keyswitch import mod_down_stacked
+        from repro.ckks.params import CkksParameters
+
+        params = CkksParameters.create(
+            degree=64, limbs=3, log_q=28, dnum=2, scale_bits=21
+        )
+        level = params.limbs
+        extended = params.extended_basis(level)
+        rng = np.random.default_rng(3)
+        stacked = np.stack(
+            [rng.integers(0, q, 64, dtype=np.uint64) for q in extended.moduli]
+        )
+        schedule = moddown_execution_schedule(
+            64, limbs=level, aux=params.special_basis.size
+        )
+        with fused_kernels.trace() as calls:
+            mod_down_stacked(stacked, params, level)
+        assert schedule.kernel_sequence[-1] in calls
+
+    def test_ps_accounting_is_backend_independent(self, monkeypatch):
+        """The symbolic PS op plan does not shift when fused executes it."""
+        baseline = ps_operation_counts(31, baby_count=4)
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        assert ps_operation_counts(31, baby_count=4) == baseline
+
+
+# ------------------------------------------------------------ kernel exactness
+def _eager_merge_lazy(hi, lo, scale, q_f, inv_q):
+    hi = hi.copy()
+    hi -= np.floor(hi * inv_q) * q_f
+    hi *= scale
+    hi += lo
+    hi -= np.floor(hi * inv_q) * q_f
+    return hi
+
+
+def _float_inputs(seed: int, q: int, shape=(2, 16)):
+    rng = np.random.default_rng(seed)
+    q_f = np.float64(q)
+    inv_q = ntt_engine._under_inverse(q_f)
+    hi = rng.integers(0, 1 << 40, shape).astype(np.float64)
+    lo = rng.integers(0, 1 << 40, shape).astype(np.float64)
+    scale = np.float64(1 << 16)
+    return hi, lo, scale, q_f, inv_q
+
+
+MODES_PARAMS = [
+    pytest.param("numpy", id="numpy"),
+    pytest.param("numexpr", id="numexpr", marks=pytest.mark.fused),
+    pytest.param("numba", id="numba", marks=pytest.mark.fused),
+]
+
+
+def _impl_or_skip(kernel: str, mode: str):
+    impls = fused_kernels.implementations(kernel)
+    if mode not in impls:
+        pytest.skip(f"{mode} not importable: {kernel} has no {mode} impl")
+    return impls[mode]
+
+
+class TestKernelExactness:
+    @pytest.mark.parametrize("mode", MODES_PARAMS)
+    @given(seed=st.integers(0, 2**32 - 1), q=st.integers(3, (1 << 28) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_lazy_bitwise(self, mode, seed, q):
+        impl = _impl_or_skip("merge_lazy", mode)
+        hi, lo, scale, q_f, inv_q = _float_inputs(seed, q)
+        expected = _eager_merge_lazy(hi, lo, scale, q_f, inv_q)
+        got = impl(hi.copy(), lo, scale, q_f, inv_q)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("mode", MODES_PARAMS)
+    @given(seed=st.integers(0, 2**32 - 1), q=st.integers(3, (1 << 28) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_twist_split_bitwise(self, mode, seed, q):
+        impl = _impl_or_skip("twist_split", mode)
+        rng = np.random.default_rng(seed)
+        q_f = np.float64(q)
+        inv_q = ntt_engine._under_inverse(q_f)
+        x = rng.integers(0, 2 * q, (2, 16)).astype(np.float64)
+        tw_hi = rng.integers(0, 1 << 14, 16).astype(np.float64)
+        tw_lo = rng.integers(0, 1 << 14, 16).astype(np.float64)
+        scale = np.float64(1 << 14)
+        expected = fused_kernels._np_twist_split(
+            x, tw_hi, tw_lo, scale, q_f, inv_q
+        )
+        got = impl(x, tw_hi, tw_lo, scale, q_f, inv_q)
+        assert np.array_equal(got, expected)
+
+    @pytest.mark.parametrize("mode", MODES_PARAMS)
+    @given(seed=st.integers(0, 2**32 - 1), q=st.integers(3, (1 << 28) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_canonical_bitwise(self, mode, seed, q):
+        impl = _impl_or_skip("merge_canonical", mode)
+        hi, lo, scale, q_f, inv_q = _float_inputs(seed, q)
+        q_u = np.uint64(q)
+        expected = fused_kernels._np_merge_canonical(
+            hi.copy(), lo, scale, q_f, q_u, inv_q
+        )
+        got = impl(hi.copy(), lo, scale, q_f, q_u, inv_q)
+        assert np.array_equal(got, expected)
+        assert got.dtype == np.uint64
+
+    @pytest.mark.parametrize("mode", MODES_PARAMS)
+    @pytest.mark.parametrize("kernel", ["vec_mod_mul", "vec_mod_add", "vec_mod_sub"])
+    @given(seed=st.integers(0, 2**32 - 1), q=st.integers(3, (1 << 28) - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_vec_mod_ops_bitwise(self, mode, kernel, seed, q):
+        impl = _impl_or_skip(kernel, mode)
+        rng = np.random.default_rng(seed)
+        q_u = np.uint64(q)
+        a = rng.integers(0, q, (3, 8), dtype=np.uint64)
+        b = rng.integers(0, q, (3, 8), dtype=np.uint64)
+        eager = {
+            "vec_mod_mul": lambda: (a * b) % q_u,
+            "vec_mod_add": lambda: (a + b) % q_u,
+            "vec_mod_sub": lambda: (a + (q_u - b)) % q_u,
+        }[kernel]()
+        got = impl(a, b, q_u)
+        assert np.array_equal(got, eager)
+
+    @pytest.mark.parametrize("mode", MODES_PARAMS)
+    @given(seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_moddown_sub_div_matches_subtract_and_divide(self, mode, seed):
+        impl = _impl_or_skip("moddown_sub_div", mode)
+        rng = np.random.default_rng(seed)
+        basis = RnsBasis.generate(3, 24, 32)
+        moduli = basis.moduli_array[:, None]
+        residues = np.stack(
+            [rng.integers(0, q, 32, dtype=np.uint64) for q in basis.moduli]
+        )
+        subtrahend = np.stack(
+            [rng.integers(0, q, 32, dtype=np.uint64) for q in basis.moduli]
+        )
+        divisor = 12289
+        expected = subtract_and_divide(residues, subtrahend, divisor, basis)
+        got = impl(
+            residues, subtrahend, moduli, inverse_column(divisor, basis.moduli)
+        )
+        assert np.array_equal(got, expected)
+
+    def test_kernel_counters_track_calls(self):
+        fused_kernels.reset_kernel_counts()
+        q_u = np.uint64(97)
+        a = np.arange(8, dtype=np.uint64) % q_u
+        fused_kernels.vec_mod_mul(a, a, q_u)
+        fused_kernels.vec_mod_add(a, a, q_u)
+        counts = fused_kernels.kernel_counts()
+        assert counts["vec_mod_mul"] == 1
+        assert counts["vec_mod_add"] == 1
+
+
+# --------------------------------------------------------------- mode dispatch
+class TestModeDispatch:
+    def test_invalid_mode_rejected(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV, "warp-drive")
+        with pytest.raises(ParameterError):
+            fused_kernels.requested_mode()
+
+    def test_numpy_mode_always_available(self, monkeypatch):
+        monkeypatch.setenv(MODE_ENV, "numpy")
+        assert fused_kernels.active_mode() == "numpy"
+        assert not fused_kernels.accelerated()
+        assert "numpy" in fused_kernels.available_modes()
+
+    def test_unavailable_accelerator_falls_back_with_event(self, monkeypatch):
+        missing = [
+            mode
+            for mode in ("numexpr", "numba")
+            if fused_kernels._optional_module(mode) is None
+        ]
+        if not missing:
+            pytest.skip("every accelerator is importable in this environment")
+        diagnostics.clear_events()
+        monkeypatch.setenv(MODE_ENV, missing[0])
+        assert fused_kernels.active_mode() == "numpy"
+        assert diagnostics.events("fused_kernels_unavailable")
+
+    @pytest.mark.fused
+    def test_accelerated_mode_active_when_installed(self):
+        if fused_kernels.available_modes() == ("numpy",):
+            pytest.skip("no accelerator installed")
+        assert fused_kernels.active_mode() in ("numexpr", "numba")
+        assert fused_kernels.accelerated()
+
+
+# ------------------------------------------------------------- backend parity
+class TestFusedBackendExactness:
+    @pytest.mark.parametrize("degree", [2**4, 2**6, 2**8, 2**12])
+    def test_plan_bit_exact_vs_reference(self, degree, rng):
+        basis = RnsBasis.generate(1, 28, degree)
+        q = basis.moduli[0]
+        plan = _fused_plan(degree, q)
+        assert plan.resolve_backend() == BACKEND_FUSED
+        x = rng.integers(0, q, degree, dtype=np.uint64)
+        assert np.array_equal(
+            plan.forward(x), ntt_forward_negacyclic(x, q, plan.psi)
+        )
+        assert np.array_equal(plan.inverse(plan.forward(x)), x)
+
+    def test_stack_batched_operands_bit_exact(self, rng):
+        basis = RnsBasis.generate(3, 28, 256)
+        plans = tuple(plan_for(256, q) for q in basis.moduli)
+        fused = NttPlanStack(plans, backend=BACKEND_FUSED)
+        reference = NttPlanStack(plans, backend=BACKEND_REFERENCE)
+        tensor = np.stack(
+            [
+                np.stack(
+                    [rng.integers(0, q, 256, dtype=np.uint64) for q in basis.moduli]
+                )
+                for _ in range(3)
+            ]
+        )
+        expected = reference.forward(tensor)
+        assert np.array_equal(fused.forward(tensor), expected)
+        assert np.array_equal(fused.inverse(expected), tensor)
+
+    @given(
+        log_degree=st.integers(4, 12),
+        bits=st.integers(14, 29),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_hypothesis_fused_tables_oracle(self, log_degree, bits, seed):
+        degree = 1 << log_degree
+        bits = max(bits, log_degree + 2)
+        try:
+            q = generate_ntt_prime(bits, degree)
+        except ValueError:
+            return
+        base = plan_for(degree, q)
+        tables = FusedTables(degree, q, base.psi)
+        if not tables.exact:
+            assert not fused_supported(degree, (q,))
+            return
+        rng = np.random.default_rng(seed)
+        x = rng.integers(0, q, degree, dtype=np.uint64)
+        fwd = tables.forward(x)
+        assert np.array_equal(fwd, ntt_forward_negacyclic(x, q, base.psi))
+        assert np.array_equal(tables.inverse(fwd), x)
+
+    def test_quarantined_fused_heals_to_four_step(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NTT_BACKEND", "fused")
+        q = generate_ntt_prime(28, 64)
+        plan = plan_for(64, q)
+        assert plan.resolve_backend() == BACKEND_FUSED
+        quarantine_backend(BACKEND_FUSED, reason="drill")
+        try:
+            assert plan.resolve_backend() == BACKEND_FOUR_STEP
+        finally:
+            clear_quarantine()
+
+    def test_fused_never_selected_when_inexact(self):
+        degree = 1 << 13
+        q = generate_ntt_prime(31, degree)  # too wide for butterfly too
+        assert not fused_supported(degree, (q,))
+        choice = ntt_engine.resolve_backend(
+            degree, (q,), requested=BACKEND_FUSED
+        )
+        assert choice == BACKEND_REFERENCE

@@ -1,6 +1,6 @@
 """Backend-dispatch and four-step GEMM tests for the NTT engine.
 
-The engine now fronts three bit-exact backends (butterfly, four_step,
+The engine now fronts four bit-exact backends (butterfly, four_step, fused,
 reference) behind one dispatch layer.  This suite pins down
 
 * cross-backend bit-exactness against the `ntt_reference` oracle over random
@@ -28,10 +28,12 @@ from repro.poly.ntt_engine import (
     BACKEND_AUTO,
     BACKEND_BUTTERFLY,
     BACKEND_FOUR_STEP,
+    BACKEND_FUSED,
     BACKEND_REFERENCE,
     BACKENDS,
     MAX_PLAN_MODULUS,
     FourStepTables,
+    fused_supported,
     NttPlan,
     NttPlanStack,
     four_step_split,
@@ -100,6 +102,7 @@ class TestCrossBackendBitExactness:
             outputs[backend] = stack.forward(matrix)
             assert np.array_equal(stack.inverse(outputs[backend]), matrix)
         assert np.array_equal(outputs[BACKEND_BUTTERFLY], outputs[BACKEND_FOUR_STEP])
+        assert np.array_equal(outputs[BACKEND_BUTTERFLY], outputs[BACKEND_FUSED])
         assert np.array_equal(outputs[BACKEND_BUTTERFLY], outputs[BACKEND_REFERENCE])
 
     @given(
@@ -213,6 +216,8 @@ class TestWideModulusDispatch:
                 assert modulus < MAX_PLAN_MODULUS
             elif choice == BACKEND_FOUR_STEP:
                 assert four_step_supported(degree, (modulus,))
+            elif choice == BACKEND_FUSED:
+                assert fused_supported(degree, (modulus,))
             else:
                 assert choice == BACKEND_REFERENCE
 
@@ -234,7 +239,9 @@ class TestDispatchOverrides:
         with pytest.raises(ValueError):
             requested_backend()
 
-    def test_set_default_backend_roundtrip(self):
+    def test_set_default_backend_roundtrip(self, monkeypatch):
+        # The env pin outranks the process default; clear any matrix-leg pin.
+        monkeypatch.delenv("REPRO_NTT_BACKEND", raising=False)
         previous = set_default_backend(BACKEND_BUTTERFLY)
         try:
             assert requested_backend() == BACKEND_BUTTERFLY
@@ -254,16 +261,19 @@ class TestDispatchOverrides:
             NttPlan(degree=64, modulus=q, psi=plan.psi, backend="bogus")
 
     def test_measured_calibration_caches_decision(self, monkeypatch):
+        # Calibration only runs for auto dispatch; clear any matrix-leg pin.
+        monkeypatch.delenv("REPRO_NTT_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_NTT_CALIBRATE", "measure")
         reset_calibration()
         try:
             basis = RnsBasis.generate(2, 24, 64)
             stack = plan_stack_for(basis.moduli, 64)
             choice = stack.resolve_backend()
-            assert choice in (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP)
+            assert choice in (BACKEND_BUTTERFLY, BACKEND_FOUR_STEP, BACKEND_FUSED)
+            from repro.poly.fused_kernels import active_mode
             from repro.poly.ntt_engine import calibration_cache
 
-            assert (64, 2, 24) in calibration_cache()
+            assert (64, 2, 24, active_mode()) in calibration_cache()
             # Second resolution must reuse the memoised decision.
             assert stack.resolve_backend() == choice
         finally:

@@ -176,11 +176,14 @@ class TestFallbacks:
         assert supports(rns_basis.moduli)
         assert not supports((MAX_PLAN_MODULUS + 1,))
 
-    def test_wide_modulus_small_degree_plans_four_step(self, rng):
+    def test_wide_modulus_small_degree_plans_four_step(self, rng, monkeypatch):
         """A 31-bit prime exceeds the lazy bound but the GEMM split is exact
         at N=64, so PolyRing now plans it (four-step) and stays bit-exact."""
         from repro.numtheory.primes import generate_ntt_prime
         from repro.poly.ntt_engine import BACKEND_FOUR_STEP
+
+        # Auto-dispatch semantics under test: clear any matrix-leg pin.
+        monkeypatch.delenv("REPRO_NTT_BACKEND", raising=False)
 
         prime = generate_ntt_prime(31, 64)
         assert prime >= MAX_PLAN_MODULUS
