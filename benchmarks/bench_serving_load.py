@@ -40,11 +40,13 @@ import time
 
 import numpy as np
 
+from repro import diagnostics
 from repro.poly import ntt_engine
 from repro.serving import InferenceRequest, InferenceServer, TenantRegistry
 from repro.testing.chaos import build_tenants, prepare_work, run_chaos
 
 WORKERS = 8
+SEED = 7
 
 
 def _percentiles(samples_s: list[float]) -> dict:
@@ -186,7 +188,10 @@ def main() -> int:
         f"{batched['batches_served']} batches)"
     )
 
-    faulted = run_faulted_phase(requests_per_drill)
+    faulted = run_faulted_phase(requests_per_drill, seed=SEED)
+    # Structured diagnostics (events + cache stats + any registered stats
+    # providers) captured before the quarantine/sentinel reset below.
+    diagnostics_snapshot = diagnostics.as_dict()
     print(
         f"faulted:    {faulted['requests']} requests over "
         f"{len(faulted['drills'])} drills, {faulted['correct']} correct, "
@@ -261,6 +266,7 @@ def main() -> int:
     if args.json:
         summary = {
             "name": "serving_load",
+            "seed": SEED,
             "config": {
                 "workers": WORKERS,
                 "fault_free_requests": fault_free_requests,
@@ -269,6 +275,7 @@ def main() -> int:
             "fault_free": fault_free,
             "batched": batched,
             "faulted": faulted,
+            "diagnostics": diagnostics_snapshot,
             "gates": gates,
             "passed": passed,
         }

@@ -54,6 +54,7 @@ GATES = [
     ("batched_evaluator", "benchmarks/bench_batched_evaluator.py"),
     ("fault_injection", "benchmarks/bench_fault_injection.py"),
     ("serving_load", "benchmarks/bench_serving_load.py"),
+    ("serving_shard", "benchmarks/bench_serving_shard.py"),
 ]
 
 #: A gated speedup series may drop at most this fraction below the previous

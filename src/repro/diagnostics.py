@@ -29,9 +29,13 @@ __all__ = [
     "record_event",
     "events",
     "report",
+    "as_dict",
     "clear_events",
     "register_cache",
     "register_cache_group",
+    "register_stats_provider",
+    "unregister_stats_provider",
+    "provider_stats",
     "cache_stats",
     "clear_caches",
 ]
@@ -75,7 +79,7 @@ def clear_events() -> None:
 
 
 def report() -> dict[str, Any]:
-    """Structured diagnostics snapshot: events by kind plus cache statistics."""
+    """Structured diagnostics snapshot: events, caches, live stats providers."""
     snapshot = events()
     by_kind: dict[str, int] = {}
     for event in snapshot:
@@ -85,7 +89,41 @@ def report() -> dict[str, Any]:
         "events_by_kind": by_kind,
         "events": snapshot,
         "caches": cache_stats(),
+        "providers": provider_stats(),
     }
+
+
+def _json_safe(value: Any) -> Any:
+    """Recursively coerce ``value`` into something ``json.dumps`` accepts.
+
+    Numpy scalars become Python numbers, tuples/sets become lists, mapping
+    keys become strings, and anything else unrecognised falls back to
+    ``str`` -- diagnostics must degrade to text, never raise, when an event
+    carries an exotic payload.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if hasattr(value, "item") and not isinstance(value, (list, tuple, dict)):
+        try:
+            return _json_safe(value.item())  # numpy scalar
+        except Exception:
+            return str(value)
+    if isinstance(value, dict):
+        return {str(key): _json_safe(entry) for key, entry in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_json_safe(entry) for entry in value]
+    return str(value)
+
+
+def as_dict() -> dict[str, Any]:
+    """:func:`report`, coerced JSON-safe for ``--json`` bench output.
+
+    Same shape as :func:`report` (events by kind, the bounded event log,
+    cache counters, live stats providers such as per-shard supervisor
+    counters) but guaranteed serialisable: the bench harnesses and CI gates
+    embed it verbatim in their JSON artefacts.
+    """
+    return _json_safe(report())
 
 
 # --------------------------------------------------------------------- caches
@@ -280,3 +318,42 @@ def clear_caches() -> None:
         registered = list(_caches.values())
     for cache in registered:
         cache.clear()
+
+
+# ----------------------------------------------------------- stats providers
+#: Live runtime components (e.g. a shard supervisor) register a zero-arg
+#: callable returning a stats dict; :func:`report` polls them so one snapshot
+#: carries events, cache counters AND per-shard supervision state.
+_providers: dict[str, Callable[[], dict]] = {}
+_provider_sequence = 0
+
+
+def register_stats_provider(name: str, provider: Callable[[], dict]) -> str:
+    """Register a live stats source; returns the (uniquified) registry key."""
+    global _provider_sequence
+    with _registry_lock:
+        key = name
+        if key in _providers:
+            _provider_sequence += 1
+            key = f"{name}-{_provider_sequence}"
+        _providers[key] = provider
+    return key
+
+
+def unregister_stats_provider(name: str) -> None:
+    """Drop a stats source (component shutdown); missing names are ignored."""
+    with _registry_lock:
+        _providers.pop(name, None)
+
+
+def provider_stats() -> dict[str, dict]:
+    """Poll every registered stats provider; a failing one reports its error."""
+    with _registry_lock:
+        registered = sorted(_providers.items())
+    stats: dict[str, dict] = {}
+    for name, provider in registered:
+        try:
+            stats[name] = provider()
+        except Exception as exc:  # a dead provider must not break reporting
+            stats[name] = {"error": f"{type(exc).__name__}: {exc}"}
+    return stats

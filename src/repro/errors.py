@@ -32,6 +32,12 @@ Hierarchy
         ``RequestCancelled`` -- the request's cancel scope was cancelled
         explicitly (drain, client abandon); terminal
         ``TenantNotFound(KeyError)`` -- no session registered for the tenant
+        ``WorkerCrashed(RuntimeError)`` -- a shard process died mid-request
+        (SIGKILL, native crash, OOM kill); retryable on a healthy shard
+        ``WorkerUnresponsive(TimeoutError)`` -- a shard stopped heartbeating
+        and was killed by the supervisor; retryable on a healthy shard
+        ``PoisonRequest(RuntimeError)`` -- the same request killed two
+        workers; quarantined instead of crash-looping the pool; terminal
 """
 
 from __future__ import annotations
@@ -54,6 +60,9 @@ __all__ = [
     "DeadlineExceeded",
     "RequestCancelled",
     "TenantNotFound",
+    "WorkerCrashed",
+    "WorkerUnresponsive",
+    "PoisonRequest",
     "operand_signature",
 ]
 
@@ -204,3 +213,34 @@ class TenantNotFound(ServingError, KeyError):
 
     def __str__(self) -> str:  # KeyError quotes its arg; keep a readable message
         return ", ".join(str(a) for a in self.args)
+
+
+class WorkerCrashed(ServingError, RuntimeError):
+    """A shard worker process died while holding a request.
+
+    Raised parent-side when the supervisor observes a dead process (nonzero
+    exitcode, a kill signal, pipe EOF) with a request in flight.  Unlike the
+    rest of the ``ServingError`` branch this is *retryable*: the fault is in
+    the crashed fault domain, not the request, so the supervisor re-dispatches
+    to a healthy shard while the victim restarts.
+    """
+
+
+class WorkerUnresponsive(ServingError, TimeoutError):
+    """A shard worker stopped heartbeating (or overran its reply grace).
+
+    The supervisor kills the wedged process and raises this for the in-flight
+    request.  Retryable for the same reason as :class:`WorkerCrashed`: a hang
+    in one fault domain says nothing about the request on a healthy shard --
+    unless it happens twice, at which point :class:`PoisonRequest` takes over.
+    """
+
+
+class PoisonRequest(ServingError, RuntimeError):
+    """The same request has killed (or hung) two workers; it is quarantined.
+
+    Re-dispatching a worker-killing request a third time would crash-loop the
+    pool, so after the second kill the supervisor fails it typed and refuses
+    to execute that request id again.  Terminal: the fault travels with the
+    request, and only the client can fix the payload.
+    """

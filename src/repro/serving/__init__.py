@@ -24,11 +24,14 @@ typed :class:`~repro.errors.ReproError` -- never silently wrong, never hung.
 """
 
 from repro.cancellation import CancelScope, cancel_scope, checkpoint, current_scope
+from repro.errors import PoisonRequest, WorkerCrashed, WorkerUnresponsive
 from repro.serving.breaker import BreakerSnapshot, CircuitBreaker
 from repro.serving.queue import BoundedRequestQueue
-from repro.serving.retry import RetryPolicy, is_retryable
+from repro.serving.retry import RetryPolicy, backend_attributable, is_retryable
 from repro.serving.runtime import InferenceRequest, InferenceServer, RequestTicket
 from repro.serving.session import TenantRegistry, TenantSession
+from repro.serving.shard import TenantSpec
+from repro.serving.supervisor import ShardHandle, ShardSupervisor
 
 __all__ = [
     "BoundedRequestQueue",
@@ -37,10 +40,17 @@ __all__ = [
     "CircuitBreaker",
     "InferenceRequest",
     "InferenceServer",
+    "PoisonRequest",
     "RequestTicket",
     "RetryPolicy",
+    "ShardHandle",
+    "ShardSupervisor",
     "TenantRegistry",
     "TenantSession",
+    "TenantSpec",
+    "WorkerCrashed",
+    "WorkerUnresponsive",
+    "backend_attributable",
     "cancel_scope",
     "checkpoint",
     "current_scope",

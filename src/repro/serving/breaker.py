@@ -61,6 +61,17 @@ class BreakerSnapshot:
     probes: int
     cooldown_s: float
 
+    def as_dict(self) -> dict:
+        """JSON-ready form for ``--json`` bench output and health probes."""
+        return {
+            "backend": self.backend,
+            "state": self.state,
+            "failures": self.failures,
+            "trips": self.trips,
+            "probes": self.probes,
+            "cooldown_s": self.cooldown_s,
+        }
+
 
 class CircuitBreaker:
     """Trip, route around, and re-probe NTT backends per the quarantine ladder."""

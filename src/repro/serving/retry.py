@@ -11,14 +11,25 @@ classification a type check instead of message matching:
   succeeds on a healthy rung.  This is the *transient* class: the fault is
   in the compute substrate, not the request.
 
+* **retryable** -- :class:`~repro.errors.WorkerCrashed` /
+  :class:`~repro.errors.WorkerUnresponsive`: a shard process died or hung
+  under the request.  The fault lives in the dead fault domain, not the
+  request, so a re-dispatch to a healthy shard is expected to succeed --
+  until the same request kills twice and the supervisor converts it to the
+  terminal :class:`~repro.errors.PoisonRequest`.  These are the only
+  retryable errors that are *not* backend-attributable (see
+  :func:`backend_attributable`): feeding a worker kill to the circuit
+  breaker would quarantine an innocent NTT backend.
+
 * **terminal** -- everything that retrying cannot fix: malformed requests
   (:class:`~repro.errors.ParameterError` and subclasses), an exhausted noise
   budget (:class:`~repro.errors.NoiseBudgetExhausted` -- only ``bootstrap()``
   or a fresh encryption helps), missing key material
-  (:class:`~repro.errors.MissingKeyError`), and every
-  :class:`~repro.errors.ServingError` (a passed deadline stays passed).
-  Unknown exception types are conservatively terminal: retrying an
-  undiagnosed failure just burns the deadline.
+  (:class:`~repro.errors.MissingKeyError`), and every other
+  :class:`~repro.errors.ServingError` (a passed deadline stays passed, a
+  poisoned request stays poisoned).  Unknown exception types are
+  conservatively terminal: retrying an undiagnosed failure just burns the
+  deadline.
 
 Backoff is exponential with full jitter (``delay = U(1 - jitter, 1] *
 base * multiplier**attempt``, capped), the standard shape for avoiding
@@ -30,13 +41,26 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.errors import BackendExactnessError, ReproError, ServingError
+from repro.errors import (
+    BackendExactnessError,
+    PoisonRequest,
+    ReproError,
+    ServingError,
+    WorkerCrashed,
+    WorkerUnresponsive,
+)
 
-__all__ = ["RetryPolicy", "is_retryable"]
+__all__ = ["RetryPolicy", "backend_attributable", "is_retryable"]
 
 
 def is_retryable(error: BaseException) -> bool:
     """Whether the serving runtime should re-attempt after ``error``."""
+    if isinstance(error, PoisonRequest):
+        return False
+    if isinstance(error, (WorkerCrashed, WorkerUnresponsive)):
+        # Checked before the ServingError branch: worker kills are the one
+        # serving fault that a re-dispatch (to a healthy shard) can fix.
+        return True
     if isinstance(error, ServingError):
         return False
     if isinstance(error, BackendExactnessError):
@@ -44,6 +68,16 @@ def is_retryable(error: BaseException) -> bool:
     if isinstance(error, ReproError):
         return False
     return False
+
+
+def backend_attributable(error: BaseException) -> bool:
+    """Whether ``error`` indicts the compute backend (circuit-breaker food).
+
+    Only exactness-sentinel failures implicate the kernel substrate; a shard
+    crash or hang is a process-level fault and must not push an NTT backend
+    down the quarantine ladder.
+    """
+    return isinstance(error, BackendExactnessError)
 
 
 @dataclass(frozen=True)

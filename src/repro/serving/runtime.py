@@ -29,6 +29,7 @@ backend used, and remaining noise headroom.
 from __future__ import annotations
 
 import itertools
+import os
 import random
 import threading
 import time
@@ -49,8 +50,9 @@ from repro.errors import (
 from repro.poly import ntt_engine
 from repro.serving.breaker import CircuitBreaker
 from repro.serving.queue import BoundedRequestQueue
-from repro.serving.retry import RetryPolicy, is_retryable
+from repro.serving.retry import RetryPolicy, backend_attributable
 from repro.serving.session import TenantRegistry, TenantSession
+from repro.serving.supervisor import ShardSupervisor
 
 __all__ = ["InferenceRequest", "RequestTicket", "InferenceServer"]
 
@@ -165,6 +167,8 @@ class InferenceServer:
         rng_seed: int | None = None,
         max_batch_size: int = 1,
         max_batch_wait_s: float = 0.0,
+        workers_mode: str | None = None,
+        supervisor_options: dict[str, Any] | None = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -172,6 +176,21 @@ class InferenceServer:
             raise ValueError("max_batch_size must be >= 1")
         if max_batch_wait_s < 0:
             raise ValueError("max_batch_wait_s must be >= 0")
+        if workers_mode is None:
+            workers_mode = os.environ.get("REPRO_SERVING_MODE", "thread")
+        if workers_mode not in ("thread", "process"):
+            raise ParameterError(
+                f"workers_mode must be 'thread' or 'process', got "
+                f"{workers_mode!r} (set explicitly or via REPRO_SERVING_MODE)"
+            )
+        #: ``thread``: circuits run on the worker threads themselves (one
+        #: shared fault domain).  ``process``: each worker thread fronts one
+        #: supervised shard process -- the leaf circuit execution crosses a
+        #: pipe, everything else (queue, deadlines, retry, batching) is
+        #: unchanged.
+        self.workers_mode = workers_mode
+        self.supervisor: ShardSupervisor | None = None
+        self._supervisor_options = dict(supervisor_options or {})
         self.registry = registry
         self.queue = BoundedRequestQueue(queue_capacity)
         self.retry_policy = retry_policy or RetryPolicy()
@@ -205,12 +224,26 @@ class InferenceServer:
 
     # --------------------------------------------------------------- lifecycle
     def start(self) -> "InferenceServer":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool (and the shard pool in process mode)."""
         with self._lock:
             if self._running:
                 return self
             self._running = True
             self._draining = False
+        if self.workers_mode == "process" and self.supervisor is None:
+            specs = self.registry.specs()
+            missing = sorted(
+                set(self.registry.tenants()) - {s.tenant_id for s in specs}
+            )
+            if missing:
+                raise ParameterError(
+                    f"workers_mode='process' requires every tenant to be "
+                    f"registered via TenantRegistry.register_spec (shippable "
+                    f"seed material); missing specs for: {missing}"
+                )
+            options = dict(self._supervisor_options)
+            options.setdefault("shards", self._worker_count)
+            self.supervisor = ShardSupervisor(specs, **options).start()
         for index in range(self._worker_count):
             thread = threading.Thread(
                 target=self._worker_loop,
@@ -223,6 +256,7 @@ class InferenceServer:
             "server_started",
             workers=self._worker_count,
             queue_capacity=self.queue.capacity,
+            workers_mode=self.workers_mode,
         )
         return self
 
@@ -266,6 +300,9 @@ class InferenceServer:
         for thread in self._threads:
             thread.join(timeout=5.0)
         self._threads.clear()
+        if self.supervisor is not None:
+            self.supervisor.stop()
+            self.supervisor = None
         diagnostics.record_event(
             "server_stopped", served=self.served, failed=self.failed
         )
@@ -319,9 +356,15 @@ class InferenceServer:
 
     # ------------------------------------------------------------ health
     def ready(self) -> bool:
-        """Readiness: accepting work and the queue has admission headroom."""
+        """Readiness: accepting work and the queue has admission headroom.
+
+        In process mode also requires at least one live, warmed shard --
+        accepted work could not execute anywhere otherwise.
+        """
         with self._lock:
             accepting = self._running and not self._draining
+        if accepting and self.supervisor is not None:
+            accepting = self.supervisor.ready()
         return accepting and self.queue.depth() < self.queue.capacity
 
     def health(self) -> dict[str, Any]:
@@ -344,15 +387,29 @@ class InferenceServer:
             status = "degraded"
         else:
             status = "ok"
+        supervisor_stats = (
+            None if self.supervisor is None else self.supervisor.stats()
+        )
+        if (
+            status == "ok"
+            and supervisor_stats is not None
+            and any(
+                shard["state"] not in ("ready", "busy")
+                for shard in supervisor_stats["shards"].values()
+            )
+        ):
+            status = "degraded"  # serving, but a shard is down/restarting
         return {
             "status": status,
             "ready": self.ready(),
             "workers": self._worker_count,
+            "workers_mode": self.workers_mode,
             "in_flight": in_flight,
             "queue": queue_stats,
             "served": self.served,
             "failed": self.failed,
             "quarantined_backends": quarantined,
+            "shards": supervisor_stats,
             "batching": {
                 "max_batch_size": self.max_batch_size,
                 "max_batch_wait_s": self.max_batch_wait_s,
@@ -493,7 +550,9 @@ class InferenceServer:
         backend = self._resolved_backend(session)
         try:
             with batch_scope:
-                result = request.circuit(session, stacked)
+                result = self._execute(
+                    leader, batch_scope, session, request.circuit, stacked
+                )
             members = unstack_ciphertext(result)
             if len(members) != len(live):
                 raise ParameterError(
@@ -501,7 +560,7 @@ class InferenceServer:
                     f"batch of {len(live)}"
                 )
         except BaseException as exc:  # noqa: BLE001 - fall back to solo serve
-            if isinstance(exc, ReproError) and is_retryable(exc):
+            if backend_attributable(exc):
                 self.breaker.record_failure(
                     backend, request_id=request.request_id
                 )
@@ -575,6 +634,40 @@ class InferenceServer:
         )
         return stack.resolve_backend()
 
+    def _execute(
+        self,
+        ticket: RequestTicket,
+        scope: CancelScope,
+        session: TenantSession,
+        circuit: Callable,
+        payload: Any,
+    ) -> Any:
+        """Leaf circuit execution: in-thread, or forwarded to a shard.
+
+        Thread mode runs the circuit directly under the ambient scope.
+        Process mode ships it to a supervised shard; the shard's name/pid and
+        noise metadata come back in ``meta`` and land in the ticket's
+        diagnostics, so operators can see *which* fault domain served (or
+        killed) each request.
+        """
+        if self.supervisor is None:
+            return circuit(session, payload)
+        result, meta = self.supervisor.execute(
+            request_id=ticket.request.request_id,
+            tenant_id=ticket.request.tenant_id,
+            circuit=circuit,
+            payload=payload,
+            scope=scope,
+        )
+        ticket.diagnostics.update(
+            shard=meta.get("shard"), shard_pid=meta.get("pid")
+        )
+        if meta.get("noise_headroom_bits") is not None:
+            ticket.diagnostics["noise_headroom_bits"] = meta[
+                "noise_headroom_bits"
+            ]
+        return result
+
     def _serve(self, ticket: RequestTicket) -> None:
         request = ticket.request
         started = time.monotonic()
@@ -598,13 +691,21 @@ class InferenceServer:
             backend = self._resolved_backend(session)
             try:
                 with ticket.scope:
-                    result = request.circuit(session, request.payload)
+                    result = self._execute(
+                        ticket,
+                        ticket.scope,
+                        session,
+                        request.circuit,
+                        request.payload,
+                    )
                 self.breaker.record_success(backend)
                 error = None
                 break
             except BaseException as exc:  # noqa: BLE001 - classified below
                 error = exc
-                if isinstance(exc, ReproError) and is_retryable(exc):
+                if backend_attributable(exc):
+                    # Worker kills are retryable but NOT fed to the breaker:
+                    # a crashed shard says nothing about the NTT backend.
                     self.breaker.record_failure(
                         backend, request_id=request.request_id
                     )

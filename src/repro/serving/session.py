@@ -86,7 +86,43 @@ class TenantRegistry:
 
     def __init__(self) -> None:
         self._sessions: dict[str, TenantSession] = {}
+        #: tenant_id -> TenantSpec for tenants registered via register_spec;
+        #: the shippable form a shard process rebuilds its registry from.
+        self._specs: dict[str, object] = {}
         self._lock = threading.Lock()
+
+    def register_spec(self, spec, *, warm: bool = True) -> TenantSession:
+        """Register a tenant from a picklable :class:`TenantSpec`.
+
+        Builds the parameter set and derives the evaluation keys from the
+        spec's seed material (the canonical rng call order -- see
+        :class:`repro.serving.shard.TenantSpec`), registers the session, and
+        remembers the spec so :meth:`specs` can ship the registry's exact
+        contents to shard worker processes.
+        """
+        params = spec.build_params()
+        relin, galois = spec.build_keys(params)
+        session = self.register(
+            spec.tenant_id,
+            params,
+            relin_key=relin,
+            galois_keys=galois,
+            warm=warm,
+        )
+        with self._lock:
+            self._specs[spec.tenant_id] = spec
+        return session
+
+    def specs(self) -> list:
+        """The :class:`TenantSpec` for every spec-registered tenant.
+
+        Tenants registered directly through :meth:`register` (live key
+        objects, no seed material) have no spec and cannot be shipped to
+        shard processes; ``workers_mode="process"`` requires every tenant to
+        come through :meth:`register_spec`.
+        """
+        with self._lock:
+            return [self._specs[t] for t in sorted(self._specs)]
 
     def register(
         self,
@@ -131,8 +167,9 @@ class TenantRegistry:
         return session
 
     def remove(self, tenant_id: str) -> bool:
-        """Drop a tenant's session; returns whether one existed."""
+        """Drop a tenant's session (and spec); returns whether one existed."""
         with self._lock:
+            self._specs.pop(tenant_id, None)
             return self._sessions.pop(tenant_id, None) is not None
 
     def tenants(self) -> list[str]:

@@ -26,6 +26,10 @@ Used by ``tests/test_serving.py`` and the ``bench_serving_load.py`` CI gate
 from __future__ import annotations
 
 import os
+import random
+import signal
+import threading
+import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
 
@@ -34,7 +38,6 @@ import numpy as np
 from repro import diagnostics
 from repro.ckks.encoding import CkksEncoder
 from repro.ckks.encryptor import Decryptor, Encryptor
-from repro.ckks.keys import KeyGenerator
 from repro.ckks.params import CkksParameters
 from repro.errors import ReproError
 from repro.poly import ntt_engine
@@ -45,7 +48,9 @@ from repro.serving import (
     InferenceServer,
     RetryPolicy,
     TenantRegistry,
+    TenantSpec,
 )
+from repro.serving import shard as shard_module
 from repro.testing.faults import (
     calibration_lie,
     corrupted_butterfly_tables,
@@ -58,9 +63,13 @@ __all__ = [
     "ChaosOutcome",
     "ChaosReport",
     "ClientTenant",
+    "HangCircuit",
+    "LinearSquareCircuit",
+    "PoisonPill",
     "build_tenants",
     "prepare_work",
     "run_chaos",
+    "run_process_chaos",
 ]
 
 #: Ring small enough for fast drills, wide enough that four_step dispatches.
@@ -70,6 +79,70 @@ SCALE_BITS = 26
 #: Per-ticket watchdog: a request not finished by then counts as *hung* --
 #: the gate treats that exactly as badly as silent corruption.
 WATCHDOG_S = 60.0
+
+
+@dataclass
+class LinearSquareCircuit:
+    """score = (w * x + b)^2 -- the example's model, as a picklable callable.
+
+    A plain dataclass over numpy arrays (no encoder, no locks) so process
+    mode can ship it over the shard pipe.  ``delay_s`` stalls before the
+    compute -- the chaos drills use it to hold a fault window open long
+    enough to SIGKILL a provably mid-request worker.
+    """
+
+    weights: np.ndarray
+    bias: np.ndarray
+    delay_s: float = 0.0
+
+    def __call__(self, session, payload):
+        if self.delay_s > 0.0:
+            time.sleep(self.delay_s)
+        linear = run_encrypted_linear_layer(
+            session.evaluator, session.encoder, payload, self.weights, self.bias
+        )
+        return session.evaluator.rescale(session.evaluator.square(linear))
+
+
+@dataclass
+class HangCircuit:
+    """Chaos circuit: wedge the worker it runs on (hang drill).
+
+    Inside a shard it suppresses the heartbeat thread and stalls, faking a
+    genuinely wedged process; the supervisor's missed-heartbeat detector
+    must kill it.  Re-dispatched, it wedges the next worker too -- so the
+    poison-quarantine path (two kills -> :class:`PoisonRequest`) is exactly
+    what ends the drill.  In the parent (thread mode) it is a no-op pass-
+    through, so misusing it cannot hang the harness itself.
+    """
+
+    hold_s: float = WATCHDOG_S
+
+    def __call__(self, session, payload):
+        if shard_module.in_worker():
+            shard_module.suppress_heartbeats(True)
+            time.sleep(self.hold_s)
+        return payload
+
+
+def _detonate_poison():
+    """Unpickle hook of :class:`PoisonPill`: die -- but only inside a shard."""
+    if shard_module.in_worker():
+        os._exit(13)
+    return PoisonPill()
+
+
+class PoisonPill:
+    """A payload that crashes any *worker* that deserialises it.
+
+    ``__reduce__`` routes unpickling through :func:`_detonate_poison`, which
+    ``os._exit``\\ s only when running inside a shard process -- the parent
+    can pickle and re-pickle the pill safely, which is what lets the
+    supervisor re-dispatch it and prove the two-kills-then-quarantine rule.
+    """
+
+    def __reduce__(self):
+        return (_detonate_poison, ())
 
 
 @dataclass
@@ -87,6 +160,10 @@ class ClientTenant:
     decryptor: Decryptor
     weights: np.ndarray
     bias: np.ndarray
+    #: Picklable server-side circuit (see :class:`LinearSquareCircuit`).
+    circuit: LinearSquareCircuit
+    #: The spec the registry (and every shard) derived this tenant from.
+    spec: TenantSpec
 
     def encrypt_features(self, features: np.ndarray):
         return self.encryptor.encrypt(self.encoder.encode(features))
@@ -97,13 +174,6 @@ class ClientTenant:
     def decode(self, ciphertext) -> np.ndarray:
         return self.encoder.decode(self.decryptor.decrypt(ciphertext)).real
 
-    def circuit(self, session, payload):
-        """score = (w * x + b)^2 -- the example's model, run server-side."""
-        linear = run_encrypted_linear_layer(
-            session.evaluator, session.encoder, payload, self.weights, self.bias
-        )
-        return session.evaluator.rescale(session.evaluator.square(linear))
-
 
 def build_tenants(
     registry: TenantRegistry,
@@ -113,17 +183,33 @@ def build_tenants(
     limbs: int = LIMBS,
     seed: int = 7,
 ) -> list[ClientTenant]:
-    """Register ``tenant_ids`` and return their client-side kits."""
+    """Register ``tenant_ids`` (via shippable specs) and return client kits.
+
+    Registration goes through :meth:`TenantRegistry.register_spec` so the
+    same tenants serve in thread AND process mode: a shard re-derives
+    bit-identical evaluation keys from the spec's seed.  The client kit
+    builds its own :class:`KeyGenerator` from that seed -- the secret is
+    drawn at construction, before any key derivation, so the client's
+    decryptor matches the server's evaluation keys regardless of rng call
+    order after that point.
+    """
     clients = []
     for index, tenant_id in enumerate(tenant_ids):
-        params = CkksParameters.create(
-            degree=degree, limbs=limbs, log_q=28, dnum=2, scale_bits=SCALE_BITS
+        spec = TenantSpec(
+            tenant_id=tenant_id,
+            degree=degree,
+            limbs=limbs,
+            log_q=28,
+            dnum=2,
+            scale_bits=SCALE_BITS,
+            key_seed=seed + index,
         )
-        keygen = KeyGenerator(params, rng=np.random.default_rng(seed + index))
-        registry.register(
-            tenant_id, params, relin_key=keygen.relinearization_key()
-        )
+        session = registry.register_spec(spec)
+        params = session.params
+        keygen = spec.keygen(params)
         rng = np.random.default_rng(100 + index)
+        weights = rng.uniform(-1, 1, params.slot_count)
+        bias = rng.uniform(-0.2, 0.2, params.slot_count)
         clients.append(
             ClientTenant(
                 tenant_id=tenant_id,
@@ -131,8 +217,10 @@ def build_tenants(
                 encoder=CkksEncoder(params),
                 encryptor=Encryptor(params, keygen.public_key(), keygen),
                 decryptor=Decryptor(params, keygen.secret_key),
-                weights=rng.uniform(-1, 1, params.slot_count),
-                bias=rng.uniform(-0.2, 0.2, params.slot_count),
+                weights=weights,
+                bias=bias,
+                circuit=LinearSquareCircuit(weights=weights, bias=bias),
+                spec=spec,
             )
         )
     return clients
@@ -152,13 +240,21 @@ class ChaosOutcome:
     retries: int = 0
     latencies_s: list = field(default_factory=list)
     errors: list = field(default_factory=list)
+    #: Drill-specific observations (supervisor counters, recovery verdicts,
+    #: bit-exactness counts) surfaced into the bench JSON.
+    details: dict = field(default_factory=dict)
 
 
 @dataclass
 class ChaosReport:
-    """Aggregate over every drill; ``ok`` is the CI gate predicate."""
+    """Aggregate over every drill; ``ok`` is the CI gate predicate.
+
+    ``seed`` is the drill-scheduling / fault-site seed: any failure
+    reproduces by re-running the harness with the same seed.
+    """
 
     outcomes: list
+    seed: int | None = None
 
     @property
     def requests(self) -> int:
@@ -186,6 +282,7 @@ class ChaosReport:
 
     def summary(self) -> dict:
         return {
+            "seed": self.seed,
             "requests": self.requests,
             "correct": self.correct,
             "typed_failures": self.typed_failures,
@@ -202,6 +299,7 @@ class ChaosReport:
                     "hung": o.hung,
                     "retries": o.retries,
                     "errors": o.errors[:4],
+                    "details": o.details,
                 }
                 for o in self.outcomes
             ],
@@ -251,6 +349,7 @@ def _submit_and_wait(
     outcome: ChaosOutcome,
     *,
     batch_key: str | None = None,
+    circuits: dict | None = None,
 ) -> list:
     """Submit every prepared request and wait the tickets out (fault live).
 
@@ -262,11 +361,14 @@ def _submit_and_wait(
     """
     tickets = []
     for index, client, features, ciphertext in work:
+        circuit = client.circuit
+        if circuits is not None and index in circuits:
+            circuit = circuits[index]
         try:
             ticket = server.submit(
                 InferenceRequest(
                     client.tenant_id,
-                    client.circuit,
+                    circuit,
                     payload=ciphertext,
                     batch_key=batch_key,
                 )
@@ -300,10 +402,32 @@ def _submit_and_wait(
 
 
 def _classify_results(
-    completed: list, outcome: ChaosOutcome, *, tolerance: float = 1e-3
+    completed: list,
+    outcome: ChaosOutcome,
+    *,
+    tolerance: float = 1e-3,
+    oracles: dict | None = None,
 ) -> None:
-    """Decode completed results against the plaintext model (fault lifted)."""
+    """Decode completed results against the plaintext model (fault lifted).
+
+    With ``oracles`` (index -> solo-served ciphertext) the bar is raised from
+    decode-correct to **bit-exact**: a completed request whose residues
+    differ from the solo oracle counts as silent corruption even if it still
+    decodes within tolerance.
+    """
     for index, client, features, result, latency in completed:
+        if oracles is not None and index in oracles:
+            oracle = oracles[index]
+            if not (
+                np.array_equal(result.c0.residues, oracle.c0.residues)
+                and np.array_equal(result.c1.residues, oracle.c1.residues)
+            ):
+                outcome.silent += 1
+                outcome.errors.append(f"req{index}:not-bit-exact-vs-solo")
+                continue
+            outcome.details["bit_exact"] = (
+                outcome.details.get("bit_exact", 0) + 1
+            )
         decoded = client.decode(result)
         if np.abs(decoded - client.expected(features)).max() <= tolerance:
             outcome.correct += 1
@@ -335,6 +459,9 @@ def run_chaos(
     registry = TenantRegistry()
     clients = build_tenants(registry, seed=seed)
     rng = np.random.default_rng(seed)
+    #: Fault-site / drill-order randomness, deterministic from ``seed`` so a
+    #: chaos failure reproduces from the seed printed in the bench JSON.
+    rand = random.Random(seed)
     stack = _full_stack(clients[0])
 
     def drill_none():
@@ -342,7 +469,7 @@ def run_chaos(
 
     def drill_bit_flip():
         # The flip itself lands in prepare_work on the victim request.
-        return nullcontext(), requests_per_drill // 2
+        return nullcontext(), rand.randrange(requests_per_drill)
 
     def drill_four_step():
         return corrupted_four_step_tables(stack), None
@@ -371,6 +498,14 @@ def run_chaos(
     ]
     if drills is not None:
         all_drills = [(n, f) for n, f in all_drills if n in drills]
+    else:
+        # Baseline always runs first (it warms shared caches for the fault
+        # windows); the fault drills run in a seed-determined order so drill
+        # interactions are exercised differently -- but reproducibly --
+        # across seeds.
+        faulted = all_drills[1:]
+        rand.shuffle(faulted)
+        all_drills = all_drills[:1] + faulted
 
     previous_strict = set_strict(True)
     previous_stride = os.environ.get("REPRO_NTT_SPOT_STRIDE")
@@ -411,6 +546,12 @@ def run_chaos(
             ntt_engine.clear_quarantine()
             ntt_engine.reset_sentinels()
             _classify_results(completed, outcome)
+            if outcome.silent or outcome.hung:
+                print(
+                    f"[chaos] drill {name} FAILED "
+                    f"(silent={outcome.silent} hung={outcome.hung}); "
+                    f"reproduce with seed={seed}"
+                )
             outcomes.append(outcome)
     finally:
         set_strict(previous_strict)
@@ -420,4 +561,245 @@ def run_chaos(
             os.environ["REPRO_NTT_SPOT_STRIDE"] = previous_stride
         ntt_engine.clear_quarantine()
         ntt_engine.reset_sentinels()
-    return ChaosReport(outcomes=outcomes)
+    return ChaosReport(outcomes=outcomes, seed=seed)
+
+
+# ------------------------------------------------------- process-level drills
+def _kill_shards(
+    server: InferenceServer,
+    rand: random.Random,
+    done: threading.Event,
+    *,
+    max_kills: int,
+    only_busy: bool,
+    interval_s: float = 0.0,
+) -> list:
+    """Killer thread body: SIGKILL shards while requests are in flight.
+
+    ``only_busy`` targets a shard that provably holds a request (the
+    SIGKILL-mid-request drill); otherwise any live shard is fair game (the
+    restart storm).  The victim at each step comes from ``rand``, so a
+    failing storm replays exactly from the logged seed.
+    """
+    kills = []
+    while len(kills) < max_kills and not done.is_set():
+        supervisor = server.supervisor
+        if supervisor is None:
+            break
+        shards = supervisor.stats()["shards"]
+        candidates = [
+            (name, info)
+            for name, info in sorted(shards.items())
+            if info["pid"] is not None
+            and (
+                info["state"] == "busy"
+                if only_busy
+                else info["state"] in ("ready", "busy")
+            )
+        ]
+        if not candidates:
+            done.wait(0.005)
+            continue
+        name, info = rand.choice(candidates)
+        try:
+            os.kill(info["pid"], signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            continue  # lost the race with a restart; pick again
+        kills.append((name, info["pid"]))
+        if interval_s > 0.0:
+            done.wait(interval_s)
+    return kills
+
+
+def run_process_chaos(
+    *,
+    requests_per_drill: int = 8,
+    shards: int = 4,
+    seed: int = 7,
+    drills: list[str] | None = None,
+    heartbeat_interval_s: float = 0.1,
+    restart_backoff_s: float = 0.1,
+) -> ChaosReport:
+    """Process-level chaos: SIGKILL, hang, poison payload, restart storm.
+
+    Each drill runs a fresh ``workers_mode="process"`` server with ``shards``
+    supervised worker processes and asserts the same serving contract as
+    :func:`run_chaos` -- every outcome in {correct, typed}, zero silent, zero
+    hung -- with the bar raised for surviving requests: results must be
+    **bit-exact** against a solo-served oracle, proving that crash
+    containment and re-dispatch never touch the arithmetic.  All fault-site
+    choices (victim shard, victim request) draw from one seeded
+    ``random.Random`` and the seed rides in the report.
+    """
+    registry = TenantRegistry()
+    clients = build_tenants(registry, seed=seed)
+    rng = np.random.default_rng(seed)
+    rand = random.Random(seed)
+
+    def make_server() -> InferenceServer:
+        return InferenceServer(
+            registry,
+            workers=shards,
+            queue_capacity=max(4 * requests_per_drill, 16),
+            default_timeout_s=WATCHDOG_S / 2,
+            retry_policy=RetryPolicy(max_attempts=3, base_delay_s=0.005),
+            breaker=CircuitBreaker(cooldown_s=0.2),
+            probe_interval_s=0.1,
+            rng_seed=seed,
+            workers_mode="process",
+            supervisor_options={
+                "heartbeat_interval_s": heartbeat_interval_s,
+                "heartbeat_miss_limit": 4,
+                "restart_backoff_s": restart_backoff_s,
+                "restart_backoff_cap_s": 1.0,
+            },
+        )
+
+    def oracles_for(work, *, skip=(), delay_s: float = 0.0) -> dict:
+        """Solo-serve every payload through the parent's own sessions."""
+        oracles = {}
+        for index, client, features, ciphertext in work:
+            if index in skip or isinstance(ciphertext, PoisonPill):
+                continue
+            session = registry.session(client.tenant_id)
+            solo = LinearSquareCircuit(client.weights, client.bias)
+            oracles[index] = solo(session, ciphertext)
+        return oracles
+
+    def drill_baseline(server, outcome):
+        work = prepare_work(clients, requests=requests_per_drill, rng=rng)
+        oracles = oracles_for(work)
+        completed = _submit_and_wait(server, work, outcome)
+        return completed, oracles
+
+    def drill_sigkill(server, outcome):
+        work = prepare_work(clients, requests=requests_per_drill, rng=rng)
+        oracles = oracles_for(work)
+        # Slow every circuit down so the killer provably lands mid-request.
+        circuits = {
+            index: LinearSquareCircuit(
+                client.weights, client.bias, delay_s=0.3
+            )
+            for index, client, _, _ in work
+        }
+        done = threading.Event()
+        kills: list = []
+        killer = threading.Thread(
+            target=lambda: kills.extend(
+                _kill_shards(server, rand, done, max_kills=1, only_busy=True)
+            ),
+            daemon=True,
+        )
+        killer.start()
+        completed = _submit_and_wait(server, work, outcome, circuits=circuits)
+        done.set()
+        killer.join(timeout=5.0)
+        outcome.details["kills"] = len(kills)
+        # The killed shard must restart and pass ready() within the backoff
+        # budget -- generous multiple of (backoff cap + warm time).
+        outcome.details["recovered"] = server.supervisor.wait_all_ready(30.0)
+        return completed, oracles
+
+    def drill_hang(server, outcome):
+        work = prepare_work(clients, requests=requests_per_drill, rng=rng)
+        victim = rand.randrange(requests_per_drill)
+        oracles = oracles_for(work, skip={victim})
+        circuits = {victim: HangCircuit()}
+        completed = _submit_and_wait(server, work, outcome, circuits=circuits)
+        outcome.details["victim"] = victim
+        outcome.details["recovered"] = server.supervisor.wait_all_ready(30.0)
+        counters = server.supervisor.stats()["counters"]
+        outcome.details["hang_kills"] = counters["hangs"]
+        outcome.details["poisoned"] = counters["poisoned"]
+        return completed, oracles
+
+    def drill_poison(server, outcome):
+        work = prepare_work(clients, requests=requests_per_drill, rng=rng)
+        victim = rand.randrange(requests_per_drill)
+        index, client, features, _ = work[victim]
+        # The pill detonates in the worker's deserialiser: the parent can
+        # pickle it freely, the shard dies before the circuit even starts.
+        work[victim] = (index, client, features, PoisonPill())
+        oracles = oracles_for(work, skip={victim})
+        completed = _submit_and_wait(server, work, outcome)
+        outcome.details["victim"] = victim
+        outcome.details["recovered"] = server.supervisor.wait_all_ready(30.0)
+        counters = server.supervisor.stats()["counters"]
+        # Two kills then quarantine -- never a third crash for this request.
+        outcome.details["crash_kills"] = counters["crashes"]
+        outcome.details["poisoned"] = counters["poisoned"]
+        return completed, oracles
+
+    def drill_storm(server, outcome):
+        work = prepare_work(clients, requests=requests_per_drill, rng=rng)
+        oracles = oracles_for(work)
+        circuits = {
+            index: LinearSquareCircuit(
+                client.weights, client.bias, delay_s=0.15
+            )
+            for index, client, _, _ in work
+        }
+        done = threading.Event()
+        kills: list = []
+        killer = threading.Thread(
+            target=lambda: kills.extend(
+                _kill_shards(
+                    server,
+                    rand,
+                    done,
+                    max_kills=max(3, shards),
+                    only_busy=False,
+                    interval_s=0.25,
+                )
+            ),
+            daemon=True,
+        )
+        killer.start()
+        completed = _submit_and_wait(server, work, outcome, circuits=circuits)
+        done.set()
+        killer.join(timeout=5.0)
+        outcome.details["kills"] = len(kills)
+        outcome.details["recovered"] = server.supervisor.wait_all_ready(30.0)
+        return completed, oracles
+
+    all_drills = [
+        ("proc_baseline_bit_exact", drill_baseline),
+        ("proc_sigkill_mid_request", drill_sigkill),
+        ("proc_worker_hang_poison", drill_hang),
+        ("proc_poison_deserialize", drill_poison),
+        ("proc_restart_storm", drill_storm),
+    ]
+    if drills is not None:
+        all_drills = [(n, f) for n, f in all_drills if n in drills]
+
+    previous_strict = set_strict(True)
+    previous_stride = os.environ.get("REPRO_NTT_SPOT_STRIDE")
+    os.environ["REPRO_NTT_SPOT_STRIDE"] = "1"
+    outcomes = []
+    try:
+        for name, run_drill in all_drills:
+            ntt_engine.clear_quarantine()
+            diagnostics.clear_events()
+            outcome = ChaosOutcome(drill=name)
+            server = make_server()
+            with server:
+                completed, oracles = run_drill(server, outcome)
+            ntt_engine.clear_quarantine()
+            ntt_engine.reset_sentinels()
+            _classify_results(completed, outcome, oracles=oracles)
+            if outcome.silent or outcome.hung:
+                print(
+                    f"[chaos] process drill {name} FAILED "
+                    f"(silent={outcome.silent} hung={outcome.hung}); "
+                    f"reproduce with seed={seed}"
+                )
+            outcomes.append(outcome)
+    finally:
+        set_strict(previous_strict)
+        if previous_stride is None:
+            os.environ.pop("REPRO_NTT_SPOT_STRIDE", None)
+        else:
+            os.environ["REPRO_NTT_SPOT_STRIDE"] = previous_stride
+        ntt_engine.clear_quarantine()
+        ntt_engine.reset_sentinels()
+    return ChaosReport(outcomes=outcomes, seed=seed)

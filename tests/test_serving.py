@@ -27,8 +27,11 @@ from repro.errors import (
     RequestCancelled,
     ServiceOverloaded,
     ServiceUnavailable,
+    PoisonRequest,
     ServingError,
     TenantNotFound,
+    WorkerCrashed,
+    WorkerUnresponsive,
 )
 from repro.poly import ntt_engine
 from repro.serving import (
@@ -39,6 +42,7 @@ from repro.serving import (
     InferenceServer,
     RetryPolicy,
     TenantRegistry,
+    backend_attributable,
     cancel_scope,
     checkpoint,
     current_scope,
@@ -74,6 +78,9 @@ class TestServingErrors:
             DeadlineExceeded,
             RequestCancelled,
             TenantNotFound,
+            WorkerCrashed,
+            WorkerUnresponsive,
+            PoisonRequest,
         ):
             assert issubclass(exc, ServingError)
             assert issubclass(exc, ReproError)
@@ -129,6 +136,88 @@ class TestBoundedQueue:
         # non-matches and the over-limit match keep their FIFO order
         assert [queue.get(0.01) for _ in range(3)] == ["b1", "b2", "a3"]
         assert queue.drain_matching(lambda item: True, 0) == []
+
+    def test_drain_matching_concurrent_producers(self):
+        # Dynamic-batching hot path under contention: producers racing the
+        # draining worker must never lose a ticket, double-serve one, or
+        # reorder a batch_key's FIFO.
+        producers, per_producer = 4, 48
+        queue = BoundedRequestQueue(producers * per_producer)
+        barrier = threading.Barrier(producers + 1)
+
+        def produce(pid: int) -> None:
+            barrier.wait()
+            for seq in range(per_producer):
+                queue.put((pid, seq, "even" if seq % 2 == 0 else "odd"))
+
+        threads = [
+            threading.Thread(target=produce, args=(pid,))
+            for pid in range(producers)
+        ]
+        for thread in threads:
+            thread.start()
+        served: list = []
+        barrier.wait()
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            served.extend(
+                queue.drain_matching(lambda item: item[2] == "even", 8)
+            )
+            leader = queue.get(0.001)
+            if leader is not None:
+                served.append(leader)
+            if not any(t.is_alive() for t in threads) and queue.depth() == 0:
+                break
+        for thread in threads:
+            thread.join(timeout=2.0)
+        # no ticket lost, none double-served...
+        assert len(served) == producers * per_producer
+        assert len(set(served)) == len(served)
+        # ...and within each (producer, batch_key) stream the serve order
+        # is the submission order.
+        last_seq: dict = {}
+        for pid, seq, key in served:
+            assert last_seq.get((pid, key), -1) < seq
+            last_seq[(pid, key)] = seq
+
+    def test_drain_shutdown_race_loses_nothing(self):
+        # close() racing producers and the drainer: every put either lands
+        # (and is served exactly once) or fails typed -- never vanishes.
+        queue = BoundedRequestQueue(1024)
+        barrier = threading.Barrier(3)
+        admitted: list = []
+        rejected: list = []
+
+        def produce() -> None:
+            barrier.wait()
+            for seq in range(256):
+                try:
+                    queue.put(seq)
+                    admitted.append(seq)
+                except ServiceUnavailable:
+                    rejected.append(seq)
+
+        def close_midstream() -> None:
+            barrier.wait()
+            time.sleep(0.002)
+            queue.close()
+
+        producer = threading.Thread(target=produce)
+        closer = threading.Thread(target=close_midstream)
+        producer.start()
+        closer.start()
+        served: list = []
+        barrier.wait()
+        while producer.is_alive() or queue.depth():
+            served.extend(queue.drain_matching(lambda item: True, 16))
+            item = queue.get(0.001)
+            if item is not None:
+                served.append(item)
+        producer.join(timeout=2.0)
+        closer.join(timeout=2.0)
+        served.extend(queue.drain_matching(lambda item: True, 10**6))
+        assert sorted(served) == sorted(admitted)
+        assert len(served) + len(rejected) == 256
 
     def test_close_rejects_and_wakes(self):
         queue = BoundedRequestQueue(1)
@@ -201,14 +290,30 @@ class TestCancellation:
 class TestRetryPolicy:
     def test_classification(self):
         assert is_retryable(BackendExactnessError("backend lied"))
+        # Worker deaths are infrastructure faults: re-dispatch the request.
+        assert is_retryable(WorkerCrashed("shard SIGKILLed"))
+        assert is_retryable(WorkerUnresponsive("heartbeats stopped"))
         for terminal in (
             ParameterError("bad"),
             NoiseBudgetExhausted("empty"),
             DeadlineExceeded("late"),
             ServiceOverloaded("full"),
+            PoisonRequest("killed two workers"),
             RuntimeError("unknown"),
         ):
             assert not is_retryable(terminal)
+
+    def test_backend_attribution_excludes_worker_faults(self):
+        # Only exactness faults feed the circuit breaker: a worker crash is
+        # retryable but must not quarantine an innocent NTT backend.
+        assert backend_attributable(BackendExactnessError("backend lied"))
+        for error in (
+            WorkerCrashed("x"),
+            WorkerUnresponsive("x"),
+            PoisonRequest("x"),
+            DeadlineExceeded("x"),
+        ):
+            assert not backend_attributable(error)
 
     def test_backoff_is_bounded_and_jittered(self):
         policy = RetryPolicy(
